@@ -1,0 +1,294 @@
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// (§6). Each benchmark drives the same harness code as cmd/simbench at a
+// reduced scale so `go test -bench=.` regenerates every artifact in
+// minutes; cmd/simbench runs the same experiments at small/medium/paper
+// scales. Benchmarks report the headline metric of their artifact via
+// b.ReportMetric in addition to wall-clock time.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/exper"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+// benchParams is the reduced scale used by all top-level benchmarks.
+func benchParams() exper.Params {
+	return exper.Params{
+		N: 3000, Clusters: 16, TrainPoints: 100, TestPoints: 30,
+		Thresholds: 8, Segments: 8, QuerySegs: 8, Epochs: 12,
+		JoinSets: 10, Seed: 7,
+	}
+}
+
+var (
+	benchOnce sync.Once
+	benchEnv  *exper.Env
+	benchSte  *exper.Suite
+	benchJs   *exper.JoinSuite
+	benchErr  error
+)
+
+// sharedSuite builds one environment + trained suite for all benchmarks
+// and the top-level claim tests (setup excluded from timings via
+// b.ResetTimer in each benchmark).
+func sharedSuite(b testing.TB) (*exper.Env, *exper.Suite, *exper.JoinSuite) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = exper.NewEnvWithParams(dataset.ImageNET, exper.Small, benchParams())
+		if benchErr != nil {
+			return
+		}
+		benchSte, benchErr = exper.BuildSuite(benchEnv, exper.SuiteOptions{SkipTuning: true})
+		if benchErr != nil {
+			return
+		}
+		var train []workload.JoinSet
+		train, _, benchErr = exper.JoinWorkloads(benchEnv, benchParams().JoinSets, 0, 20, 2, 3)
+		if benchErr != nil {
+			return
+		}
+		benchJs, benchErr = exper.BuildJoinSuite(benchSte, train)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv, benchSte, benchJs
+}
+
+// BenchmarkTable4SearchAccuracy regenerates Table 4: Q-error of all search
+// methods. Reports GL+'s mean Q-error.
+func BenchmarkTable4SearchAccuracy(b *testing.B) {
+	_, s, _ := sharedSuite(b)
+	b.ResetTimer()
+	var glMean float64
+	for i := 0; i < b.N; i++ {
+		res := exper.Table4(s)
+		for _, r := range res.Rows {
+			if r.Method == "GL+" {
+				glMean = r.Summary.Mean
+			}
+		}
+	}
+	b.ReportMetric(glMean, "GL+_mean_qerror")
+}
+
+// BenchmarkTable5ModelSize regenerates Table 5: model sizes. Reports GL+'s
+// size in MB.
+func BenchmarkTable5ModelSize(b *testing.B) {
+	_, s, _ := sharedSuite(b)
+	b.ResetTimer()
+	var glMB float64
+	for i := 0; i < b.N; i++ {
+		res := exper.Table5(s)
+		for _, r := range res.Rows {
+			if r.Method == "GL+" {
+				glMB = float64(r.Bytes) / (1024 * 1024)
+			}
+		}
+	}
+	b.ReportMetric(glMB, "GL+_MB")
+}
+
+// BenchmarkTable6SearchLatency regenerates Table 6: per-method estimate
+// latency. Reports GL+'s per-query latency in microseconds.
+func BenchmarkTable6SearchLatency(b *testing.B) {
+	_, s, _ := sharedSuite(b)
+	b.ResetTimer()
+	var glUS float64
+	for i := 0; i < b.N; i++ {
+		res, err := exper.Table6(s, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Method == "GL+" {
+				glUS = float64(r.PerCall.Microseconds())
+			}
+		}
+	}
+	b.ReportMetric(glUS, "GL+_us_per_query")
+}
+
+// BenchmarkTable7JoinAccuracy regenerates Table 7: join Q-errors. Reports
+// GLJoin+'s mean Q-error.
+func BenchmarkTable7JoinAccuracy(b *testing.B) {
+	env, _, js := sharedSuite(b)
+	_, test, err := exper.JoinWorkloads(env, 0, 8, 20, 10, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res := exper.Table7(js, test)
+		for _, r := range res.Rows {
+			if r.Method == "GLJoin+" {
+				mean = r.Summary.Mean
+			}
+		}
+	}
+	b.ReportMetric(mean, "GLJoin+_mean_qerror")
+}
+
+// BenchmarkFigure8MAPE regenerates Figure 8: MAPE of the learned methods.
+// Reports GL+'s MAPE.
+func BenchmarkFigure8MAPE(b *testing.B) {
+	_, s, _ := sharedSuite(b)
+	b.ResetTimer()
+	var mape float64
+	for i := 0; i < b.N; i++ {
+		res := exper.Figure8(s)
+		for _, r := range res.Rows {
+			if r.Method == "GL+" {
+				mape = r.MAPE
+			}
+		}
+	}
+	b.ReportMetric(mape, "GL+_MAPE")
+}
+
+// BenchmarkFigure9MissingRate regenerates Figure 9: global-model missing
+// rate with vs without the loss penalty. Reports both rates.
+func BenchmarkFigure9MissingRate(b *testing.B) {
+	env, _, _ := sharedSuite(b)
+	b.ResetTimer()
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		res, err := exper.Figure9(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = res.WithPenalty, res.WithoutPenalty
+	}
+	b.ReportMetric(with, "missing_with_penalty")
+	b.ReportMetric(without, "missing_no_penalty")
+}
+
+// BenchmarkFigure10TrainingSize regenerates Figure 10: accuracy vs training
+// size. Reports GL+'s mean Q-error at the largest size.
+func BenchmarkFigure10TrainingSize(b *testing.B) {
+	env, _, _ := sharedSuite(b)
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points, err := exper.Figure10(env, []float64{0.5, 1.0}, model.DefaultConvConfigs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].MeanQ["GL+"]
+	}
+	b.ReportMetric(last, "GL+_mean_qerror_fulltrain")
+}
+
+// BenchmarkFigure11Segments regenerates Figure 11: accuracy vs #data
+// segments. Reports the mean Q-error at the largest segment count.
+func BenchmarkFigure11Segments(b *testing.B) {
+	env, _, _ := sharedSuite(b)
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points, err := exper.Figure11(env, []int{1, 4, 8}, model.DefaultConvConfigs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].MeanQ
+	}
+	b.ReportMetric(last, "GL+_mean_qerror_8segs")
+}
+
+// BenchmarkFigure12JoinSize regenerates Figure 12: join error vs query-set
+// size. Reports the mean Q-error of the largest bucket.
+func BenchmarkFigure12JoinSize(b *testing.B) {
+	_, _, js := sharedSuite(b)
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		points, err := exper.Figure12(js, [][2]int{{5, 15}, {15, 30}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].MeanQ
+	}
+	b.ReportMetric(last, "GLJoin+_mean_qerror")
+}
+
+// BenchmarkFigure13JoinLatency regenerates Figure 13: join latency at a
+// fixed set size, batch embedding vs per-query. Reports GLJoin+'s ms/set.
+func BenchmarkFigure13JoinLatency(b *testing.B) {
+	_, _, js := sharedSuite(b)
+	b.ResetTimer()
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.Figure13(js, 40, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "GLJoin+" {
+				ms = float64(r.PerSet.Microseconds()) / 1000
+			}
+		}
+	}
+	b.ReportMetric(ms, "GLJoin+_ms_per_set")
+}
+
+// BenchmarkFigure14TrainingTime regenerates Figure 14: per-method training
+// time plus label-construction time. Reports GL+'s training seconds.
+func BenchmarkFigure14TrainingTime(b *testing.B) {
+	_, s, js := sharedSuite(b)
+	b.ResetTimer()
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		res := exper.Figure14(s, js)
+		for _, r := range res.Rows {
+			if r.Method == "GL+" {
+				sec = r.Train.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(sec, "GL+_train_seconds")
+}
+
+// BenchmarkFigure15Incremental regenerates Figure 15: error across
+// incremental update operations. Reports the final mean Q-error.
+func BenchmarkFigure15Incremental(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		// Fresh environment per iteration: the experiment mutates data.
+		env, err := exper.NewEnvWithParams(dataset.GloVe300, exper.Small, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err := exper.Figure15(env, 3, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points[len(points)-1].MeanQ
+	}
+	b.ReportMetric(last, "final_mean_qerror")
+}
+
+// BenchmarkAblationSegmentation compares PCA+k-means vs LSH vs DBSCAN
+// segmentation (§3.3's design choice). Reports k-means' mean Q-error.
+func BenchmarkAblationSegmentation(b *testing.B) {
+	env, _, _ := sharedSuite(b)
+	b.ResetTimer()
+	var kmeans float64
+	for i := 0; i < b.N; i++ {
+		rows, err := exper.AblationSegmentation(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Method == "PCA+KMeans" {
+				kmeans = r.MeanQ
+			}
+		}
+	}
+	b.ReportMetric(kmeans, "kmeans_mean_qerror")
+}

@@ -1,0 +1,54 @@
+package cardest
+
+import (
+	"fmt"
+
+	"simquery/internal/metrics"
+)
+
+// ErrorSummary is the Q-error distribution of an estimator over a labeled
+// workload — the row format of the paper's Tables 4 and 7.
+type ErrorSummary struct {
+	Mean, Median, P90, P95, P99, Max float64
+	N                                int
+}
+
+// String renders the summary compactly.
+func (s ErrorSummary) String() string {
+	return fmt.Sprintf("mean=%.3g median=%.3g p90=%.3g p95=%.3g p99=%.3g max=%.3g (n=%d)",
+		s.Mean, s.Median, s.P90, s.P95, s.P99, s.Max, s.N)
+}
+
+// Evaluate measures an estimator's Q-error distribution over labeled
+// queries.
+func Evaluate(e Estimator, queries []Query) ErrorSummary {
+	errs := make([]float64, len(queries))
+	for i, q := range queries {
+		errs[i] = metrics.QError(e.EstimateSearch(q.Vec, q.Tau), q.Card)
+	}
+	return fromSummary(metrics.Summarize(errs))
+}
+
+// EvaluateJoin measures an estimator's Q-error distribution over labeled
+// join sets.
+func EvaluateJoin(e Estimator, sets []JoinSet) ErrorSummary {
+	errs := make([]float64, len(sets))
+	for i, s := range sets {
+		errs[i] = metrics.QError(e.EstimateJoin(s.Vecs, s.Tau), s.Card)
+	}
+	return fromSummary(metrics.Summarize(errs))
+}
+
+// QError exposes the paper's error metric: max(est,truth)/min(est,truth)
+// with zero flooring.
+func QError(est, truth float64) float64 { return metrics.QError(est, truth) }
+
+// MAPE exposes the mean-absolute-percentage error metric.
+func MAPE(est, truth float64) float64 { return metrics.MAPE(est, truth) }
+
+func fromSummary(s metrics.Summary) ErrorSummary {
+	return ErrorSummary{
+		Mean: s.Mean, Median: s.Median, P90: s.P90, P95: s.P95, P99: s.P99,
+		Max: s.Max, N: s.N,
+	}
+}

@@ -1,0 +1,41 @@
+package cardest
+
+import (
+	"simquery/internal/index"
+)
+
+// ExactIndex answers threshold similarity queries exactly (the SimSelect
+// baseline): use it to validate estimates or to serve small workloads where
+// exactness matters more than latency.
+type ExactIndex struct {
+	idx *index.SimSelect
+}
+
+// NewExactIndex builds a pivot-table index over the dataset. More pivots
+// prune harder but cost more memory; 16 is a good default.
+func NewExactIndex(d *Dataset, pivots int, seed int64) (*ExactIndex, error) {
+	idx, err := index.Build(d.inner, pivots, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactIndex{idx: idx}, nil
+}
+
+// Count returns the exact cardinality of (q, τ).
+func (e *ExactIndex) Count(q []float64, tau float64) int {
+	c, _ := e.idx.Count(q, tau)
+	return c
+}
+
+// Search returns the indices of all data objects within τ of q.
+func (e *ExactIndex) Search(q []float64, tau float64) []int {
+	return e.idx.Search(q, tau)
+}
+
+// JoinCount returns the exact join cardinality of (Q, τ).
+func (e *ExactIndex) JoinCount(qs [][]float64, tau float64) int {
+	return e.idx.JoinCount(qs, tau)
+}
+
+// SizeBytes reports the index footprint.
+func (e *ExactIndex) SizeBytes() int { return e.idx.SizeBytes() }

@@ -1,0 +1,68 @@
+package cardest_test
+
+import (
+	"fmt"
+
+	"simquery/cardest"
+)
+
+// Train a sampling estimator (no labeled queries needed) and estimate a
+// search cardinality.
+func ExampleTrain_sampling() {
+	ds, err := cardest.GenerateProfile("imagenet", 1000, 8, 7)
+	if err != nil {
+		panic(err)
+	}
+	est, err := cardest.Train(ds, nil, cardest.TrainOptions{Method: "sampling", SampleRatio: 1.0})
+	if err != nil {
+		panic(err)
+	}
+	q := ds.Vectors()[0]
+	// A full sample is exact, so the estimate equals the true count.
+	fmt.Printf("estimate == exact: %v\n",
+		est.EstimateSearch(q, 0.1) == cardest.TrueCard(ds, q, 0.1))
+	// Output:
+	// estimate == exact: true
+}
+
+// Build a labeled workload and verify its labels against brute force.
+func ExampleBuildWorkload() {
+	ds, err := cardest.GenerateProfile("youtube", 500, 6, 9)
+	if err != nil {
+		panic(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 10, TestPoints: 5, ThresholdsPerPoint: 4, Seed: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("train=%d test=%d labels-exact=%v\n",
+		len(train), len(test), test[0].Card == cardest.TrueCard(ds, test[0].Vec, test[0].Tau))
+	// Output:
+	// train=40 test=20 labels-exact=true
+}
+
+// Count exactly with the SimSelect pivot index.
+func ExampleNewExactIndex() {
+	ds, err := cardest.GenerateProfile("bms", 800, 8, 11)
+	if err != nil {
+		panic(err)
+	}
+	idx, err := cardest.NewExactIndex(ds, 8, 12)
+	if err != nil {
+		panic(err)
+	}
+	q := ds.Vectors()[3]
+	fmt.Printf("index matches brute force: %v\n",
+		float64(idx.Count(q, 0.2)) == cardest.TrueCard(ds, q, 0.2))
+	// Output:
+	// index matches brute force: true
+}
+
+// QError is the paper's accuracy metric.
+func ExampleQError() {
+	fmt.Println(cardest.QError(20, 10), cardest.QError(10, 20), cardest.QError(7, 7))
+	// Output:
+	// 2 2 1
+}

@@ -1,0 +1,96 @@
+package cardest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"simquery/internal/cardnet"
+	"simquery/internal/model"
+)
+
+// envelope tags serialized models with their concrete kind.
+type envelope struct {
+	Kind string
+	Data []byte
+}
+
+// Save serializes a trained estimator to a file. Sampling and kernel
+// baselines are rebuilt from data rather than serialized and return an
+// error here.
+func Save(e Estimator, path string) error {
+	env, err := toEnvelope(e)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("cardest: encode: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("cardest: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func toEnvelope(e Estimator) (envelope, error) {
+	switch v := e.(type) {
+	case *GlobalLocalEstimator:
+		data, err := v.gl.MarshalBinary()
+		if err != nil {
+			return envelope{}, err
+		}
+		return envelope{Kind: "globallocal", Data: data}, nil
+	case basicEstimator:
+		data, err := v.BasicModel.MarshalBinary()
+		if err != nil {
+			return envelope{}, err
+		}
+		return envelope{Kind: "basic", Data: data}, nil
+	case *cardnet.CardNet:
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return envelope{}, err
+		}
+		return envelope{Kind: "cardnet", Data: data}, nil
+	default:
+		return envelope{}, fmt.Errorf("cardest: %T is not serializable (sampling/kernel baselines are rebuilt from data)", e)
+	}
+}
+
+// Load restores an estimator saved by Save. Global-local estimators need
+// the dataset they were trained on to support Insert/Retrain; pass it here
+// (nil disables those methods' label refresh).
+func Load(path string, d *Dataset) (Estimator, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cardest: read %s: %w", path, err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("cardest: decode %s: %w", path, err)
+	}
+	switch env.Kind {
+	case "globallocal":
+		gl := &model.GlobalLocal{}
+		if err := gl.UnmarshalBinary(env.Data); err != nil {
+			return nil, err
+		}
+		return &GlobalLocalEstimator{gl: gl, ds: d}, nil
+	case "basic":
+		m := &model.BasicModel{}
+		if err := m.UnmarshalBinary(env.Data); err != nil {
+			return nil, err
+		}
+		return basicEstimator{m}, nil
+	case "cardnet":
+		c := &cardnet.CardNet{}
+		if err := c.UnmarshalBinary(env.Data); err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("cardest: unknown model kind %q", env.Kind)
+	}
+}

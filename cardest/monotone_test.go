@@ -1,0 +1,162 @@
+package cardest
+
+import (
+	"testing"
+)
+
+func TestMonotoneEnvelopeIsMonotone(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "qes", Epochs: 8, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(base, f.ds.TauMax(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 5; qi++ {
+		q := f.test[qi].Vec
+		prev := -1.0
+		for i := 0; i <= 200; i++ {
+			tau := f.ds.TauMax() * float64(i) / 200
+			est := mono.EstimateSearch(q, tau)
+			if est < prev-1e-9 {
+				t.Fatalf("query %d: estimate decreased at tau=%v: %v < %v", qi, tau, est, prev)
+			}
+			prev = est
+		}
+	}
+}
+
+func TestMonotoneNeverBelowEnvelopeOfBase(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 8, Seed: 102})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(base, f.ds.TauMax(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.test[0].Vec
+	// At the last grid point the envelope equals the max of base estimates
+	// at or below it.
+	tau := f.ds.TauMax()
+	var maxBase float64
+	for i := 1; i <= 16; i++ {
+		if e := base.EstimateSearch(q, f.ds.TauMax()*float64(i)/16); e > maxBase {
+			maxBase = e
+		}
+	}
+	if got := mono.EstimateSearch(q, tau); got != maxBase {
+		t.Fatalf("envelope at tau_max %v want %v", got, maxBase)
+	}
+}
+
+func TestMonotoneJoinAndMetadata(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(base, f.ds.TauMax(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Name() != base.Name()+"+mono" {
+		t.Fatalf("name %s", mono.Name())
+	}
+	if mono.SizeBytes() <= base.SizeBytes() {
+		t.Fatal("size must include the grid")
+	}
+	qs := [][]float64{f.test[0].Vec, f.test[1].Vec}
+	tau := f.ds.TauMax() / 3
+	want := mono.EstimateSearch(qs[0], tau) + mono.EstimateSearch(qs[1], tau)
+	if got := mono.EstimateJoin(qs, tau); got != want {
+		t.Fatalf("join %v want %v", got, want)
+	}
+	if mono.EstimateSearch(qs[0], 0) != 0 {
+		t.Fatal("tau=0 must estimate 0")
+	}
+}
+
+func TestMonotoneCacheConsistency(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 104})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(base, f.ds.TauMax(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.test[2].Vec
+	tau := f.ds.TauMax() / 2
+	a := mono.EstimateSearch(q, tau)
+	b := mono.EstimateSearch(q, tau) // cached path
+	if a != b {
+		t.Fatalf("cache changed the estimate: %v vs %v", a, b)
+	}
+}
+
+func TestMonotoneErrors(t *testing.T) {
+	if _, err := Monotone(nil, 1, 8); err == nil {
+		t.Fatal("expected error on nil base")
+	}
+	f := getFixture(t)
+	base, _ := Train(f.ds, nil, TrainOptions{Method: "sampling"})
+	if _, err := Monotone(base, 0, 8); err == nil {
+		t.Fatal("expected error on zero tauMax")
+	}
+}
+
+func TestDatasetRemoveAndEstimatorRemove(t *testing.T) {
+	f := getFixture(t)
+	// Fresh dataset copy so other tests' fixture stays intact.
+	vecs := make([][]float64, f.ds.Size())
+	for i, v := range f.ds.Vectors() {
+		vecs[i] = append([]float64(nil), v...)
+	}
+	ds, err := NewDataset("copy", vecs, "hamming", f.ds.TauMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := append([]Query(nil), f.train...)
+	est, err := Train(ds, train, TrainOptions{Method: "gl-cnn", Segments: 4, Epochs: 5, Seed: 105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := est.(*GlobalLocalEstimator)
+	before := ds.Size()
+
+	affected, err := gl.Remove([]int{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := ds.Remove([]int{0, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Size() != before-3 || len(removed) != 3 {
+		t.Fatalf("size %d, removed %d", ds.Size(), len(removed))
+	}
+	if len(affected) == 0 {
+		t.Fatal("no affected segments")
+	}
+	if err := gl.Retrain(train[:40], affected, 1, 106); err != nil {
+		t.Fatal(err)
+	}
+	if v := gl.EstimateSearch(f.test[0].Vec, f.test[0].Tau); v < 0 {
+		t.Fatalf("estimate %v", v)
+	}
+}
+
+func TestDatasetRemoveErrors(t *testing.T) {
+	ds, _ := NewDataset("x", [][]float64{{1}, {2}, {3}}, "l2", 1)
+	if _, err := ds.Remove([]int{5}); err == nil {
+		t.Fatal("expected error out of range")
+	}
+	if _, err := ds.Remove([]int{1, 1}); err == nil {
+		t.Fatal("expected error duplicate")
+	}
+}

@@ -1,0 +1,297 @@
+package cardest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"simquery/internal/baseline"
+	"simquery/internal/cardnet"
+	"simquery/internal/estimator"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+// TrainOptions configures Train. The zero value plus a Method is valid.
+type TrainOptions struct {
+	// Method is the Table 2 name: "gl+", "gl-cnn", "gl-mlp", "local+",
+	// "qes", "mlp", "cardnet", "sampling", "kernel" — plus "prototype",
+	// the query-driven baseline of the paper's related work [8, 9].
+	Method string
+	// Segments is the data-segment count for the global-local family
+	// (default 16).
+	Segments int
+	// QuerySegments is the query-segmentation count for CNN models
+	// (default 8).
+	QuerySegments int
+	// Epochs per model (default 30).
+	Epochs int
+	// SampleRatio for "sampling"/"kernel" (default 0.1 / 0.01).
+	SampleRatio float64
+	Seed        int64
+}
+
+// Train fits the named estimator on labeled training queries.
+func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
+	method := strings.ToLower(strings.TrimSpace(opts.Method))
+	if opts.Segments <= 0 {
+		opts.Segments = 16
+	}
+	if opts.QuerySegments <= 0 {
+		opts.QuerySegments = 8
+	}
+	cfg := model.DefaultTrainConfig(opts.Seed + 1)
+	if opts.Epochs > 0 {
+		cfg.Epochs = opts.Epochs
+	}
+	switch method {
+	case "sampling":
+		ratio := opts.SampleRatio
+		if ratio <= 0 {
+			ratio = 0.1
+		}
+		s, err := baseline.NewSampling(fmt.Sprintf("Sampling (%.0f%%)", ratio*100), d.inner, ratio, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case "kernel":
+		ratio := opts.SampleRatio
+		if ratio <= 0 {
+			ratio = 0.01
+		}
+		k, err := baseline.NewKernel("Kernel-based", d.inner, ratio, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return k, nil
+	}
+
+	if len(train) == 0 {
+		return nil, fmt.Errorf("cardest: method %q needs labeled training queries", opts.Method)
+	}
+	samples := make([]model.Sample, len(train))
+	// Normalize thresholds by the largest training threshold so the
+	// monotone embedding sees inputs spanning ~[0,1]; τ_max is only a cap.
+	tauScale := 0.0
+	for i, q := range train {
+		samples[i] = model.Sample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+		if q.Tau > tauScale {
+			tauScale = q.Tau
+		}
+	}
+	if tauScale <= 0 {
+		tauScale = d.TauMax()
+	}
+
+	switch method {
+	case "prototype":
+		ps := make([]baseline.PrototypeSample, len(train))
+		for i, q := range train {
+			ps[i] = baseline.PrototypeSample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+		}
+		return baseline.NewPrototype("Prototype", ps, opts.Segments, 3, d.inner.Metric, opts.Seed+8)
+	case "mlp", "qes":
+		anchors := sampleAnchors(d, 8, opts.Seed+2)
+		var (
+			m   *model.BasicModel
+			err error
+		)
+		rng := rand.New(rand.NewSource(opts.Seed + 3))
+		if method == "mlp" {
+			m, err = model.NewMLPModel("MLP", rng, d.Dim(), anchors, d.inner.Metric, tauScale, model.DefaultArch())
+		} else {
+			m, err = model.NewQESModel("QES", rng, d.Dim(), opts.QuerySegments, model.DefaultConvConfigs(), anchors, d.inner.Metric, tauScale, model.DefaultArch())
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.MaxCard = float64(d.Size())
+		if err := m.Train(samples, cfg); err != nil {
+			return nil, err
+		}
+		return basicEstimator{m}, nil
+	case "cardnet":
+		c, err := cardnet.New("CardNet", d.Dim(), cardnet.Config{TauScale: tauScale, Seed: opts.Seed + 4})
+		if err != nil {
+			return nil, err
+		}
+		c.MaxCard = float64(d.Size())
+		cs := make([]cardnet.Sample, len(samples))
+		for i, s := range samples {
+			cs[i] = cardnet.Sample{Q: s.Q, Tau: s.Tau, Card: s.Card}
+		}
+		if err := c.Train(cs, cardnet.TrainConfig{Epochs: cfg.Epochs, Seed: opts.Seed + 5}); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "local+", "gl-mlp", "gl-cnn", "gl+":
+		variant := map[string]model.Variant{
+			"local+": model.LocalPlus,
+			"gl-mlp": model.GLMLP,
+			"gl-cnn": model.GLCNN,
+			"gl+":    model.GLPlus,
+		}[method]
+		gl, err := model.NewGlobalLocal(variant.String(), d.Vectors(), d.inner.Metric, tauScale, model.GLConfig{
+			Variant:       variant,
+			Segments:      opts.Segments,
+			QuerySegments: opts.QuerySegments,
+			Seed:          opts.Seed + 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Per-segment labels under the model's own segmentation.
+		wq := make([]workload.Query, len(train))
+		for i, q := range train {
+			wq[i] = workload.Query{Vec: q.Vec, Tau: q.Tau, Card: q.Card}
+		}
+		workload.AttachSegmentLabels(d.inner, gl.Seg, wq, 0)
+		segSamples := make([]model.SegSample, len(wq))
+		for i, q := range wq {
+			segSamples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+		}
+		gcfg := model.DefaultGlobalTrainConfig(opts.Seed + 7)
+		gcfg.Epochs = cfg.Epochs
+		if err := gl.Train(segSamples, cfg, gcfg); err != nil {
+			return nil, err
+		}
+		return &GlobalLocalEstimator{gl: gl, ds: d}, nil
+	default:
+		return nil, fmt.Errorf("cardest: unknown method %q", opts.Method)
+	}
+}
+
+func sampleAnchors(d *Dataset, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = d.Vectors()[rng.Intn(d.Size())]
+	}
+	return out
+}
+
+// basicEstimator adapts BasicModel (no pooled join path without
+// fine-tuning: joins are sums of searches).
+type basicEstimator struct {
+	*model.BasicModel
+}
+
+// EstimateJoin sums per-query search estimates.
+func (b basicEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
+	return estimator.SumJoin{SearchEstimator: b.BasicModel}.EstimateJoin(qs, tau)
+}
+
+// GlobalLocalEstimator is the trained data-segmentation estimator with its
+// extended surface: pooled join estimation, join fine-tuning, and
+// incremental data updates.
+type GlobalLocalEstimator struct {
+	gl *model.GlobalLocal
+	ds *Dataset
+}
+
+// Name implements Estimator.
+func (g *GlobalLocalEstimator) Name() string { return g.gl.Name() }
+
+// EstimateSearch implements Estimator.
+func (g *GlobalLocalEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	return g.gl.EstimateSearch(q, tau)
+}
+
+// EstimateJoin implements Estimator using mask-based routing and sum
+// pooling (Fig 6). Call FineTuneJoin first for best accuracy.
+func (g *GlobalLocalEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
+	return g.gl.EstimateJoin(qs, tau)
+}
+
+// SizeBytes implements Estimator.
+func (g *GlobalLocalEstimator) SizeBytes() int { return g.gl.SizeBytes() }
+
+// FineTuneJoin adapts the model's pooled join path on labeled join sets
+// (2–3 epochs suffice, §4).
+func (g *GlobalLocalEstimator) FineTuneJoin(sets []JoinSet, epochs int, seed int64) error {
+	if epochs <= 0 {
+		epochs = 3
+	}
+	wsets := make([]workload.JoinSet, len(sets))
+	for i, s := range sets {
+		wsets[i] = workload.JoinSet{Vecs: s.Vecs, Tau: s.Tau, Card: s.Card}
+	}
+	// Compute per-query per-segment labels under this model's segmentation.
+	samples := make([]model.JoinSegSample, len(wsets))
+	for i, s := range wsets {
+		per := make([][]float64, len(s.Vecs))
+		for qi, q := range s.Vecs {
+			segCards := make([]float64, g.gl.Seg.K)
+			for vi, v := range g.ds.Vectors() {
+				if g.ds.Distance(q, v) <= s.Tau {
+					segCards[g.gl.Seg.Assignments[vi]]++
+				}
+			}
+			per[qi] = segCards
+		}
+		samples[i] = model.JoinSegSample{Qs: s.Vecs, Tau: s.Tau, PerQuerySegCards: per}
+	}
+	cfg := model.DefaultTrainConfig(seed)
+	cfg.Epochs = epochs
+	cfg.LR = 1e-3 // gentle transfer: pooled inputs are |Q|× larger
+	return g.gl.FineTuneJoin(samples, cfg)
+}
+
+// Insert routes new vectors to their segments (the vectors must already be
+// appended to the Dataset via Append). It returns each vector's segment.
+func (g *GlobalLocalEstimator) Insert(newVecs [][]float64) []int {
+	return g.gl.InsertPoints(newVecs)
+}
+
+// Remove deletes dataset points by index from the model's segmentation
+// (swap-remove, matching Dataset.Remove — call this BEFORE
+// Dataset.Remove so indices agree, then Retrain the returned segments).
+// It returns the affected segment ids.
+func (g *GlobalLocalEstimator) Remove(indices []int) ([]int, error) {
+	affected, err := g.gl.RemovePoints(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(affected))
+	for a := range affected {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Retrain incrementally retrains the locals for the given segments (nil =
+// all) plus the global model on refreshed labels (§5.3).
+func (g *GlobalLocalEstimator) Retrain(train []Query, affectedSegments []int, epochs int, seed int64) error {
+	if epochs <= 0 {
+		epochs = 3
+	}
+	wq := make([]workload.Query, len(train))
+	for i, q := range train {
+		wq[i] = workload.Query{Vec: q.Vec, Tau: q.Tau, Card: q.Card}
+	}
+	workload.AttachSegmentLabels(g.ds.inner, g.gl.Seg, wq, 0)
+	samples := make([]model.SegSample, len(wq))
+	for i, q := range wq {
+		samples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+	}
+	var affected map[int]bool
+	if affectedSegments != nil {
+		affected = map[int]bool{}
+		for _, a := range affectedSegments {
+			affected[a] = true
+		}
+	}
+	cfg := model.DefaultTrainConfig(seed)
+	cfg.Epochs = epochs
+	cfg.LR /= 5 // fine-tune rate: repeated full-rate restarts drift
+	gcfg := model.DefaultGlobalTrainConfig(seed + 1)
+	gcfg.Epochs = epochs
+	gcfg.LR /= 5
+	return g.gl.IncrementalTrain(samples, affected, cfg, gcfg)
+}
+
+// Segments reports the number of data segments.
+func (g *GlobalLocalEstimator) Segments() int { return g.gl.Seg.K }

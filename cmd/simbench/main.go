@@ -1,0 +1,334 @@
+// Command simbench regenerates the paper's tables and figures:
+//
+//	simbench -exp table4 -dataset imagenet -scale small
+//	simbench -exp all -dataset all -scale small
+//
+// Experiments: table4 table5 table6 table7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14 fig15 ablation all. Scales: small medium paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"simquery/internal/dataset"
+	"simquery/internal/exper"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "table4", "experiment id or comma-separated list (table4..7, fig8..15, ablation, all)")
+		datasetFlag = flag.String("dataset", "imagenet", "dataset profile or 'all'")
+		scaleFlag   = flag.String("scale", "small", "small|medium|paper")
+		skipTuning  = flag.Bool("skip-tuning", false, "use default CNN config for GL+ (skips Algorithm 3)")
+		cacheDir    = flag.String("cache", "", "directory for labeled-workload caching (skips exact labeling on reruns)")
+	)
+	flag.Parse()
+	if err := run(*expFlag, *datasetFlag, *scaleFlag, *skipTuning, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, ds, scaleName string, skipTuning bool, cacheDir string) error {
+	scale, err := exper.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	var profiles []dataset.Profile
+	if ds == "all" {
+		profiles = dataset.Profiles()
+	} else {
+		p, err := dataset.ParseProfile(ds)
+		if err != nil {
+			return err
+		}
+		profiles = []dataset.Profile{p}
+	}
+	known := map[string]bool{
+		"table4": true, "table5": true, "table6": true, "table7": true,
+		"fig8": true, "fig9": true, "fig10": true, "fig11": true,
+		"fig12": true, "fig13": true, "fig14": true, "fig15": true,
+		"ablation": true,
+	}
+	exps := strings.Split(strings.ToLower(exp), ",")
+	if exp == "all" {
+		exps = []string{"table4", "table5", "table6", "fig8", "fig9", "fig14", "table7", "fig12", "fig13", "fig10", "fig11", "fig15", "ablation"}
+	}
+	for _, e := range exps {
+		if !known[e] {
+			return fmt.Errorf("unknown experiment %q (want %v or 'all')", e, sortedKeys(known))
+		}
+	}
+	matrix := exper.NewMatrix("mean Q-error (Table 4)")
+	for _, p := range profiles {
+		if err := runProfile(p, scale, exps, skipTuning, cacheDir, matrix); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	if len(profiles) > 1 && !matrix.Empty() {
+		fmt.Println()
+		if err := matrix.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("best method per dataset:")
+		matrix.Winners(os.Stdout)
+	}
+	return nil
+}
+
+// runProfile builds the environment once per profile and reuses the trained
+// suite across the experiments that share it.
+func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning bool, cacheDir string, matrix *exper.Matrix) error {
+	fmt.Printf("=== dataset %s (scale %s) ===\n", p, scale)
+	params := exper.ParamsFor(scale)
+	params.CacheDir = cacheDir
+	env, err := exper.NewEnvWithParams(p, scale, params)
+	if err != nil {
+		return err
+	}
+	var suite *exper.Suite
+	getSuite := func() (*exper.Suite, error) {
+		if suite == nil {
+			fmt.Println("... training search suite")
+			suite, err = exper.BuildSuite(env, exper.SuiteOptions{SkipTuning: skipTuning})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return suite, nil
+	}
+	var joinSuite *exper.JoinSuite
+	getJoinSuite := func() (*exper.JoinSuite, error) {
+		if joinSuite == nil {
+			s, err := getSuite()
+			if err != nil {
+				return nil, err
+			}
+			fmt.Println("... fine-tuning join suite")
+			train, _, err := exper.JoinWorkloads(env, env.P.JoinSets, 0, 40, 2, 3)
+			if err != nil {
+				return nil, err
+			}
+			joinSuite, err = exper.BuildJoinSuite(s, train)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return joinSuite, nil
+	}
+
+	for _, e := range exps {
+		fmt.Println()
+		switch strings.ToLower(e) {
+		case "table4":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			res := exper.Table4(s)
+			matrix.AddAccuracy(res)
+			if err := exper.RenderAccuracy(os.Stdout, "Table 4: Test Errors for Similarity Search", res); err != nil {
+				return err
+			}
+		case "table5":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderSizes(os.Stdout, exper.Table5(s)); err != nil {
+				return err
+			}
+		case "table6":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			res, err := exper.Table6(s, 16)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderLatency(os.Stdout, res); err != nil {
+				return err
+			}
+		case "table7":
+			js, err := getJoinSuite()
+			if err != nil {
+				return err
+			}
+			lo, hi := joinBucket(env)
+			_, test, err := exper.JoinWorkloads(env, 0, env.P.JoinSets, 40, lo, hi)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Table 7: Test Errors for Similarity Join (size ∈ [%d,%d))", lo, hi)
+			if err := exper.RenderAccuracy(os.Stdout, title, exper.Table7(js, test)); err != nil {
+				return err
+			}
+		case "fig8":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderMAPE(os.Stdout, exper.Figure8(s)); err != nil {
+				return err
+			}
+		case "fig9":
+			res, err := exper.Figure9(env)
+			if err != nil {
+				return err
+			}
+			exper.RenderMissingRate(os.Stdout, res)
+		case "fig10":
+			points, err := exper.Figure10(env, nil, nil)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderTrainingSize(os.Stdout, env.DS.Name, points); err != nil {
+				return err
+			}
+		case "fig11":
+			points, err := exper.Figure11(env, segmentGrid(env), nil)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderSegments(os.Stdout, env.DS.Name, points); err != nil {
+				return err
+			}
+		case "fig12":
+			js, err := getJoinSuite()
+			if err != nil {
+				return err
+			}
+			points, err := exper.Figure12(js, joinSizeBuckets(env))
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderJoinSize(os.Stdout, env.DS.Name, points); err != nil {
+				return err
+			}
+		case "fig13":
+			js, err := getJoinSuite()
+			if err != nil {
+				return err
+			}
+			size := 200
+			if env.Scale == exper.Small {
+				size = 60
+			}
+			rows, err := exper.Figure13(js, size, 3)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderJoinLatency(os.Stdout, env.DS.Name, rows); err != nil {
+				return err
+			}
+		case "fig14":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			js, err := getJoinSuite()
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderTrainTime(os.Stdout, exper.Figure14(s, js)); err != nil {
+				return err
+			}
+		case "fig15":
+			// Fresh environment: the experiment mutates data and labels
+			// (no cache: mutation would poison it).
+			fresh, err := exper.NewEnv(env.Profile, env.Scale)
+			if err != nil {
+				return err
+			}
+			ops := 20
+			if env.Scale == exper.Paper {
+				ops = 200
+			}
+			points, err := exper.Figure15(fresh, ops, 10, 2)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderIncremental(os.Stdout, fresh.DS.Name, points); err != nil {
+				return err
+			}
+		case "ablation":
+			rows, err := exper.AblationSegmentation(env)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderSegAblation(os.Stdout, env.DS.Name, rows); err != nil {
+				return err
+			}
+			qs, err := exper.AblationQuerySegments(env, nil)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderQuerySegAblation(os.Stdout, env.DS.Name, qs); err != nil {
+				return err
+			}
+			ls, err := exper.AblationLambda(env, nil)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderLambdaAblation(os.Stdout, env.DS.Name, ls); err != nil {
+				return err
+			}
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			if s.GLPlus != nil {
+				if err := exper.RenderSigmaAblation(os.Stdout, env.DS.Name, exper.AblationSigma(env, s.GLPlus, nil)); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// sortedKeys renders a set's keys for error messages.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// joinBucket scales Table 7's [50,100) bucket to the environment.
+func joinBucket(env *exper.Env) (int, int) {
+	if env.Scale == exper.Small {
+		return 20, 50
+	}
+	return 50, 100
+}
+
+// joinSizeBuckets scales Figure 12's three buckets.
+func joinSizeBuckets(env *exper.Env) [][2]int {
+	if env.Scale == exper.Small {
+		return [][2]int{{20, 50}, {50, 80}, {80, 110}}
+	}
+	return [][2]int{{50, 100}, {100, 150}, {150, 200}}
+}
+
+// segmentGrid scales Figure 11's x-axis.
+func segmentGrid(env *exper.Env) []int {
+	switch env.Scale {
+	case exper.Paper:
+		return []int{1, 5, 10, 25, 50, 100}
+	case exper.Medium:
+		return []int{1, 2, 4, 8, 16, 32}
+	default:
+		return []int{1, 2, 4, 8, 12}
+	}
+}

@@ -1,0 +1,74 @@
+// Command simquery loads a saved estimator and compares its estimates to
+// exact cardinalities on fresh queries:
+//
+//	simquery -model imagenet.model -profile imagenet -n 8000 -queries 10
+//
+// The dataset must be regenerated with the same profile/size/seed the model
+// was trained on (generation is deterministic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"simquery/cardest"
+	"simquery/internal/metrics"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "saved model file (required)")
+		profile   = flag.String("profile", "imagenet", "dataset profile the model was trained on")
+		n         = flag.Int("n", 8000, "dataset size used at training")
+		clusters  = flag.Int("clusters", 40, "generator clusters used at training")
+		seed      = flag.Int64("seed", 1, "dataset seed used at training")
+		queries   = flag.Int("queries", 10, "number of random queries to evaluate")
+		tauFrac   = flag.Float64("tau", 0.25, "threshold as a fraction of tau_max")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "simquery: -model is required")
+		os.Exit(2)
+	}
+	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac); err != nil {
+		fmt.Fprintln(os.Stderr, "simquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64) error {
+	ds, err := cardest.GenerateProfile(profile, n, clusters, seed)
+	if err != nil {
+		return err
+	}
+	est, err := cardest.Load(modelPath, ds)
+	if err != nil {
+		return err
+	}
+	idx, err := cardest.NewExactIndex(ds, 16, seed+100)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 200))
+	tau := ds.TauMax() * tauFrac
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query\ttau\testimate\texact\tq-error\n")
+	var qerrs []float64
+	for i := 0; i < queries; i++ {
+		qi := rng.Intn(ds.Size())
+		q := ds.Vectors()[qi]
+		got := est.EstimateSearch(q, tau)
+		exact := float64(idx.Count(q, tau))
+		qe := metrics.QError(got, exact)
+		qerrs = append(qerrs, qe)
+		fmt.Fprintf(tw, "#%d\t%.4f\t%.1f\t%.0f\t%.2f\n", qi, tau, got, exact, qe)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("model: %s  summary: %s\n", est.Name(), metrics.Summarize(qerrs))
+	return nil
+}

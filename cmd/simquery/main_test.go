@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"simquery/cardest"
+)
+
+func TestRunMissingModel(t *testing.T) {
+	if err := run("/nonexistent/model.bin", "imagenet", 100, 4, 1, 2, 0.25); err == nil {
+		t.Fatal("expected error for missing model file")
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	if err := run("/nonexistent/model.bin", "marsdata", 100, 4, 1, 2, 0.25); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+func TestRunHappyPathWithSavedModel(t *testing.T) {
+	// Train+save via the cardest API at tiny scale, then query it.
+	dir := t.TempDir()
+	path := dir + "/m.model"
+	ds, err := cardest.GenerateProfile("imagenet", 300, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{TrainPoints: 20, TestPoints: 5, ThresholdsPerPoint: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{Method: "qes", Epochs: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cardest.Save(est, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "imagenet", 300, 4, 1, 3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command simtrain trains a cardinality estimator on a dataset profile and
+// saves it:
+//
+//	simtrain -profile imagenet -n 8000 -method gl-cnn -out imagenet.model
+//
+// It prints the test-set Q-error summary of the trained model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simquery/cardest"
+	"simquery/internal/metrics"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "imagenet", "dataset profile (bms glove300 imagenet aminer youtube dblp)")
+		n        = flag.Int("n", 8000, "dataset size")
+		clusters = flag.Int("clusters", 40, "latent clusters in the generator")
+		method   = flag.String("method", "gl-cnn", "estimator (gl+ gl-cnn gl-mlp local+ qes mlp cardnet sampling kernel)")
+		segments = flag.Int("segments", 16, "data segments for the global-local family")
+		epochs   = flag.Int("epochs", 25, "training epochs")
+		trainPts = flag.Int("train-points", 300, "training query points (×10 thresholds)")
+		testPts  = flag.Int("test-points", 80, "test query points")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output model file (optional)")
+	)
+	flag.Parse()
+	if err := run(*profile, *n, *clusters, *method, *segments, *epochs, *trainPts, *testPts, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, n, clusters int, method string, segments, epochs, trainPts, testPts int, seed int64, out string) error {
+	fmt.Printf("generating %s (n=%d)...\n", profile, n)
+	ds, err := cardest.GenerateProfile(profile, n, clusters, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ds.Stats(seed + 3))
+	fmt.Printf("labeling workload (%d train / %d test points)...\n", trainPts, testPts)
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: trainPts, TestPoints: testPts, Seed: seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s...\n", method)
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{
+		Method: method, Segments: segments, Epochs: epochs, Seed: seed + 2,
+	})
+	if err != nil {
+		return err
+	}
+	var qerrs []float64
+	for _, q := range test {
+		qerrs = append(qerrs, metrics.QError(est.EstimateSearch(q.Vec, q.Tau), q.Card))
+	}
+	s := metrics.Summarize(qerrs)
+	fmt.Printf("test q-error: %s\n", s)
+	fmt.Printf("model size: %.3f MB\n", float64(est.SizeBytes())/(1024*1024))
+	if out != "" {
+		if err := cardest.Save(est, out); err != nil {
+			return err
+		}
+		fmt.Printf("saved to %s\n", out)
+	}
+	return nil
+}

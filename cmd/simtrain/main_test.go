@@ -1,0 +1,25 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	if err := run("marsdata", 100, 4, "mlp", 4, 2, 10, 5, 1, ""); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRejectsUnknownMethod(t *testing.T) {
+	if err := run("imagenet", 200, 4, "magic", 4, 2, 10, 5, 1, ""); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunTrainsAndSavesTinyModel(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.model")
+	if err := run("imagenet", 300, 4, "qes", 4, 3, 20, 5, 1, out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Image search: cardinality estimation over binary hash codes (the
+// ImageNET/HashNet workload from the paper's intro). An image search
+// planner needs to know how many images fall within a Hamming ball before
+// choosing between an index probe and a scan; this example trains two
+// estimators, sweeps the threshold, and shows the estimates tracking the
+// exact counts — including the monotone-in-τ behaviour the paper's
+// positive-weight threshold embedding is designed for.
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simquery/cardest"
+)
+
+func main() {
+	ds, err := cardest.GenerateProfile("imagenet", 6000, 24, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 200, TestPoints: 20, Seed: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qes, err := cardest.Train(ds, train, cardest.TrainOptions{Method: "qes", Epochs: 20, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gl, err := cardest.Train(ds, train, cardest.TrainOptions{Method: "gl-cnn", Segments: 12, Epochs: 20, Seed: 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := cardest.NewExactIndex(ds, 16, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Threshold sweep for one query image: how many near-duplicates /
+	// similar images exist at growing Hamming radii? The estimators were
+	// trained on selectivities up to 1%, so the sweep stays in that range
+	// (the paper's workloads do the same; τ_max caps realistic queries).
+	q := test[0].Vec
+	fmt.Println("threshold sweep for one query (Hamming radius in bits of 64):")
+	fmt.Println("  radius    exact      QES     GL-CNN")
+	for bits := 1; bits <= 6; bits++ {
+		tau := float64(bits) / 64
+		e := exact.Count(q, tau)
+		eq := qes.EstimateSearch(q, tau)
+		eg := gl.EstimateSearch(q, tau)
+		fmt.Printf("  %6d   %6d   %8.1f  %8.1f\n", bits, e, eq, eg)
+	}
+	fmt.Println()
+
+	// Planner-style usage: pick index probe vs scan by estimated
+	// selectivity.
+	const scanThreshold = 0.02 // scan when >2% of the corpus matches
+	fmt.Println("planner decisions on test queries (GL-CNN):")
+	for _, t := range test[:6] {
+		sel := gl.EstimateSearch(t.Vec, t.Tau) / float64(ds.Size())
+		plan := "index probe"
+		if sel > scanThreshold {
+			plan = "full scan"
+		}
+		fmt.Printf("  tau=%.4f est-selectivity=%.4f → %s (exact %0.f rows)\n",
+			t.Tau, sel, plan, t.Card)
+	}
+}

@@ -1,0 +1,81 @@
+// Incremental updates: a live corpus receives inserts (the paper's §5.3 /
+// Exp-11 scenario on GloVe embeddings). Because the global-local model is
+// modular, new points route to their nearest segment and only the affected
+// local models retrain — minutes instead of the hours a full retrain costs.
+// This example inserts batches, retrains incrementally, and tracks the
+// estimator's accuracy against recomputed exact labels.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"simquery/cardest"
+	"simquery/internal/metrics"
+)
+
+func main() {
+	ds, err := cardest.GenerateProfile("glove300", 4000, 20, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 150, TestPoints: 20, Seed: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{
+		Method: "gl-cnn", Segments: 10, Epochs: 18, Seed: 33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gl := est.(*cardest.GlobalLocalEstimator)
+
+	meanQ := func() float64 {
+		var qs []float64
+		for _, q := range test {
+			// Recompute truth against the current (growing) corpus.
+			truth := cardest.TrueCard(ds, q.Vec, q.Tau)
+			qs = append(qs, metrics.QError(gl.EstimateSearch(q.Vec, q.Tau), truth))
+		}
+		return metrics.Summarize(qs).Mean
+	}
+	fmt.Printf("baseline mean q-error: %.2f (corpus %d)\n", meanQ(), ds.Size())
+
+	rng := rand.New(rand.NewSource(34))
+	for op := 1; op <= 5; op++ {
+		// A batch of 10 new embeddings, drawn near existing corpus points
+		// (in-distribution inserts).
+		batch := make([][]float64, 10)
+		for i := range batch {
+			batch[i] = append([]float64(nil), ds.Vectors()[rng.Intn(ds.Size())]...)
+		}
+		if err := ds.Append(batch); err != nil {
+			log.Fatal(err)
+		}
+		// Route to nearest segments, refresh labels, retrain only the
+		// affected locals + the global model.
+		affected := gl.Insert(batch)
+		for i := range train {
+			train[i].Card = cardest.TrueCard(ds, train[i].Vec, train[i].Tau)
+		}
+		if err := gl.Retrain(train, affected, 2, int64(35+op)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after update %d (+10 records, %d segments touched): mean q-error %.2f (corpus %d)\n",
+			op, uniqueCount(affected), meanQ(), ds.Size())
+	}
+}
+
+func uniqueCount(xs []int) int {
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,122 @@
+// Planner: the database-optimizer scenario from the paper's introduction.
+// A similarity predicate's execution plan depends on its cardinality: a
+// highly selective predicate should drive an index probe and come first in
+// a join order; an unselective one should be a scan. This example builds a
+// toy two-predicate optimizer over a face-embedding corpus (the YouTube
+// profile, Euclidean) that uses the learned estimator to (1) pick probe vs
+// scan per predicate and (2) order a two-way similarity join, then checks
+// its decisions against exact cardinalities.
+//
+//	go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simquery/cardest"
+)
+
+// predicate is a similarity filter: objects within tau of vec.
+type predicate struct {
+	name string
+	vec  []float64
+	tau  float64
+}
+
+func main() {
+	ds, err := cardest.GenerateProfile("youtube", 4000, 20, 41)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 150, TestPoints: 30, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{
+		Method: "gl-cnn", Segments: 10, Epochs: 18, Seed: 43,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := cardest.NewExactIndex(ds, 16, 44)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two predicates with different selectivities, taken from the labeled
+	// test workload so we know the truth: the most and least selective
+	// test queries.
+	lo, hi := 0, 0
+	for i, q := range test {
+		if q.Card < test[lo].Card {
+			lo = i
+		}
+		if q.Card > test[hi].Card {
+			hi = i
+		}
+	}
+	selective := predicate{"faceA", test[lo].Vec, test[lo].Tau}
+	broad := predicate{"faceB", test[hi].Vec, test[hi].Tau}
+
+	fmt.Println("— access-path selection —")
+	const probeCutoff = 0.02 // probe when < 2% of corpus matches
+	for _, p := range []predicate{selective, broad} {
+		estCard := est.EstimateSearch(p.vec, p.tau)
+		sel := estCard / float64(ds.Size())
+		plan := "index probe"
+		if sel > probeCutoff {
+			plan = "sequential scan"
+		}
+		truth := exact.Count(p.vec, p.tau)
+		fmt.Printf("  %s: est %.0f rows (sel %.4f) → %s   [exact %d]\n",
+			p.name, estCard, sel, plan, truth)
+	}
+
+	// Join ordering: evaluate the more selective predicate first so the
+	// intermediate result is small. The optimizer ranks by estimate and we
+	// verify the ranking against exact counts.
+	fmt.Println("\n— predicate ordering —")
+	estA := est.EstimateSearch(selective.vec, selective.tau)
+	estB := est.EstimateSearch(broad.vec, broad.tau)
+	first, second := selective, broad
+	if estB < estA {
+		first, second = broad, selective
+	}
+	fmt.Printf("  plan: filter(%s) → filter(%s)\n", first.name, second.name)
+	trueA := exact.Count(selective.vec, selective.tau)
+	trueB := exact.Count(broad.vec, broad.tau)
+	correct := (estA <= estB) == (trueA <= trueB)
+	fmt.Printf("  ordering matches exact cardinalities: %v (est %.0f vs %.0f, exact %d vs %d)\n",
+		correct, estA, estB, trueA, trueB)
+
+	// Batch admission: how many candidate pairs would a dedup join of an
+	// incoming batch produce? Too many → defer to off-peak. The pooled
+	// join path needs a brief fine-tune on labeled join sets first (§4).
+	fmt.Println("\n— join admission —")
+	gl := est.(*cardest.GlobalLocalEstimator)
+	joinTrain, err := cardest.BuildJoinWorkload(ds, cardest.JoinOptions{
+		Sets: 16, MinSize: 5, MaxSize: 30, Seed: 45,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gl.FineTuneJoin(joinTrain, 3, 46); err != nil {
+		log.Fatal(err)
+	}
+	batch := make([][]float64, 25)
+	for i := range batch {
+		batch[i] = test[i%len(test)].Vec
+	}
+	tau := test[2].Tau
+	pairs := est.EstimateJoin(batch, tau)
+	limit := float64(50_000)
+	decision := "run now"
+	if pairs > limit {
+		decision = "defer to off-peak"
+	}
+	fmt.Printf("  estimated join size for %d-query batch: %.0f pairs → %s [exact %d]\n",
+		len(batch), pairs, decision, exact.JoinCount(batch, tau))
+}

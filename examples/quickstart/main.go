@@ -1,0 +1,62 @@
+// Quickstart: generate a dataset, train the paper's global-local estimator,
+// and compare its estimates against exact cardinalities.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simquery/cardest"
+)
+
+func main() {
+	// 1. A clustered binary-hash dataset (the ImageNET stand-in, Hamming
+	//    distance) — any [][]float64 works via cardest.NewDataset.
+	ds, err := cardest.GenerateProfile("imagenet", 4000, 20, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vectors × %d dims, %s distance, tau_max %.2f\n",
+		ds.Name(), ds.Size(), ds.Dim(), ds.Metric(), ds.TauMax())
+
+	// 2. A labeled workload: query points from the dataset, thresholds
+	//    picked by target selectivity, exact cardinality labels.
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 150, TestPoints: 20, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d training / %d test queries\n", len(train), len(test))
+
+	// 3. Train the global-local model (data segmentation + CNN query
+	//    segmentation + global selection).
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{
+		Method: "gl-cnn", Segments: 12, Epochs: 20, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s (%.2f KB)\n\n", est.Name(), float64(est.SizeBytes())/1024)
+
+	// 4. Estimate vs exact.
+	fmt.Println("    tau   estimate      exact")
+	for _, q := range test[:8] {
+		got := est.EstimateSearch(q.Vec, q.Tau)
+		fmt.Printf("  %.4f   %8.1f   %8.0f\n", q.Tau, got, q.Card)
+	}
+
+	// 5. Models serialize; reload and keep estimating.
+	if err := cardest.Save(est, "/tmp/quickstart.model"); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := cardest.Load("/tmp/quickstart.model", ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := test[0]
+	fmt.Printf("\nreloaded model estimate: %.1f (original %.1f)\n",
+		loaded.EstimateSearch(q.Vec, q.Tau), est.EstimateSearch(q.Vec, q.Tau))
+}

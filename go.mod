@@ -1,0 +1,3 @@
+module simquery
+
+go 1.22

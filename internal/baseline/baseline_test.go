@@ -1,0 +1,286 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/workload"
+)
+
+func ds(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.YouTube, dataset.Config{N: 800, Clusters: 8, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSamplingFullRatioIsExact(t *testing.T) {
+	d := ds(t)
+	s, err := NewSampling("Sampling (100%)", d, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Vectors[0]
+	tau := d.TauMax * 0.3
+	want := workload.TrueCard(d, q, tau)
+	if got := s.EstimateSearch(q, tau); got != want {
+		t.Fatalf("full sampling must be exact: %v want %v", got, want)
+	}
+}
+
+func TestSamplingRatioSize(t *testing.T) {
+	d := ds(t)
+	s, err := NewSampling("Sampling (10%)", d, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SampleCount() != 80 {
+		t.Fatalf("sample count %d want 80", s.SampleCount())
+	}
+	if s.SizeBytes() != 80*d.Dim*8 {
+		t.Fatalf("size %d", s.SizeBytes())
+	}
+}
+
+func TestSamplingReasonableOnLargeCards(t *testing.T) {
+	d := ds(t)
+	s, err := NewSampling("Sampling (10%)", d, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A high-selectivity threshold: sampling should land within 2x.
+	q := d.Vectors[10]
+	tau := d.TauMax
+	truth := workload.TrueCard(d, q, tau)
+	est := s.EstimateSearch(q, tau)
+	if est < truth/2 || est > truth*2 {
+		t.Fatalf("sampling estimate %v vs truth %v", est, truth)
+	}
+}
+
+func TestSamplingZeroTupleProblem(t *testing.T) {
+	d := ds(t)
+	s, err := NewSampling("Sampling (1%)", d, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny threshold around a query: the sample very likely misses all
+	// matches, returning 0 — the 0-tuple failure mode the paper describes.
+	q := d.Vectors[5]
+	if est := s.EstimateSearch(q, 1e-9); est > float64(d.Size())*0.02 {
+		t.Fatalf("tiny-threshold estimate suspiciously high: %v", est)
+	}
+}
+
+func TestSamplingBytesBudget(t *testing.T) {
+	d := ds(t)
+	budget := 40 * d.Dim * 8
+	s, err := NewSamplingBytes("Sampling (equal)", d, budget, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SizeBytes() > budget {
+		t.Fatalf("size %d exceeds budget %d", s.SizeBytes(), budget)
+	}
+	if s.SampleCount() != 40 {
+		t.Fatalf("sample count %d want 40", s.SampleCount())
+	}
+}
+
+func TestSamplingErrors(t *testing.T) {
+	d := ds(t)
+	if _, err := NewSampling("x", d, 0, 1); err == nil {
+		t.Fatal("expected error on zero ratio")
+	}
+	if _, err := NewSampling("x", d, 1.5, 1); err == nil {
+		t.Fatal("expected error on ratio > 1")
+	}
+}
+
+func TestSamplingJoinIsSumOfSearches(t *testing.T) {
+	d := ds(t)
+	s, _ := NewSampling("Sampling (10%)", d, 0.1, 5)
+	qs := d.Vectors[:4]
+	tau := d.TauMax * 0.2
+	var want float64
+	for _, q := range qs {
+		want += s.EstimateSearch(q, tau)
+	}
+	if got := s.EstimateJoin(qs, tau); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("join %v want %v", got, want)
+	}
+}
+
+func TestKernelBasics(t *testing.T) {
+	d := ds(t)
+	k, err := NewKernel("Kernel-based", d, 0.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatalf("bandwidth %v", k.Bandwidth())
+	}
+	if k.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestKernelMonotoneInTau(t *testing.T) {
+	d := ds(t)
+	k, _ := NewKernel("Kernel-based", d, 0.1, 7)
+	q := d.Vectors[3]
+	prev := -1.0
+	for tau := 0.0; tau <= d.TauMax; tau += d.TauMax / 20 {
+		est := k.EstimateSearch(q, tau)
+		if est < prev {
+			t.Fatalf("kernel estimate decreased at tau=%v: %v < %v", tau, est, prev)
+		}
+		prev = est
+	}
+}
+
+func TestKernelAvoidsZeroTuple(t *testing.T) {
+	d := ds(t)
+	k, _ := NewKernel("Kernel-based", d, 0.05, 8)
+	q := d.Vectors[7]
+	// Even at a small tau the kernel returns smooth nonzero mass.
+	if est := k.EstimateSearch(q, d.TauMax*0.02); est <= 0 {
+		t.Fatalf("kernel estimate should be positive, got %v", est)
+	}
+}
+
+func TestKernelTracksTruthLoosely(t *testing.T) {
+	d := ds(t)
+	k, _ := NewKernel("Kernel-based", d, 0.2, 9)
+	q := d.Vectors[11]
+	tau := d.TauMax * 0.8
+	truth := workload.TrueCard(d, q, tau)
+	est := k.EstimateSearch(q, tau)
+	if est < truth/4 || est > truth*4 {
+		t.Fatalf("kernel estimate %v too far from truth %v", est, truth)
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	d := ds(t)
+	if _, err := NewKernel("x", d, 0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGaussCDF(t *testing.T) {
+	if math.Abs(gaussCDF(0)-0.5) > 1e-12 {
+		t.Fatalf("cdf(0)=%v", gaussCDF(0))
+	}
+	if gaussCDF(10) < 0.999 || gaussCDF(-10) > 0.001 {
+		t.Fatal("cdf tails wrong")
+	}
+}
+
+func TestNamesMatchTable2(t *testing.T) {
+	d := ds(t)
+	s, _ := NewSampling("Sampling (1%)", d, 0.01, 1)
+	k, _ := NewKernel("Kernel-based", d, 0.01, 1)
+	if s.Name() != "Sampling (1%)" || k.Name() != "Kernel-based" {
+		t.Fatal("names wrong")
+	}
+}
+
+func protoSamples(t *testing.T, d *dataset.Dataset, points, thresholds int) []PrototypeSample {
+	t.Helper()
+	w, err := workload.BuildSearch(d, workload.SearchConfig{TrainPoints: points, TestPoints: 2, ThresholdsPerPoint: thresholds, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]PrototypeSample, len(w.Train))
+	for i, q := range w.Train {
+		out[i] = PrototypeSample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+	}
+	return out
+}
+
+func TestPrototypeTrainsAndEstimates(t *testing.T) {
+	d := ds(t)
+	samples := protoSamples(t, d, 50, 6)
+	p, err := NewPrototype("Prototype", samples, 8, 3, d.Metric, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "Prototype" || p.SizeBytes() <= 0 {
+		t.Fatal("metadata wrong")
+	}
+	// On training queries the estimator should be in the right ballpark
+	// (within ~2 orders of magnitude; it is a weak baseline by design).
+	var qs []float64
+	for _, s := range samples[:40] {
+		qs = append(qs, metricsQError(p.EstimateSearch(s.Q, s.Tau), s.Card))
+	}
+	var bad int
+	for _, q := range qs {
+		if q > 100 {
+			bad++
+		}
+	}
+	if bad > len(qs)/2 {
+		t.Fatalf("prototype baseline wildly off on %d/%d training queries", bad, len(qs))
+	}
+}
+
+// metricsQError avoids importing internal/metrics into this package's tests
+// twice; same flooring convention.
+func metricsQError(est, truth float64) float64 {
+	if est < 0.1 {
+		est = 0.1
+	}
+	if truth < 0.1 {
+		truth = 0.1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+func TestPrototypeMonotoneSlopes(t *testing.T) {
+	d := ds(t)
+	samples := protoSamples(t, d, 40, 6)
+	p, err := NewPrototype("Prototype", samples, 6, 2, d.Metric, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slopes are clamped non-negative, so estimates never decrease in τ.
+	q := samples[0].Q
+	prev := -1.0
+	for tau := 0.0; tau <= d.TauMax; tau += d.TauMax / 10 {
+		est := p.EstimateSearch(q, tau)
+		if est < prev-1e-9 {
+			t.Fatalf("prototype estimate decreased at tau=%v", tau)
+		}
+		prev = est
+	}
+}
+
+func TestPrototypeErrors(t *testing.T) {
+	d := ds(t)
+	if _, err := NewPrototype("x", nil, 4, 2, d.Metric, 1); err == nil {
+		t.Fatal("expected error on empty samples")
+	}
+}
+
+func TestPrototypeJoinIsSum(t *testing.T) {
+	d := ds(t)
+	samples := protoSamples(t, d, 30, 4)
+	p, err := NewPrototype("Prototype", samples, 4, 2, d.Metric, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{samples[0].Q, samples[1].Q}
+	tau := d.TauMax / 4
+	want := p.EstimateSearch(qs[0], tau) + p.EstimateSearch(qs[1], tau)
+	if got := p.EstimateJoin(qs, tau); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("join %v want %v", got, want)
+	}
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/dataset"
+	"simquery/internal/dist"
+	"simquery/internal/estimator"
+)
+
+// Kernel is the kernel-based estimator (Table 2 row 8, [37]): each sample
+// carries a Gaussian kernel over distance, and the estimate is the scaled
+// sum of the kernels' cumulative densities at τ:
+//
+//	card̂(q, τ) = (|D|/|S|) · Σ_s Φ((τ − dis(q, s)) / h)
+//
+// with bandwidth h set by a Silverman-style rule on sampled pairwise
+// distances.
+type Kernel struct {
+	name      string
+	metric    dist.Metric
+	samples   [][]float64
+	scale     float64
+	bandwidth float64
+}
+
+// NewKernel fits the estimator on a uniform sample of the given ratio.
+func NewKernel(name string, ds *dataset.Dataset, ratio float64, seed int64) (*Kernel, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("baseline: kernel sample ratio %v out of (0,1]", ratio)
+	}
+	m := int(math.Round(ratio * float64(ds.Size())))
+	if m < 2 {
+		m = 2
+	}
+	if m > ds.Size() {
+		m = ds.Size()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ds.Size())
+	k := &Kernel{
+		name:   name,
+		metric: ds.Metric,
+		scale:  float64(ds.Size()) / float64(m),
+	}
+	for _, i := range perm[:m] {
+		k.samples = append(k.samples, ds.Vectors[i])
+	}
+	k.bandwidth = k.fitBandwidth(rng)
+	return k, nil
+}
+
+// fitBandwidth applies Silverman's rule of thumb to a sample of pairwise
+// distances: h = 1.06 · σ · m^(−1/5), floored to stay positive.
+func (k *Kernel) fitBandwidth(rng *rand.Rand) float64 {
+	m := len(k.samples)
+	pairs := 512
+	if pairs > m*(m-1)/2 {
+		pairs = m * (m - 1) / 2
+	}
+	if pairs < 1 {
+		return 1
+	}
+	var sum, sq float64
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(m)
+		b := rng.Intn(m)
+		for b == a {
+			b = rng.Intn(m)
+		}
+		d := dist.Distance(k.metric, k.samples[a], k.samples[b])
+		sum += d
+		sq += d * d
+	}
+	mean := sum / float64(pairs)
+	variance := sq/float64(pairs) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	h := 1.06 * sigma * math.Pow(float64(m), -0.2)
+	if h < 1e-6 {
+		h = 1e-6
+	}
+	return h
+}
+
+// Name implements estimator.SearchEstimator.
+func (k *Kernel) Name() string { return k.name }
+
+// Bandwidth exposes the fitted kernel width (test hook).
+func (k *Kernel) Bandwidth() float64 { return k.bandwidth }
+
+// EstimateSearch sums the Gaussian CDF mass of every sample at τ.
+func (k *Kernel) EstimateSearch(q []float64, tau float64) float64 {
+	var mass float64
+	for _, s := range k.samples {
+		d := dist.Distance(k.metric, q, s)
+		mass += gaussCDF((tau - d) / k.bandwidth)
+	}
+	return mass * k.scale
+}
+
+// EstimateJoin sums per-query estimates.
+func (k *Kernel) EstimateJoin(qs [][]float64, tau float64) float64 {
+	return estimator.SumJoin{SearchEstimator: k}.EstimateJoin(qs, tau)
+}
+
+// SizeBytes reports the sample payload plus the bandwidth scalar.
+func (k *Kernel) SizeBytes() int {
+	if len(k.samples) == 0 {
+		return 8
+	}
+	return len(k.samples)*len(k.samples[0])*8 + 8
+}
+
+// gaussCDF is the standard normal CDF.
+func gaussCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+var _ estimator.JoinEstimator = (*Kernel)(nil)

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"simquery/internal/cluster"
+	"simquery/internal/dist"
+)
+
+// Prototype is the query-driven estimator of Anagnostopoulos &
+// Triantafillou ([8, 9] in the paper's related work): cluster the observed
+// training queries, fit a threshold-based linear model per query prototype
+// (log-cardinality ≈ a + b·τ over the prototype's member queries), and
+// estimate an unseen query as the distance-weighted sum of its nearest
+// prototypes' predictions. The paper notes it works on low-dimensional data
+// but degrades in high dimensions, where prototypes become meaningless —
+// which the unit tests and the prototype-vs-learned comparison exercise.
+type Prototype struct {
+	name      string
+	metric    dist.Metric
+	protos    [][]float64
+	intercept []float64 // a per prototype
+	slope     []float64 // b per prototype
+	neighbors int       // prototypes blended per estimate
+}
+
+// PrototypeSample is one observed (query, τ, cardinality) triple.
+type PrototypeSample struct {
+	Q    []float64
+	Tau  float64
+	Card float64
+}
+
+// NewPrototype fits k query prototypes from the training triples.
+func NewPrototype(name string, samples []PrototypeSample, k, neighbors int, metric dist.Metric, seed int64) (*Prototype, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("baseline: prototype estimator needs training queries")
+	}
+	if k <= 0 {
+		k = 16
+	}
+	if neighbors <= 0 {
+		neighbors = 3
+	}
+	// Cluster the distinct query vectors.
+	qs := make([][]float64, len(samples))
+	for i, s := range samples {
+		qs[i] = s.Q
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seg, err := cluster.KMeans(qs, k, cluster.KMeansOptions{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prototype{
+		name:      name,
+		metric:    metric,
+		protos:    seg.Centroids,
+		intercept: make([]float64, seg.K),
+		slope:     make([]float64, seg.K),
+		neighbors: neighbors,
+	}
+	// Per prototype: least squares of log(card+1) on τ over member samples.
+	for c := 0; c < seg.K; c++ {
+		var sx, sy, sxx, sxy float64
+		n := 0.0
+		for i, s := range samples {
+			if seg.Assignments[i] != c {
+				continue
+			}
+			y := math.Log(s.Card + 1)
+			sx += s.Tau
+			sy += y
+			sxx += s.Tau * s.Tau
+			sxy += s.Tau * y
+			n++
+		}
+		if n == 0 {
+			continue // empty prototype predicts 0
+		}
+		den := n*sxx - sx*sx
+		if den <= 1e-12 {
+			// All member thresholds identical: constant model.
+			p.intercept[c] = sy / n
+			continue
+		}
+		p.slope[c] = (n*sxy - sx*sy) / den
+		if p.slope[c] < 0 {
+			// Cardinality cannot decrease with τ; clamp to a constant fit.
+			p.slope[c] = 0
+			p.intercept[c] = sy / n
+		} else {
+			p.intercept[c] = (sy - p.slope[c]*sx) / n
+		}
+	}
+	return p, nil
+}
+
+// Name implements estimator.SearchEstimator.
+func (p *Prototype) Name() string { return p.name }
+
+// EstimateSearch projects the query onto its nearest prototypes and blends
+// their linear predictions with inverse-distance weights.
+func (p *Prototype) EstimateSearch(q []float64, tau float64) float64 {
+	type cand struct {
+		d float64
+		i int
+	}
+	cands := make([]cand, len(p.protos))
+	for i, proto := range p.protos {
+		cands[i] = cand{d: dist.Distance(p.metric, q, proto), i: i}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	m := p.neighbors
+	if m > len(cands) {
+		m = len(cands)
+	}
+	const eps = 1e-6
+	var wSum, ySum float64
+	for _, c := range cands[:m] {
+		w := 1 / (c.d + eps)
+		wSum += w
+		ySum += w * (p.intercept[c.i] + p.slope[c.i]*tau)
+	}
+	if wSum == 0 {
+		return 0
+	}
+	est := math.Exp(ySum/wSum) - 1
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// EstimateJoin sums per-query estimates.
+func (p *Prototype) EstimateJoin(qs [][]float64, tau float64) float64 {
+	var total float64
+	for _, q := range qs {
+		total += p.EstimateSearch(q, tau)
+	}
+	return total
+}
+
+// SizeBytes reports the prototype payload (centroids + 2 coefficients
+// each).
+func (p *Prototype) SizeBytes() int {
+	b := 16 * len(p.protos)
+	for _, proto := range p.protos {
+		b += len(proto) * 8
+	}
+	return b
+}

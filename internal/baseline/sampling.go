@@ -1,0 +1,106 @@
+// Package baseline implements the two traditional estimators the paper
+// compares against (Table 2 rows 7–8): uniform sampling and the
+// kernel-based estimator of Mattig et al. [37].
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/dataset"
+	"simquery/internal/dist"
+	"simquery/internal/estimator"
+)
+
+// Sampling estimates cardinality by exact counting over a uniform sample
+// and scaling by the sampling ratio. The paper evaluates 1%, 10%, and
+// "equal" (a sample whose byte size matches the GL+ model).
+type Sampling struct {
+	name    string
+	metric  dist.Metric
+	samples [][]float64
+	scale   float64 // |D| / |S|
+}
+
+// NewSampling draws a uniform sample of the given ratio (0 < ratio ≤ 1).
+func NewSampling(name string, ds *dataset.Dataset, ratio float64, seed int64) (*Sampling, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ratio <= 0 || ratio > 1 {
+		return nil, fmt.Errorf("baseline: sampling ratio %v out of (0,1]", ratio)
+	}
+	m := int(math.Round(ratio * float64(ds.Size())))
+	if m < 1 {
+		m = 1
+	}
+	return newSamplingN(name, ds, m, seed)
+}
+
+// NewSamplingBytes draws a sample whose vector payload is at most
+// sizeBytes — the paper's "Sampling (equal)" configuration, matched to the
+// GL+ model size.
+func NewSamplingBytes(name string, ds *dataset.Dataset, sizeBytes int, seed int64) (*Sampling, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	perVec := ds.Dim * 8
+	m := sizeBytes / perVec
+	if m < 1 {
+		m = 1
+	}
+	if m > ds.Size() {
+		m = ds.Size()
+	}
+	return newSamplingN(name, ds, m, seed)
+}
+
+func newSamplingN(name string, ds *dataset.Dataset, m int, seed int64) (*Sampling, error) {
+	if m > ds.Size() {
+		m = ds.Size()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ds.Size())
+	s := &Sampling{
+		name:   name,
+		metric: ds.Metric,
+		scale:  float64(ds.Size()) / float64(m),
+	}
+	for _, i := range perm[:m] {
+		s.samples = append(s.samples, ds.Vectors[i])
+	}
+	return s, nil
+}
+
+// Name implements estimator.SearchEstimator.
+func (s *Sampling) Name() string { return s.name }
+
+// EstimateSearch counts sample matches and scales by the sampling ratio.
+func (s *Sampling) EstimateSearch(q []float64, tau float64) float64 {
+	count := 0
+	for _, v := range s.samples {
+		if dist.Distance(s.metric, q, v) <= tau {
+			count++
+		}
+	}
+	return float64(count) * s.scale
+}
+
+// EstimateJoin sums per-query estimates.
+func (s *Sampling) EstimateJoin(qs [][]float64, tau float64) float64 {
+	return estimator.SumJoin{SearchEstimator: s}.EstimateJoin(qs, tau)
+}
+
+// SizeBytes reports the sample payload.
+func (s *Sampling) SizeBytes() int {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return len(s.samples) * len(s.samples[0]) * 8
+}
+
+// SampleCount reports the sample size (test hook).
+func (s *Sampling) SampleCount() int { return len(s.samples) }
+
+var _ estimator.JoinEstimator = (*Sampling)(nil)

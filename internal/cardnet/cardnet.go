@@ -1,0 +1,347 @@
+// Package cardnet implements the CardNet comparator (Table 2 row 6) — a
+// stand-in for the VAE-based monotone cardinality estimator of Wang et al.,
+// SIGMOD 2020 [53], whose original implementation is author-provided C++/
+// PyTorch. The stand-in keeps the architecture class the paper compares
+// against: a variational encoder over the query vector (reparameterized
+// Gaussian latent), a monotone threshold embedding, and a decoder that
+// regresses log-cardinality, trained with the hybrid regression loss plus a
+// KL regularizer. See DESIGN.md §2 for the substitution note.
+package cardnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/nn"
+	"simquery/internal/tensor"
+)
+
+// CardNet is the VAE-style estimator.
+type CardNet struct {
+	Label  string
+	Latent int
+	Dim    int
+	// TauScale normalizes thresholds.
+	TauScale float64
+	// Beta weights the KL term.
+	Beta float64
+	// MaxCard caps estimates at the dataset size (0 disables).
+	MaxCard float64
+
+	Encoder *nn.Sequential // dim → 2·Latent (mu ‖ logvar)
+	TauNet  *nn.Sequential // 1 → tEmb, non-negative weights
+	Decoder *nn.Sequential // Latent+tEmb → 1
+
+	tEmb int
+
+	// training caches
+	lastMu, lastLogvar *tensor.Matrix
+	lastEps            *tensor.Matrix
+	rng                *rand.Rand
+}
+
+// Config sizes the network.
+type Config struct {
+	Latent   int
+	Hidden   int
+	TauEmbed int
+	Beta     float64
+	TauScale float64
+	Seed     int64
+}
+
+// New builds a CardNet for queries of the given dimension.
+func New(label string, dim int, cfg Config) (*CardNet, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("cardnet: invalid dim %d", dim)
+	}
+	if cfg.Latent <= 0 {
+		cfg.Latent = 8
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 32
+	}
+	if cfg.TauEmbed <= 0 {
+		cfg.TauEmbed = 8
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 1e-3
+	}
+	if cfg.TauScale <= 0 {
+		return nil, fmt.Errorf("cardnet: tau scale must be positive, got %v", cfg.TauScale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &CardNet{
+		Label:    label,
+		Latent:   cfg.Latent,
+		Dim:      dim,
+		TauScale: cfg.TauScale,
+		Beta:     cfg.Beta,
+		tEmb:     cfg.TauEmbed,
+		rng:      rng,
+		Encoder: nn.NewSequential(
+			nn.NewDense(rng, dim, cfg.Hidden),
+			nn.NewTanh(),
+			nn.NewDense(rng, cfg.Hidden, 2*cfg.Latent),
+		),
+		TauNet: nn.NewSequential(
+			nn.NewPositiveDense(rng, 1, cfg.TauEmbed),
+			nn.NewReLU(),
+		),
+		Decoder: nn.NewSequential(
+			nn.NewDense(rng, cfg.Latent+cfg.TauEmbed, cfg.Hidden),
+			nn.NewReLU(),
+			nn.NewDense(rng, cfg.Hidden, 1),
+		),
+	}
+	return c, nil
+}
+
+func (c *CardNet) params() []*nn.Param {
+	ps := append([]*nn.Param{}, c.Encoder.Params()...)
+	ps = append(ps, c.TauNet.Params()...)
+	return append(ps, c.Decoder.Params()...)
+}
+
+const logvarClamp = 6.0
+
+// forward encodes queries, reparameterizes (sampling during training, mean
+// at inference), embeds τ, and decodes the log-cardinality.
+func (c *CardNet) forward(qs [][]float64, taus []float64, train bool) *tensor.Matrix {
+	n := len(qs)
+	xq := tensor.NewMatrix(n, c.Dim)
+	for i, q := range qs {
+		if len(q) != c.Dim {
+			panic(fmt.Sprintf("cardnet: query dim %d, want %d", len(q), c.Dim))
+		}
+		copy(xq.Row(i), q)
+	}
+	enc := c.Encoder.Forward(xq, train)
+	mu := tensor.NewMatrix(n, c.Latent)
+	logvar := tensor.NewMatrix(n, c.Latent)
+	z := tensor.NewMatrix(n, c.Latent)
+	var eps *tensor.Matrix
+	if train {
+		eps = tensor.NewMatrix(n, c.Latent)
+	}
+	for i := 0; i < n; i++ {
+		er := enc.Row(i)
+		for j := 0; j < c.Latent; j++ {
+			mu.Set(i, j, er[j])
+			lv := tensor.Clamp(er[c.Latent+j], -logvarClamp, logvarClamp)
+			logvar.Set(i, j, lv)
+			if train {
+				e := c.rng.NormFloat64()
+				eps.Set(i, j, e)
+				z.Set(i, j, er[j]+e*math.Exp(0.5*lv))
+			} else {
+				z.Set(i, j, er[j])
+			}
+		}
+	}
+	if train {
+		c.lastMu, c.lastLogvar, c.lastEps = mu, logvar, eps
+	}
+	xt := tensor.NewMatrix(n, 1)
+	for i, t := range taus {
+		xt.Data[i] = t / c.TauScale
+	}
+	zt := c.TauNet.Forward(xt, train)
+	cat := tensor.NewMatrix(n, c.Latent+c.tEmb)
+	for i := 0; i < n; i++ {
+		copy(cat.Row(i)[:c.Latent], z.Row(i))
+		copy(cat.Row(i)[c.Latent:], zt.Row(i))
+	}
+	return c.Decoder.Forward(cat, train)
+}
+
+// backward propagates the regression gradient and injects the KL gradient
+// into the encoder.
+func (c *CardNet) backward(dy *tensor.Matrix) {
+	dcat := c.Decoder.Backward(dy)
+	n := dcat.Rows
+	dz := tensor.NewMatrix(n, c.Latent)
+	dzt := tensor.NewMatrix(n, c.tEmb)
+	for i := 0; i < n; i++ {
+		copy(dz.Row(i), dcat.Row(i)[:c.Latent])
+		copy(dzt.Row(i), dcat.Row(i)[c.Latent:])
+	}
+	c.TauNet.Backward(dzt)
+	// Through the reparameterization, plus the KL term's gradient:
+	// KL = −½ Σ (1 + logvar − mu² − e^logvar), so dKL/dmu = mu and
+	// dKL/dlogvar = −½(1 − e^logvar); scaled by β/N.
+	denc := tensor.NewMatrix(n, 2*c.Latent)
+	klScale := c.Beta / float64(n)
+	for i := 0; i < n; i++ {
+		dr := denc.Row(i)
+		for j := 0; j < c.Latent; j++ {
+			g := dz.At(i, j)
+			mu := c.lastMu.At(i, j)
+			lv := c.lastLogvar.At(i, j)
+			e := c.lastEps.At(i, j)
+			dr[j] = g + klScale*mu
+			dr[c.Latent+j] = g*e*0.5*math.Exp(0.5*lv) + klScale*(-0.5)*(1-math.Exp(lv))
+		}
+	}
+	c.Encoder.Backward(denc)
+}
+
+// Sample mirrors model.Sample to avoid an import cycle with the model
+// package's training types.
+type Sample struct {
+	Q    []float64
+	Tau  float64
+	Card float64
+}
+
+// TrainConfig controls fitting.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Lambda    float64
+	GradClip  float64
+	Seed      int64
+}
+
+// Train fits the estimator with Adam on the hybrid loss + KL.
+func (c *CardNet) Train(samples []Sample, cfg TrainConfig) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("cardnet: no training samples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 5e-3
+	}
+	if cfg.Lambda < 0 {
+		cfg.Lambda = 0.3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c.rng = rand.New(rand.NewSource(cfg.Seed + 1))
+	// Warm-start the decoder bias.
+	var mean float64
+	for _, s := range samples {
+		mean += math.Log(s.Card + 1)
+	}
+	last := c.Decoder.Layers[len(c.Decoder.Layers)-1].(*nn.Dense)
+	last.B.W[0] = mean / float64(len(samples))
+
+	opt := nn.NewAdam(cfg.LR)
+	loss := nn.NewHybridLoss(cfg.Lambda)
+	params := c.params()
+	idx := rng.Perm(len(samples))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = cfg.LR * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			qs := make([][]float64, len(batch))
+			taus := make([]float64, len(batch))
+			cards := make([]float64, len(batch))
+			for bi, si := range batch {
+				qs[bi] = samples[si].Q
+				taus[bi] = samples[si].Tau
+				cards[bi] = samples[si].Card
+			}
+			pred := c.forward(qs, taus, true)
+			_, grad := loss.Compute(pred, cards)
+			c.backward(grad)
+			if cfg.GradClip > 0 {
+				nn.ClipGradNorm(params, cfg.GradClip)
+			}
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+// EstimateSearch returns the estimated cardinality (deterministic: the
+// latent mean is used at inference).
+func (c *CardNet) EstimateSearch(q []float64, tau float64) float64 {
+	pred := c.forward([][]float64{q}, []float64{tau}, false)
+	est := math.Exp(tensor.Clamp(pred.Data[0], -30, 30))
+	if c.MaxCard > 0 && est > c.MaxCard {
+		est = c.MaxCard
+	}
+	return est
+}
+
+// EstimateJoin sums per-query estimates (CardNet has no pooled join path).
+func (c *CardNet) EstimateJoin(qs [][]float64, tau float64) float64 {
+	var total float64
+	for _, q := range qs {
+		total += c.EstimateSearch(q, tau)
+	}
+	return total
+}
+
+// Name implements estimator.SearchEstimator.
+func (c *CardNet) Name() string { return c.Label }
+
+// SizeBytes reports the parameter footprint.
+func (c *CardNet) SizeBytes() int { return nn.SizeBytes(c.params()) }
+
+type cardnetSpec struct {
+	Label                    string
+	Latent, Dim, TEmb        int
+	TauScale, Beta, MaxCard  float64
+	Encoder, TauNet, Decoder nn.LayerSpec
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *CardNet) MarshalBinary() ([]byte, error) {
+	spec := cardnetSpec{
+		Label: c.Label, Latent: c.Latent, Dim: c.Dim, TEmb: c.tEmb,
+		TauScale: c.TauScale, Beta: c.Beta, MaxCard: c.MaxCard,
+		Encoder: c.Encoder.Spec(), TauNet: c.TauNet.Spec(), Decoder: c.Decoder.Spec(),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, fmt.Errorf("cardnet: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *CardNet) UnmarshalBinary(data []byte) error {
+	var spec cardnetSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return fmt.Errorf("cardnet: unmarshal: %w", err)
+	}
+	enc, err := nn.FromSpec(spec.Encoder)
+	if err != nil {
+		return err
+	}
+	tn, err := nn.FromSpec(spec.TauNet)
+	if err != nil {
+		return err
+	}
+	dec, err := nn.FromSpec(spec.Decoder)
+	if err != nil {
+		return err
+	}
+	c.Label = spec.Label
+	c.Latent = spec.Latent
+	c.Dim = spec.Dim
+	c.tEmb = spec.TEmb
+	c.TauScale = spec.TauScale
+	c.Beta = spec.Beta
+	c.MaxCard = spec.MaxCard
+	c.Encoder = enc.(*nn.Sequential)
+	c.TauNet = tn.(*nn.Sequential)
+	c.Decoder = dec.(*nn.Sequential)
+	c.rng = rand.New(rand.NewSource(1))
+	return nil
+}

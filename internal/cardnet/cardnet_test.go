@@ -1,0 +1,122 @@
+package cardnet
+
+import (
+	"math"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/metrics"
+	"simquery/internal/workload"
+)
+
+func trainedCardNet(t *testing.T) (*CardNet, *dataset.Dataset, *workload.SearchWorkload) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 1200, Clusters: 10, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.BuildSearch(ds, workload.SearchConfig{TrainPoints: 60, TestPoints: 20, ThresholdsPerPoint: 6, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New("CardNet", ds.Dim, Config{TauScale: ds.TauMax, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]Sample, len(w.Train))
+	for i, q := range w.Train {
+		samples[i] = Sample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+	}
+	if err := c.Train(samples, TrainConfig{Epochs: 25, Seed: 44}); err != nil {
+		t.Fatal(err)
+	}
+	return c, ds, w
+}
+
+func TestCardNetLearnsSomething(t *testing.T) {
+	c, _, w := trainedCardNet(t)
+	var qerrs []float64
+	for _, q := range w.Test {
+		qerrs = append(qerrs, metrics.QError(c.EstimateSearch(q.Vec, q.Tau), q.Card))
+	}
+	s := metrics.Summarize(qerrs)
+	// Very loose accuracy floor: it must beat a constant-1 predictor by a
+	// wide margin on clustered data.
+	if s.Median > 20 {
+		t.Fatalf("cardnet median q-error too high: %+v", s)
+	}
+}
+
+func TestCardNetDeterministicInference(t *testing.T) {
+	c, ds, _ := trainedCardNet(t)
+	q := ds.Vectors[0]
+	a := c.EstimateSearch(q, ds.TauMax/2)
+	b := c.EstimateSearch(q, ds.TauMax/2)
+	if a != b {
+		t.Fatalf("inference must be deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestCardNetEstimatesFiniteAndPositive(t *testing.T) {
+	c, ds, w := trainedCardNet(t)
+	for _, q := range w.Test {
+		est := c.EstimateSearch(q.Vec, q.Tau)
+		if est <= 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("bad estimate %v", est)
+		}
+	}
+	_ = ds
+}
+
+func TestCardNetJoinIsSumOfSearch(t *testing.T) {
+	c, ds, _ := trainedCardNet(t)
+	qs := ds.Vectors[:5]
+	tau := ds.TauMax / 3
+	var want float64
+	for _, q := range qs {
+		want += c.EstimateSearch(q, tau)
+	}
+	if got := c.EstimateJoin(qs, tau); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("join %v want %v", got, want)
+	}
+}
+
+func TestCardNetSerializationRoundTrip(t *testing.T) {
+	c, ds, _ := trainedCardNet(t)
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &CardNet{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vectors[9]
+	tau := ds.TauMax / 2
+	if a, b := c.EstimateSearch(q, tau), restored.EstimateSearch(q, tau); a != b {
+		t.Fatalf("round trip changed estimate: %v vs %v", a, b)
+	}
+	if restored.Name() != "CardNet" {
+		t.Fatal("label lost")
+	}
+}
+
+func TestCardNetSizeBytes(t *testing.T) {
+	c, _, _ := trainedCardNet(t)
+	if c.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestCardNetErrors(t *testing.T) {
+	if _, err := New("x", 0, Config{TauScale: 1}); err == nil {
+		t.Fatal("expected error on dim=0")
+	}
+	if _, err := New("x", 4, Config{}); err == nil {
+		t.Fatal("expected error on missing tau scale")
+	}
+	c, _ := New("x", 4, Config{TauScale: 1})
+	if err := c.Train(nil, TrainConfig{}); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+}

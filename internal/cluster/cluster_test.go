@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated Gaussian clusters in d dimensions.
+func blobs(rng *rand.Rand, k, perCluster, d int, sep float64) ([][]float64, []int) {
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, d)
+		for j := range centers[i] {
+			centers[i][j] = rng.NormFloat64() * sep
+		}
+	}
+	var data [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		for p := 0; p < perCluster; p++ {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = centers[c][j] + rng.NormFloat64()*0.3
+			}
+			data = append(data, x)
+			truth = append(truth, c)
+		}
+	}
+	return data, truth
+}
+
+// purity is the fraction of points whose segment's majority true label
+// matches their own.
+func purity(assign, truth []int, k int) float64 {
+	counts := map[[2]int]int{}
+	segTotal := map[int]int{}
+	for i, a := range assign {
+		counts[[2]int{a, truth[i]}]++
+		segTotal[a]++
+	}
+	correct := 0
+	for a := 0; a < k; a++ {
+		best := 0
+		for key, c := range counts {
+			if key[0] == a && c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Data varies strongly along (1,1,0)/√2, weakly elsewhere.
+	var data [][]float64
+	for i := 0; i < 400; i++ {
+		tv := rng.NormFloat64() * 5
+		data = append(data, []float64{
+			tv/math.Sqrt2 + rng.NormFloat64()*0.1,
+			tv/math.Sqrt2 + rng.NormFloat64()*0.1,
+			rng.NormFloat64() * 0.1,
+		})
+	}
+	p, err := FitPCA(data, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := p.Components[0]
+	want := 1 / math.Sqrt2
+	if math.Abs(math.Abs(c0[0])-want) > 0.05 || math.Abs(math.Abs(c0[1])-want) > 0.05 || math.Abs(c0[2]) > 0.1 {
+		t.Fatalf("first component %v, want ±(0.707,0.707,0)", c0)
+	}
+	if p.Eigen[0] <= p.Eigen[1] {
+		t.Fatalf("eigenvalues not descending: %v", p.Eigen)
+	}
+	if ev := p.ExplainedVariance(1); ev < 0.9 {
+		t.Fatalf("first component should explain >90%% variance, got %v", ev)
+	}
+}
+
+func TestPCAComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := blobs(rng, 3, 100, 8, 4)
+	p, err := FitPCA(data, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Components {
+		for j := range p.Components {
+			var dot float64
+			for c := range p.Components[i] {
+				dot += p.Components[i][c] * p.Components[j][c]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d,%d dot=%v want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := FitPCA(nil, 1, rng); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 3, rng); err == nil {
+		t.Fatal("expected error on k > d")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}, 1, rng); err == nil {
+		t.Fatal("expected error on ragged data")
+	}
+	if _, err := FitPCA([][]float64{{1, 1}, {1, 1}}, 1, rng); err == nil {
+		t.Fatal("expected error on zero-variance data")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data, truth := blobs(rng, 4, 80, 6, 6)
+	seg, err := KMeans(data, 4, KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(seg.Assignments, truth, 4); p < 0.95 {
+		t.Fatalf("k-means purity %v < 0.95", p)
+	}
+}
+
+func TestKMeansWithPCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data, truth := blobs(rng, 3, 70, 20, 8)
+	seg, err := KMeans(data, 3, KMeansOptions{PCADims: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(seg.Assignments, truth, 3); p < 0.9 {
+		t.Fatalf("PCA+k-means purity %v < 0.9", p)
+	}
+}
+
+func TestKMeansMiniBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data, truth := blobs(rng, 3, 100, 5, 8)
+	seg, err := KMeans(data, 3, KMeansOptions{BatchSize: 64, MaxIter: 60}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := purity(seg.Assignments, truth, 3); p < 0.85 {
+		t.Fatalf("mini-batch purity %v < 0.85", p)
+	}
+}
+
+func TestKMeansInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data, _ := blobs(rng, 3, 50, 4, 5)
+	seg, err := KMeans(data, 5, KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Assignments) != len(data) {
+		t.Fatal("assignment length mismatch")
+	}
+	total := 0
+	for s, members := range seg.Members {
+		total += len(members)
+		for _, i := range members {
+			if seg.Assignments[i] != s {
+				t.Fatal("member list inconsistent with assignments")
+			}
+			// Radius bounds every member's centroid distance.
+			if d := math.Sqrt(sqDist(data[i], seg.Centroids[s])); d > seg.Radii[s]+1e-9 {
+				t.Fatalf("member outside radius: %v > %v", d, seg.Radii[s])
+			}
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("members cover %d of %d points", total, len(data))
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := [][]float64{{0, 0}, {1, 1}, {5, 5}}
+	seg, err := KMeans(data, 10, KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.K != 3 {
+		t.Fatalf("k should clamp to n, got %d", seg.K)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := KMeans(nil, 2, KMeansOptions{}, rng); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, KMeansOptions{}, rng); err == nil {
+		t.Fatal("expected error on k=0")
+	}
+}
+
+func TestNearestSegmentRoutesToOwnCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data, _ := blobs(rng, 3, 60, 4, 8)
+	seg, err := KMeans(data, 3, KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatch := 0
+	for i, x := range data {
+		if seg.NearestSegment(x) != seg.Assignments[i] {
+			mismatch++
+		}
+	}
+	if mismatch > len(data)/50 {
+		t.Fatalf("NearestSegment disagrees with assignment for %d points", mismatch)
+	}
+}
+
+func TestCentroidDistances(t *testing.T) {
+	seg := &Segmentation{K: 2, Centroids: [][]float64{{0, 0}, {3, 4}}}
+	ds := seg.CentroidDistances([]float64{0, 0}, func(a, b []float64) float64 {
+		return math.Sqrt(sqDist(a, b))
+	})
+	if ds[0] != 0 || ds[1] != 5 {
+		t.Fatalf("centroid distances %v", ds)
+	}
+}
+
+func TestLSHSegmentBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data, truth := blobs(rng, 4, 60, 8, 10)
+	seg, err := LSHSegment(data, 4, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.K < 1 || seg.K > 4 {
+		t.Fatalf("unexpected segment count %d", seg.K)
+	}
+	for _, a := range seg.Assignments {
+		if a < 0 || a >= seg.K {
+			t.Fatalf("invalid assignment %d", a)
+		}
+	}
+	// LSH should still give decent purity on well-separated blobs.
+	if p := purity(seg.Assignments, truth, seg.K); p < 0.5 {
+		t.Fatalf("LSH purity too low: %v", p)
+	}
+}
+
+func TestLSHErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := LSHSegment(nil, 2, 8, rng); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := LSHSegment([][]float64{{1}}, 0, 8, rng); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDBSCANSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data, truth := blobs(rng, 3, 60, 4, 10)
+	eps := SuggestEps(data, 4, 60)
+	seg, err := DBSCAN(data, eps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.K < 3 {
+		t.Fatalf("DBSCAN found %d clusters, want >= 3", seg.K)
+	}
+	if p := purity(seg.Assignments, truth, seg.K); p < 0.9 {
+		t.Fatalf("DBSCAN purity %v", p)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	data := [][]float64{{0, 0}, {100, 100}, {-100, 50}}
+	seg, err := DBSCAN(data, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.K != 1 {
+		t.Fatalf("all-noise input should produce one segment, got %d", seg.K)
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	if _, err := DBSCAN(nil, 1, 2); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := DBSCAN([][]float64{{1}}, 0, 2); err == nil {
+		t.Fatal("expected error on eps<=0")
+	}
+}
+
+func TestQuickSelect(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if v := quickSelect(append([]float64(nil), xs...), 0); v != 1 {
+		t.Fatalf("kth=0 -> %v", v)
+	}
+	if v := quickSelect(append([]float64(nil), xs...), 4); v != 5 {
+		t.Fatalf("kth=4 -> %v", v)
+	}
+	if v := quickSelect(append([]float64(nil), xs...), 2); v != 3 {
+		t.Fatalf("kth=2 -> %v", v)
+	}
+}
+
+// Property: every k-means segmentation is a partition — each point appears
+// in exactly one member list.
+func TestKMeansPartitionProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw)%6 + 1
+		data, _ := blobs(rng, 2, 30, 3, 4)
+		seg, err := KMeans(data, k, KMeansOptions{MaxIter: 10}, rng)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, len(data))
+		for _, members := range seg.Members {
+			for _, i := range members {
+				seen[i]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuggestEpsEdgeCases(t *testing.T) {
+	if SuggestEps(nil, 4, 10) != 0 {
+		t.Fatal("empty data should suggest 0")
+	}
+	data := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	eps := SuggestEps(data, 10, 0) // minPts > n clamps
+	if eps <= 0 {
+		t.Fatalf("eps %v", eps)
+	}
+}
+
+func TestLSHClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := [][]float64{{0, 0}, {1, 1}}
+	seg, err := LSHSegment(data, 10, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.K > 2 {
+		t.Fatalf("k should clamp to n, got %d", seg.K)
+	}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// DBSCAN is the density-based alternative segmentation from §3.3's
+// comparison. Noise points are folded into the nearest discovered cluster
+// so every data point belongs to exactly one segment, as the global-local
+// framework requires. The implementation is O(n²) and intended for the
+// ablation bench at reduced scale.
+func DBSCAN(data [][]float64, eps float64, minPts int) (*Segmentation, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN on empty dataset")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("cluster: DBSCAN eps must be positive, got %v", eps)
+	}
+	if minPts <= 0 {
+		minPts = 4
+	}
+	const (
+		unvisited = -2
+		noise     = -1
+	)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = unvisited
+	}
+	eps2 := eps * eps
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if sqDist(data[i], data[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if assign[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			assign[i] = noise
+			continue
+		}
+		// Grow a new cluster from this core point.
+		c := k
+		k++
+		assign[i] = c
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if assign[j] == noise {
+				assign[j] = c
+			}
+			if assign[j] != unvisited {
+				continue
+			}
+			assign[j] = c
+			nb2 := neighbors(j)
+			if len(nb2) >= minPts {
+				queue = append(queue, nb2...)
+			}
+		}
+	}
+	if k == 0 {
+		// Everything is noise: one segment containing all points.
+		for i := range assign {
+			assign[i] = 0
+		}
+		return buildSegmentation(data, assign, 1), nil
+	}
+	// Fold noise into nearest cluster by centroid.
+	core := make([]int, 0, n)
+	for i, a := range assign {
+		if a >= 0 {
+			core = append(core, i)
+		}
+	}
+	prov := buildSegmentationSubset(data, assign, k, core)
+	for i, a := range assign {
+		if a < 0 {
+			assign[i] = nearestCenter(data[i], prov.Centroids)
+		}
+	}
+	return buildSegmentation(data, assign, k), nil
+}
+
+// SuggestEps estimates a workable DBSCAN eps as the mean distance to the
+// minPts-th neighbor over a sample — a standard k-distance heuristic.
+func SuggestEps(data [][]float64, minPts, sample int) float64 {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	if sample <= 0 || sample > n {
+		sample = n
+	}
+	if minPts >= n {
+		minPts = n - 1
+	}
+	if minPts < 1 {
+		minPts = 1
+	}
+	var total float64
+	step := n / sample
+	if step == 0 {
+		step = 1
+	}
+	count := 0
+	ds := make([]float64, 0, n)
+	for i := 0; i < n; i += step {
+		ds = ds[:0]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ds = append(ds, sqDist(data[i], data[j]))
+		}
+		// Partial selection of the minPts-th smallest.
+		kth := quickSelect(ds, minPts-1)
+		total += math.Sqrt(kth)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// quickSelect returns the k-th smallest (0-based) value, reordering xs.
+func quickSelect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partition(xs, lo, hi)
+		switch {
+		case p == k:
+			return xs[p]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return xs[k]
+}
+
+func partition(xs []float64, lo, hi int) int {
+	pivot := xs[(lo+hi)/2]
+	xs[(lo+hi)/2], xs[hi] = xs[hi], xs[(lo+hi)/2]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi] = xs[hi], xs[i]
+	return i
+}

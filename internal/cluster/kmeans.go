@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/tensor"
+)
+
+// Segmentation is the result of dividing a dataset into data segments: the
+// per-point assignment, the segment centroids in the *original* space, and
+// each segment's radius (max member distance to its centroid, used for the
+// triangle-inequality bound in §5.1).
+type Segmentation struct {
+	K           int
+	Assignments []int
+	Centroids   [][]float64
+	Radii       []float64
+	// Members[i] lists the dataset indices in segment i.
+	Members [][]int
+}
+
+// KMeansOptions configures batch k-means.
+type KMeansOptions struct {
+	// MaxIter bounds the Lloyd iterations (default 25).
+	MaxIter int
+	// BatchSize enables mini-batch updates when > 0 and < n.
+	BatchSize int
+	// PCADims projects the data first when > 0 (the paper's PCA+k-means
+	// pipeline); 0 clusters in the original space.
+	PCADims int
+}
+
+// KMeans clusters data into k segments with k-means++ initialization,
+// optionally in PCA-reduced space; centroids and radii are computed in the
+// original space regardless.
+func KMeans(data [][]float64, k int, opts KMeansOptions, rng *rand.Rand) (*Segmentation, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: k-means on empty dataset")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: invalid segment count %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 25
+	}
+
+	space := data
+	if opts.PCADims > 0 && opts.PCADims < len(data[0]) {
+		p, err := FitPCA(data, opts.PCADims, rng)
+		if err != nil {
+			return nil, err
+		}
+		space = p.TransformAll(data)
+	}
+
+	centers := kmeansPlusPlus(space, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+
+	useBatch := opts.BatchSize > 0 && opts.BatchSize < n
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		if useBatch {
+			// Mini-batch update (the "batch K-means" of §3.3): sample a
+			// batch, assign, and move centers toward assigned points with
+			// per-center learning rates 1/count.
+			for b := 0; b < opts.BatchSize; b++ {
+				i := rng.Intn(n)
+				c := nearestCenter(space[i], centers)
+				counts[c]++
+				eta := 1 / float64(counts[c])
+				for j := range centers[c] {
+					centers[c][j] += eta * (space[i][j] - centers[c][j])
+				}
+			}
+			continue
+		}
+		// Full Lloyd step.
+		changed := false
+		for i, x := range space {
+			c := nearestCenter(x, centers)
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		recomputeCenters(space, assign, centers, rng)
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Final hard assignment in the clustering space.
+	for i, x := range space {
+		assign[i] = nearestCenter(x, centers)
+	}
+	return buildSegmentation(data, assign, k), nil
+}
+
+// buildSegmentation computes original-space centroids, radii, and member
+// lists from an assignment, dropping nothing: empty segments keep zero
+// centroids and radius 0.
+func buildSegmentation(data [][]float64, assign []int, k int) *Segmentation {
+	d := len(data[0])
+	seg := &Segmentation{
+		K:           k,
+		Assignments: assign,
+		Centroids:   make([][]float64, k),
+		Radii:       make([]float64, k),
+		Members:     make([][]int, k),
+	}
+	counts := make([]int, k)
+	for i := range seg.Centroids {
+		seg.Centroids[i] = make([]float64, d)
+	}
+	for i, a := range assign {
+		tensor.AddTo(seg.Centroids[a], data[i])
+		counts[a]++
+		seg.Members[a] = append(seg.Members[a], i)
+	}
+	for i := range seg.Centroids {
+		if counts[i] > 0 {
+			tensor.Scale(1/float64(counts[i]), seg.Centroids[i])
+		}
+	}
+	for i, a := range assign {
+		var s float64
+		for j, v := range data[i] {
+			dv := v - seg.Centroids[a][j]
+			s += dv * dv
+		}
+		if r := math.Sqrt(s); r > seg.Radii[a] {
+			seg.Radii[a] = r
+		}
+	}
+	return seg
+}
+
+// kmeansPlusPlus seeds k centers with the k-means++ D² weighting.
+func kmeansPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(data)
+	centers := make([][]float64, 0, k)
+	first := append([]float64(nil), data[rng.Intn(n)]...)
+	centers = append(centers, first)
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		// Min squared distance to any chosen center.
+		var sum float64
+		for i, x := range data {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if v := sqDist(x, c); v < best {
+					best = v
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with centers; duplicate one.
+			centers = append(centers, append([]float64(nil), data[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		var acc float64
+		pick := n - 1
+		for i, v := range d2 {
+			acc += v
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), data[pick]...))
+	}
+	return centers
+}
+
+func nearestCenter(x []float64, centers [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range centers {
+		if d := sqDist(x, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func recomputeCenters(data [][]float64, assign []int, centers [][]float64, rng *rand.Rand) {
+	k := len(centers)
+	d := len(centers[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, d)
+	}
+	for i, a := range assign {
+		tensor.AddTo(sums[a], data[i])
+		counts[a]++
+	}
+	for i := range centers {
+		if counts[i] == 0 {
+			// Re-seed empty cluster at a random point.
+			copy(centers[i], data[rng.Intn(len(data))])
+			continue
+		}
+		for j := range centers[i] {
+			centers[i][j] = sums[i][j] / float64(counts[i])
+		}
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NearestSegment returns the index of the centroid closest (L2) to x —
+// how data updates route new points to clusters (§5.3).
+func (s *Segmentation) NearestSegment(x []float64) int {
+	return nearestCenter(x, s.Centroids)
+}
+
+// CentroidDistances returns the distance from x to every centroid under the
+// given distance function — the global model's x_C feature (§3.3).
+func (s *Segmentation) CentroidDistances(x []float64, distFn func(a, b []float64) float64) []float64 {
+	out := make([]float64, s.K)
+	for i, c := range s.Centroids {
+		out[i] = distFn(x, c)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LSHSegment groups points by random-hyperplane signatures and then merges
+// the resulting buckets down to k segments (largest buckets survive; small
+// buckets fold into the nearest surviving centroid). It is the
+// locality-sensitive-hashing alternative the paper compared against k-means
+// in §3.3 and reported inferior — the ablation bench reproduces that
+// comparison.
+func LSHSegment(data [][]float64, k int, bits int, rng *rand.Rand) (*Segmentation, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: LSH on empty dataset")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: invalid segment count %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if bits <= 0 || bits > 30 {
+		bits = 12
+	}
+	d := len(data[0])
+	planes := make([][]float64, bits)
+	for i := range planes {
+		planes[i] = make([]float64, d)
+		for j := range planes[i] {
+			planes[i][j] = rng.NormFloat64()
+		}
+	}
+	codes := make([]uint32, n)
+	buckets := map[uint32][]int{}
+	for i, x := range data {
+		var code uint32
+		for b, p := range planes {
+			var dot float64
+			for j, v := range x {
+				dot += v * p[j]
+			}
+			if dot > 0 {
+				code |= 1 << uint(b)
+			}
+		}
+		codes[i] = code
+		buckets[code] = append(buckets[code], i)
+	}
+
+	// Keep the k largest buckets as seed segments.
+	type bucket struct {
+		code uint32
+		ids  []int
+	}
+	all := make([]bucket, 0, len(buckets))
+	for c, ids := range buckets {
+		all = append(all, bucket{c, ids})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].ids) != len(all[j].ids) {
+			return len(all[i].ids) > len(all[j].ids)
+		}
+		return all[i].code < all[j].code
+	})
+	if len(all) > k {
+		all = append(all[:k:k], bucket{}) // keep top-k; sentinel removed below
+		all = all[:k]
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	segOf := map[uint32]int{}
+	for s, b := range all {
+		segOf[b.code] = s
+		for _, id := range b.ids {
+			assign[id] = s
+		}
+	}
+	// Provisional centroids from seeded members only.
+	tmp := make([]int, 0, n)
+	for i, a := range assign {
+		if a >= 0 {
+			tmp = append(tmp, i)
+		}
+	}
+	prov := buildSegmentationSubset(data, assign, len(all), tmp)
+	// Fold leftover points into the nearest provisional centroid.
+	for i, a := range assign {
+		if a < 0 {
+			assign[i] = nearestCenter(data[i], prov.Centroids)
+		}
+	}
+	return buildSegmentation(data, assign, len(all)), nil
+}
+
+// buildSegmentationSubset computes centroids from only the listed indices.
+func buildSegmentationSubset(data [][]float64, assign []int, k int, idx []int) *Segmentation {
+	d := len(data[0])
+	seg := &Segmentation{K: k, Centroids: make([][]float64, k), Radii: make([]float64, k)}
+	counts := make([]int, k)
+	for i := range seg.Centroids {
+		seg.Centroids[i] = make([]float64, d)
+	}
+	for _, i := range idx {
+		a := assign[i]
+		for j, v := range data[i] {
+			seg.Centroids[a][j] += v
+		}
+		counts[a]++
+	}
+	for i := range seg.Centroids {
+		if counts[i] > 0 {
+			for j := range seg.Centroids[i] {
+				seg.Centroids[i][j] /= float64(counts[i])
+			}
+		}
+	}
+	return seg
+}

@@ -1,0 +1,158 @@
+// Package cluster provides the data-segmentation substrate (§3.3): PCA for
+// dimensionality reduction, batch k-means (the paper's chosen method), and
+// the LSH and DBSCAN alternatives the paper compared against.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simquery/internal/tensor"
+)
+
+// PCA holds a fitted principal-component projection.
+type PCA struct {
+	Mean       []float64
+	Components [][]float64 // k rows of length d, orthonormal
+	Eigen      []float64   // corresponding eigenvalues, descending
+}
+
+// FitPCA finds the top-k principal components of the rows of data using
+// power iteration with deflation on the covariance matrix. It returns an
+// error on empty or degenerate input.
+func FitPCA(data [][]float64, k int, rng *rand.Rand) (*PCA, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cluster: PCA on empty dataset")
+	}
+	d := len(data[0])
+	if d == 0 {
+		return nil, fmt.Errorf("cluster: PCA on zero-dimensional data")
+	}
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("cluster: PCA components %d out of range (1..%d)", k, d)
+	}
+	mean := make([]float64, d)
+	for _, row := range data {
+		if len(row) != d {
+			return nil, fmt.Errorf("cluster: ragged dataset (row of %d, want %d)", len(row), d)
+		}
+		tensor.AddTo(mean, row)
+	}
+	tensor.Scale(1/float64(len(data)), mean)
+
+	// Covariance, explicit (d is modest in all profiles).
+	cov := tensor.NewMatrix(d, d)
+	centered := make([]float64, d)
+	for _, row := range data {
+		for j := range centered {
+			centered[j] = row[j] - mean[j]
+		}
+		for i := 0; i < d; i++ {
+			ci := centered[i]
+			if ci == 0 {
+				continue
+			}
+			crow := cov.Row(i)
+			for j := 0; j < d; j++ {
+				crow[j] += ci * centered[j]
+			}
+		}
+	}
+	tensor.Scale(1/float64(len(data)), cov.Data)
+
+	p := &PCA{Mean: mean}
+	work := make([]float64, d)
+	for c := 0; c < k; c++ {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		// Orthogonalize against found components for robustness.
+		orthogonalize(v, p.Components)
+		if !tensor.Normalize(v) {
+			break
+		}
+		var lambda float64
+		for iter := 0; iter < 100; iter++ {
+			matVec(work, cov, v)
+			orthogonalize(work, p.Components)
+			norm := tensor.Norm2(work)
+			if norm < 1e-12 {
+				lambda = 0
+				break
+			}
+			for i := range v {
+				v[i] = work[i] / norm
+			}
+			lambda = norm
+		}
+		if lambda < 1e-12 {
+			break // remaining variance is numerically zero
+		}
+		p.Components = append(p.Components, v)
+		p.Eigen = append(p.Eigen, lambda)
+		// Deflate: cov -= λ v vᵀ.
+		for i := 0; i < d; i++ {
+			li := lambda * v[i]
+			if li == 0 {
+				continue
+			}
+			crow := cov.Row(i)
+			for j := 0; j < d; j++ {
+				crow[j] -= li * v[j]
+			}
+		}
+	}
+	if len(p.Components) == 0 {
+		return nil, fmt.Errorf("cluster: data has no variance; PCA undefined")
+	}
+	return p, nil
+}
+
+func matVec(out []float64, m *tensor.Matrix, v []float64) {
+	for i := 0; i < m.Rows; i++ {
+		out[i] = tensor.Dot(m.Row(i), v)
+	}
+}
+
+func orthogonalize(v []float64, basis [][]float64) {
+	for _, b := range basis {
+		proj := tensor.Dot(v, b)
+		tensor.Axpy(-proj, b, v)
+	}
+}
+
+// Transform projects x onto the fitted components.
+func (p *PCA) Transform(x []float64) []float64 {
+	out := make([]float64, len(p.Components))
+	centered := make([]float64, len(x))
+	for i, v := range x {
+		centered[i] = v - p.Mean[i]
+	}
+	for i, comp := range p.Components {
+		out[i] = tensor.Dot(centered, comp)
+	}
+	return out
+}
+
+// TransformAll projects every row.
+func (p *PCA) TransformAll(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total listed eigenvalue mass in
+// the first k components (a diagnostic used by tests).
+func (p *PCA) ExplainedVariance(k int) float64 {
+	if k > len(p.Eigen) {
+		k = len(p.Eigen)
+	}
+	total := tensor.Sum(p.Eigen)
+	if total == 0 {
+		return 0
+	}
+	return tensor.Sum(p.Eigen[:k]) / total
+}

@@ -1,0 +1,292 @@
+// Package dataset generates the six dataset stand-ins used by the paper's
+// evaluation (Table 3). The originals are proprietary or impractically
+// large for a laptop reproduction, so each profile is a seeded synthetic
+// generator that preserves the properties the estimators are sensitive to:
+// dimensionality class, distance metric, sparsity pattern, and — crucially
+// for data segmentation — a clustered, heavy-tailed distance distribution.
+// See DESIGN.md §2 for the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"simquery/internal/dist"
+	"simquery/internal/tensor"
+)
+
+// Dataset is an in-memory collection of equal-dimension vectors with its
+// distance metric and the maximal realistic search threshold τ_max.
+type Dataset struct {
+	Name    string
+	Metric  dist.Metric
+	Dim     int
+	Vectors [][]float64
+	TauMax  float64
+}
+
+// Size returns the number of data objects.
+func (d *Dataset) Size() int { return len(d.Vectors) }
+
+// Distance computes the dataset's metric between two vectors.
+func (d *Dataset) Distance(a, b []float64) float64 { return dist.Distance(d.Metric, a, b) }
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (d *Dataset) Validate() error {
+	if d.Dim <= 0 {
+		return fmt.Errorf("dataset %s: non-positive dimension %d", d.Name, d.Dim)
+	}
+	if len(d.Vectors) == 0 {
+		return fmt.Errorf("dataset %s: empty", d.Name)
+	}
+	for i, v := range d.Vectors {
+		if len(v) != d.Dim {
+			return fmt.Errorf("dataset %s: vector %d has dim %d, want %d", d.Name, i, len(v), d.Dim)
+		}
+	}
+	if d.TauMax <= 0 {
+		return fmt.Errorf("dataset %s: non-positive tau_max %v", d.Name, d.TauMax)
+	}
+	return nil
+}
+
+// Profile names a dataset generator.
+type Profile string
+
+// The six profiles from Table 3.
+const (
+	BMS      Profile = "bms"      // product entries, Jaccard→Hamming
+	GloVe300 Profile = "glove300" // word embeddings, angular
+	ImageNET Profile = "imagenet" // HashNet binary codes, Hamming
+	Aminer   Profile = "aminer"   // publication titles, Edit→token-Hamming
+	YouTube  Profile = "youtube"  // raw face images, Euclidean
+	DBLP     Profile = "dblp"     // publication titles, Edit→token-Hamming
+)
+
+// Profiles lists all six in the paper's Table 3 order.
+func Profiles() []Profile {
+	return []Profile{BMS, GloVe300, ImageNET, Aminer, YouTube, DBLP}
+}
+
+// ParseProfile resolves a profile name.
+func ParseProfile(s string) (Profile, error) {
+	for _, p := range Profiles() {
+		if string(p) == strings.ToLower(s) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("dataset: unknown profile %q (want one of %v)", s, Profiles())
+}
+
+// Config controls generation scale. The zero value is invalid; use
+// DefaultConfig.
+type Config struct {
+	// N is the number of data objects.
+	N int
+	// Clusters is the number of latent clusters the generator plants.
+	Clusters int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the laptop-scale default: 8000 points in 40 latent
+// clusters.
+func DefaultConfig(seed int64) Config {
+	return Config{N: 8000, Clusters: 40, Seed: seed}
+}
+
+// Generate builds the named profile at the configured scale.
+func Generate(p Profile, cfg Config) (*Dataset, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: invalid N=%d", cfg.N)
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	if cfg.Clusters > cfg.N {
+		cfg.Clusters = cfg.N
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var ds *Dataset
+	switch p {
+	case BMS:
+		ds = genSparseBinary("BMS", 128, cfg, rng, 14, 0.10, 0.50)
+	case GloVe300:
+		ds = genDenseMixture("GloVe300", 64, cfg, rng, 0.35, true, dist.Angular, 0.60)
+	case ImageNET:
+		ds = genHashCodes("ImageNET", 64, cfg, rng, 0.06, 0.90)
+	case Aminer:
+		ds = genTitleTokens("Aminer", 256, cfg, rng, 9, 2, 0.35)
+	case YouTube:
+		ds = genDenseMixture("YouTube", 128, cfg, rng, 0.25, false, dist.L2, 6.0)
+	case DBLP:
+		ds = genTitleTokens("DBLP", 256, cfg, rng, 12, 3, 0.40)
+	default:
+		return nil, fmt.Errorf("dataset: unknown profile %q", p)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// zipfWeights returns unnormalized cluster-size weights ~ 1/rank^s so a few
+// clusters dominate, yielding the heavy-tailed selectivities the paper's
+// query workload exhibits.
+func zipfWeights(k int, s float64) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// sampleCluster draws a cluster index proportional to weights.
+func sampleCluster(rng *rand.Rand, w []float64) int {
+	total := tensor.Sum(w)
+	r := rng.Float64() * total
+	var acc float64
+	for i, v := range w {
+		acc += v
+		if acc >= r {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// genDenseMixture plants Gaussian clusters; normalize=true projects points
+// onto the unit sphere (angular metric datasets).
+func genDenseMixture(name string, dim int, cfg Config, rng *rand.Rand, spread float64, normalize bool, m dist.Metric, tauMax float64) *Dataset {
+	k := cfg.Clusters
+	centers := make([][]float64, k)
+	scales := make([]float64, k)
+	for i := range centers {
+		centers[i] = make([]float64, dim)
+		for j := range centers[i] {
+			centers[i][j] = rng.NormFloat64()
+		}
+		if normalize {
+			tensor.Normalize(centers[i])
+		}
+		// Heterogeneous cluster tightness.
+		scales[i] = spread * (0.5 + rng.Float64())
+	}
+	w := zipfWeights(k, 1.1)
+	vecs := make([][]float64, cfg.N)
+	for i := range vecs {
+		c := sampleCluster(rng, w)
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = centers[c][j] + rng.NormFloat64()*scales[c]
+		}
+		if normalize {
+			tensor.Normalize(v)
+		}
+		vecs[i] = v
+	}
+	return &Dataset{Name: name, Metric: m, Dim: dim, Vectors: vecs, TauMax: tauMax}
+}
+
+// genSparseBinary plants sparse binary prototypes (itemset-style, the BMS
+// stand-in). Each cluster has a prototype of ones ~ onesPerVec set bits;
+// members copy it with per-bit noise flipProb on set bits and matching
+// random insertions.
+func genSparseBinary(name string, dim int, cfg Config, rng *rand.Rand, onesPerVec int, flipProb, tauMax float64) *Dataset {
+	k := cfg.Clusters
+	protos := make([][]int, k)
+	for i := range protos {
+		perm := rng.Perm(dim)
+		n := onesPerVec/2 + rng.Intn(onesPerVec)
+		protos[i] = perm[:n]
+	}
+	w := zipfWeights(k, 1.2)
+	vecs := make([][]float64, cfg.N)
+	for i := range vecs {
+		c := sampleCluster(rng, w)
+		v := make([]float64, dim)
+		for _, b := range protos[c] {
+			if rng.Float64() >= flipProb {
+				v[b] = 1
+			}
+		}
+		// Random insertions keep density roughly constant.
+		ins := rng.Intn(3)
+		for j := 0; j < ins; j++ {
+			v[rng.Intn(dim)] = 1
+		}
+		vecs[i] = v
+	}
+	return &Dataset{Name: name, Metric: dist.Hamming, Dim: dim, Vectors: vecs, TauMax: tauMax}
+}
+
+// genHashCodes plants dense binary prototype codes with iid bit flips — the
+// HashNet-preprocessed ImageNET stand-in.
+func genHashCodes(name string, dim int, cfg Config, rng *rand.Rand, flipProb, tauMax float64) *Dataset {
+	k := cfg.Clusters
+	protos := make([][]float64, k)
+	for i := range protos {
+		protos[i] = make([]float64, dim)
+		for j := range protos[i] {
+			if rng.Intn(2) == 1 {
+				protos[i][j] = 1
+			}
+		}
+	}
+	w := zipfWeights(k, 1.0)
+	vecs := make([][]float64, cfg.N)
+	for i := range vecs {
+		c := sampleCluster(rng, w)
+		v := make([]float64, dim)
+		copy(v, protos[c])
+		for j := range v {
+			if rng.Float64() < flipProb {
+				v[j] = 1 - v[j]
+			}
+		}
+		vecs[i] = v
+	}
+	return &Dataset{Name: name, Metric: dist.Hamming, Dim: dim, Vectors: vecs, TauMax: tauMax}
+}
+
+// vocabulary for synthetic titles.
+var titleWords = []string{
+	"learned", "cardinality", "estimation", "similarity", "queries", "deep",
+	"neural", "networks", "database", "systems", "index", "join", "search",
+	"distributed", "graph", "embedding", "optimization", "transaction",
+	"storage", "memory", "parallel", "adaptive", "scalable", "efficient",
+	"approximate", "exact", "streaming", "temporal", "spatial", "relational",
+	"knowledge", "mining", "clustering", "classification", "regression",
+	"sampling", "hashing", "quantization", "compression", "partitioning",
+}
+
+// genTitleTokens synthesizes publication titles per cluster and embeds them
+// with the Edit→token-Hamming transform — the Aminer/DBLP stand-in. Members
+// of a cluster are small edits of a base title, so intra-cluster
+// token-Hamming distances are small, mirroring near-duplicate titles.
+func genTitleTokens(name string, dim int, cfg Config, rng *rand.Rand, titleLen, edits int, tauMax float64) *Dataset {
+	k := cfg.Clusters
+	bases := make([][]string, k)
+	for i := range bases {
+		words := make([]string, titleLen)
+		for j := range words {
+			words[j] = titleWords[rng.Intn(len(titleWords))]
+		}
+		bases[i] = words
+	}
+	w := zipfWeights(k, 1.1)
+	vecs := make([][]float64, cfg.N)
+	for i := range vecs {
+		c := sampleCluster(rng, w)
+		words := append([]string(nil), bases[c]...)
+		ne := rng.Intn(edits + 1)
+		for e := 0; e < ne; e++ {
+			words[rng.Intn(len(words))] = titleWords[rng.Intn(len(titleWords))]
+		}
+		vecs[i] = dist.TokenHamming(strings.Join(words, " "), 3, dim)
+	}
+	return &Dataset{Name: name, Metric: dist.Hamming, Dim: dim, Vectors: vecs, TauMax: tauMax}
+}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"testing"
+
+	"simquery/internal/dist"
+	"simquery/internal/tensor"
+)
+
+func TestGenerateAllProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		cfg := Config{N: 500, Clusters: 10, Seed: 42}
+		ds, err := Generate(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if ds.Size() != 500 {
+			t.Fatalf("%s: size %d", p, ds.Size())
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		a, err := Generate(p, Config{N: 200, Clusters: 8, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(p, Config{N: 200, Clusters: 8, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Vectors {
+			for j := range a.Vectors[i] {
+				if a.Vectors[i][j] != b.Vectors[i][j] {
+					t.Fatalf("%s: nondeterministic at [%d][%d]", p, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Generate(GloVe300, Config{N: 100, Clusters: 5, Seed: 1})
+	b, _ := Generate(GloVe300, Config{N: 100, Clusters: 5, Seed: 2})
+	same := true
+	for i := range a.Vectors {
+		for j := range a.Vectors[i] {
+			if a.Vectors[i][j] != b.Vectors[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestAngularProfilesAreUnitNorm(t *testing.T) {
+	ds, err := Generate(GloVe300, Config{N: 300, Clusters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Metric != dist.Angular {
+		t.Fatalf("GloVe300 metric %v", ds.Metric)
+	}
+	for i, v := range ds.Vectors {
+		n := tensor.Norm2(v)
+		if n < 0.999 || n > 1.001 {
+			t.Fatalf("vector %d norm %v", i, n)
+		}
+	}
+}
+
+func TestBinaryProfilesAreBinary(t *testing.T) {
+	for _, p := range []Profile{BMS, ImageNET, Aminer, DBLP} {
+		ds, err := Generate(p, Config{N: 200, Clusters: 8, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Metric != dist.Hamming {
+			t.Fatalf("%s metric %v", p, ds.Metric)
+		}
+		for _, v := range ds.Vectors {
+			for _, x := range v {
+				if x != 0 && x != 1 {
+					t.Fatalf("%s: non-binary value %v", p, x)
+				}
+			}
+		}
+	}
+}
+
+func TestBMSIsSparse(t *testing.T) {
+	ds, _ := Generate(BMS, Config{N: 300, Clusters: 10, Seed: 5})
+	var ones float64
+	for _, v := range ds.Vectors {
+		ones += tensor.Sum(v)
+	}
+	density := ones / float64(ds.Size()*ds.Dim)
+	if density > 0.3 {
+		t.Fatalf("BMS should be sparse, density %v", density)
+	}
+	if density == 0 {
+		t.Fatal("BMS vectors are all-zero")
+	}
+}
+
+func TestClusterStructureExists(t *testing.T) {
+	// Intra-cluster distances must be smaller on average than random-pair
+	// distances — the property data segmentation exploits. We approximate
+	// by comparing each point's distance to its nearest neighbours vs a
+	// random pair baseline.
+	ds, err := Generate(YouTube, Config{N: 400, Clusters: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean distance between consecutive generated points (likely different
+	// clusters) vs minimum over a sample window.
+	var randomPair, nearest float64
+	for i := 0; i < 100; i++ {
+		q := ds.Vectors[i]
+		best := -1.0
+		for j := 100; j < 400; j++ {
+			d := ds.Distance(q, ds.Vectors[j])
+			if best < 0 || d < best {
+				best = d
+			}
+			if j == 100+i {
+				randomPair += d
+			}
+		}
+		nearest += best
+	}
+	if nearest/100 >= randomPair/100 {
+		t.Fatalf("no cluster structure: nearest %v >= random %v", nearest/100, randomPair/100)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("BMS")
+	if err != nil || p != BMS {
+		t.Fatalf("ParseProfile: %v %v", p, err)
+	}
+	if _, err := ParseProfile("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(BMS, Config{N: 0}); err == nil {
+		t.Fatal("expected error on N=0")
+	}
+	if _, err := Generate(Profile("bogus"), Config{N: 10}); err == nil {
+		t.Fatal("expected error on unknown profile")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds, _ := Generate(ImageNET, Config{N: 10, Clusters: 2, Seed: 1})
+	ds.Vectors[3] = ds.Vectors[3][:5]
+	if err := ds.Validate(); err == nil {
+		t.Fatal("expected validation error for short vector")
+	}
+}
+
+func TestClustersClampedToN(t *testing.T) {
+	ds, err := Generate(ImageNET, Config{N: 5, Clusters: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Size() != 5 {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestComputeStatsAllProfiles(t *testing.T) {
+	for _, p := range Profiles() {
+		ds, err := Generate(p, Config{N: 600, Clusters: 12, Seed: 61})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ComputeStats(ds, 1000, 30, 62)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if s.Q01 > s.Q50 || s.Q50 > s.Q99 {
+			t.Fatalf("%s: quantiles out of order %+v", p, s)
+		}
+		if !s.HasClusterStructure() {
+			t.Fatalf("%s: generator lost its cluster structure: %s", p, s)
+		}
+		if s.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestComputeStatsSparsitySignals(t *testing.T) {
+	bms, _ := Generate(BMS, Config{N: 400, Clusters: 10, Seed: 63})
+	yt, _ := Generate(YouTube, Config{N: 400, Clusters: 10, Seed: 63})
+	sb, err := ComputeStats(bms, 500, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sy, err := ComputeStats(yt, 500, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Density >= 0.5 {
+		t.Fatalf("BMS should be sparse: %v", sb.Density)
+	}
+	if sy.Density <= 0.9 {
+		t.Fatalf("YouTube should be dense: %v", sy.Density)
+	}
+}
+
+func TestComputeStatsErrors(t *testing.T) {
+	bad := &Dataset{Name: "x", Dim: 2, TauMax: 1}
+	if _, err := ComputeStats(bad, 10, 5, 1); err == nil {
+		t.Fatal("expected error on invalid dataset")
+	}
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Stats summarizes a dataset's distance distribution from a random pair
+// sample — the structure the estimators learn. Used by tests to validate
+// generator properties and by the CLI for quick dataset inspection.
+type Stats struct {
+	N, Dim int
+	Metric string
+	// Distance quantiles over sampled pairs.
+	Q01, Q10, Q50, Q90, Q99 float64
+	// MeanNNDist is the mean distance to the nearest neighbour over a
+	// sample of points (excluding self), a cluster-tightness signal.
+	MeanNNDist float64
+	// Density is the fraction of nonzero coordinates (sparsity signal).
+	Density float64
+}
+
+// ComputeStats samples pairs (and nearest neighbours against a candidate
+// subset) to summarize the dataset.
+func ComputeStats(d *Dataset, pairs, nnPoints int, seed int64) (Stats, error) {
+	if err := d.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if pairs <= 0 {
+		pairs = 2000
+	}
+	if nnPoints <= 0 {
+		nnPoints = 50
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := d.Size()
+	s := Stats{N: n, Dim: d.Dim, Metric: d.Metric.String()}
+
+	ds := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		ds = append(ds, d.Distance(d.Vectors[a], d.Vectors[b]))
+	}
+	if len(ds) == 0 {
+		return Stats{}, fmt.Errorf("dataset: too few points for statistics")
+	}
+	sort.Float64s(ds)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ds)-1))
+		return ds[i]
+	}
+	s.Q01, s.Q10, s.Q50, s.Q90, s.Q99 = q(0.01), q(0.10), q(0.50), q(0.90), q(0.99)
+
+	// Nearest-neighbour distances over a candidate window.
+	cand := n
+	if cand > 2000 {
+		cand = 2000
+	}
+	var nnTotal float64
+	nnCount := 0
+	for i := 0; i < nnPoints && i < n; i++ {
+		qi := rng.Intn(n)
+		best := -1.0
+		for j := 0; j < cand; j++ {
+			cj := rng.Intn(n)
+			if cj == qi {
+				continue
+			}
+			dd := d.Distance(d.Vectors[qi], d.Vectors[cj])
+			if best < 0 || dd < best {
+				best = dd
+			}
+		}
+		if best >= 0 {
+			nnTotal += best
+			nnCount++
+		}
+	}
+	if nnCount > 0 {
+		s.MeanNNDist = nnTotal / float64(nnCount)
+	}
+
+	// Density over a sample of vectors.
+	var nz, total float64
+	for i := 0; i < 200 && i < n; i++ {
+		v := d.Vectors[rng.Intn(n)]
+		total += float64(len(v))
+		for _, x := range v {
+			if x != 0 {
+				nz++
+			}
+		}
+	}
+	if total > 0 {
+		s.Density = nz / total
+	}
+	return s, nil
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d dim=%d metric=%s dist[q01=%.3g q10=%.3g q50=%.3g q90=%.3g q99=%.3g] nn=%.3g density=%.3f",
+		s.N, s.Dim, s.Metric, s.Q01, s.Q10, s.Q50, s.Q90, s.Q99, s.MeanNNDist, s.Density)
+}
+
+// HasClusterStructure reports whether nearest neighbours are markedly
+// closer than median pairs — the property data segmentation exploits.
+func (s Stats) HasClusterStructure() bool {
+	return s.Q50 > 0 && s.MeanNNDist < s.Q50*0.8
+}

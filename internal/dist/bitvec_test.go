@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBinary(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = float64(rng.Intn(2))
+	}
+	return v
+}
+
+func TestPackBitsRoundTripDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 63, 64, 65, 128, 300} {
+		a := randBinary(rng, d)
+		b := randBinary(rng, d)
+		want := Distance(Hamming, a, b)
+		got := HammingBits(PackBits(a), PackBits(b))
+		if got != want {
+			t.Fatalf("dim %d: packed %v want %v", d, got, want)
+		}
+	}
+}
+
+// Property: packed Hamming equals unpacked Hamming for all binary vectors.
+func TestHammingBitsProperty(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(dRaw)%200 + 1
+		a := randBinary(rng, d)
+		b := randBinary(rng, d)
+		return HammingBits(PackBits(a), PackBits(b)) == Distance(Hamming, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchCount(t *testing.T) {
+	a := PackBits([]float64{1, 0, 1, 0})
+	b := PackBits([]float64{0, 0, 1, 1})
+	if MismatchCount(a, b) != 2 {
+		t.Fatalf("mismatches %d", MismatchCount(a, b))
+	}
+}
+
+func TestHammingBitsEmptyVector(t *testing.T) {
+	if HammingBits(PackBits(nil), PackBits(nil)) != 0 {
+		t.Fatal("empty vectors should be distance 0")
+	}
+}
+
+func TestHammingBitsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HammingBits(PackBits([]float64{1}), PackBits([]float64{1, 0}))
+}
+
+func TestPackAll(t *testing.T) {
+	vs := [][]float64{{1, 0}, {0, 1}}
+	packed := PackAll(vs)
+	if len(packed) != 2 || HammingBits(packed[0], packed[1]) != 1 {
+		t.Fatal("PackAll wrong")
+	}
+}
+
+func BenchmarkHammingFloat256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randBinary(rng, 256)
+	y := randBinary(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(Hamming, x, y)
+	}
+}
+
+func BenchmarkHammingPacked256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := PackBits(randBinary(rng, 256))
+	y := PackBits(randBinary(rng, 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HammingBits(x, y)
+	}
+}

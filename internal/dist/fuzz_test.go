@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSegmentCombine checks the §3.2 decomposition identity on arbitrary
+// inputs: combining per-segment distances must reproduce the full-vector
+// distance for every metric.
+func FuzzSegmentCombine(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{8, 7, 6, 5, 4, 3, 2, 1}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, []byte{255, 255, 255, 255}, uint8(3))
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte, nRaw uint8) {
+		n := int(nRaw)%8 + 1
+		d := len(aRaw)
+		if d == 0 || len(bRaw) < d {
+			return
+		}
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = float64(aRaw[i])/64 - 2
+			b[i] = float64(bRaw[i])/64 - 2
+		}
+		for _, m := range []Metric{L1, L2, Hamming} {
+			want := Distance(m, a, b)
+			got := SegmentCombine(m, SegmentDistances(m, a, b, n), d)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("metric %v, %d segs: %v != %v", m, n, got, want)
+			}
+		}
+	})
+}
+
+// FuzzPackBits checks that packed Hamming equals unpacked Hamming for any
+// binary vector contents.
+func FuzzPackBits(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1}, []byte{0, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, aRaw, bRaw []byte) {
+		d := len(aRaw)
+		if d == 0 || len(bRaw) < d {
+			return
+		}
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = float64(aRaw[i] % 2)
+			b[i] = float64(bRaw[i] % 2)
+		}
+		want := Distance(Hamming, a, b)
+		got := HammingBits(PackBits(a), PackBits(b))
+		if got != want {
+			t.Fatalf("packed %v != unpacked %v", got, want)
+		}
+	})
+}
+
+// FuzzTokenHamming checks the string transform never panics and always
+// produces a vector of the requested dimension with binary entries.
+func FuzzTokenHamming(f *testing.F) {
+	f.Add("learned cardinality", 3, 64)
+	f.Add("", 0, 16)
+	f.Fuzz(func(t *testing.T, s string, q, dim int) {
+		if dim <= 0 || dim > 4096 {
+			return
+		}
+		v := TokenHamming(s, q, dim)
+		if len(v) != dim {
+			t.Fatalf("dim %d want %d", len(v), dim)
+		}
+		for _, x := range v {
+			if x != 0 && x != 1 {
+				t.Fatalf("non-binary %v", x)
+			}
+		}
+	})
+}

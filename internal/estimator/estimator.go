@@ -1,0 +1,41 @@
+// Package estimator defines the interfaces every cardinality estimator in
+// this repository implements, so the experiment harness and the public
+// facade can treat the paper's methods and the baselines uniformly
+// (Table 2 lists the thirteen tested algorithms).
+package estimator
+
+// SearchEstimator estimates the cardinality of a similarity search
+// (Problem 1, §2).
+type SearchEstimator interface {
+	// Name identifies the method, matching the paper's Table 2 labels.
+	Name() string
+	// EstimateSearch returns card(q, τ, D) — the estimated number of data
+	// objects within distance τ of q.
+	EstimateSearch(q []float64, tau float64) float64
+	// SizeBytes reports the model footprint, the quantity of Table 5.
+	SizeBytes() int
+}
+
+// JoinEstimator estimates the cardinality of a similarity join
+// (Problem 2, §2).
+type JoinEstimator interface {
+	SearchEstimator
+	// EstimateJoin returns card(Q, τ, D) — the estimated number of
+	// (q, p) pairs within distance τ.
+	EstimateJoin(qs [][]float64, tau float64) float64
+}
+
+// SumJoin adapts any search estimator to joins by summing per-query
+// estimates — how the paper uses search estimators as join baselines (§6).
+type SumJoin struct {
+	SearchEstimator
+}
+
+// EstimateJoin sums the search estimate of every query in the set.
+func (s SumJoin) EstimateJoin(qs [][]float64, tau float64) float64 {
+	var total float64
+	for _, q := range qs {
+		total += s.EstimateSearch(q, tau)
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+// constEstimator returns a fixed value per query.
+type constEstimator struct{ v float64 }
+
+func (c constEstimator) Name() string                                    { return "const" }
+func (c constEstimator) EstimateSearch(q []float64, tau float64) float64 { return c.v }
+func (c constEstimator) SizeBytes() int                                  { return 8 }
+
+func TestSumJoin(t *testing.T) {
+	e := SumJoin{SearchEstimator: constEstimator{v: 3}}
+	qs := [][]float64{{1}, {2}, {3}, {4}}
+	if got := e.EstimateJoin(qs, 0.5); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("join %v want 12", got)
+	}
+	if got := e.EstimateJoin(nil, 0.5); got != 0 {
+		t.Fatalf("empty join %v", got)
+	}
+}
+
+func TestSumJoinImplementsJoinEstimator(t *testing.T) {
+	var _ JoinEstimator = SumJoin{SearchEstimator: constEstimator{}}
+}

@@ -1,0 +1,118 @@
+package exper
+
+import (
+	"simquery/internal/metrics"
+	"simquery/internal/model"
+)
+
+// QuerySegRow is one point of the query-segmentation ablation.
+type QuerySegRow struct {
+	QuerySegments int
+	MeanQ         float64
+}
+
+// AblationQuerySegments varies the number of query segments in QES's CNN
+// (§3.2's design knob: 1 segment degenerates to a whole-vector convolution;
+// more segments give the per-segment density function finer granularity).
+func AblationQuerySegments(env *Env, counts []int) ([]QuerySegRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16}
+	}
+	samples := env.TrainSamples()
+	cfg := model.DefaultTrainConfig(env.P.Seed + 150)
+	cfg.Epochs = env.P.Epochs
+	var out []QuerySegRow
+	for _, c := range counts {
+		m, err := model.NewQESModel("QES", rngFor(env.P.Seed+151), env.DS.Dim, c,
+			model.DefaultConvConfigs(), anchorsFromEnv(env, 8), env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+		if err != nil {
+			return nil, err
+		}
+		m.MaxCard = float64(env.DS.Size())
+		if err := m.Train(samples, cfg); err != nil {
+			return nil, err
+		}
+		out = append(out, QuerySegRow{
+			QuerySegments: c,
+			MeanQ:         metrics.Summarize(searchQErrors(m, env.W.Test)).Mean,
+		})
+	}
+	return out, nil
+}
+
+// LambdaRow is one point of the hybrid-loss ablation.
+type LambdaRow struct {
+	Lambda float64
+	MeanQ  float64
+	MAPE   float64
+}
+
+// AblationLambda varies the Q-error weight λ of the hybrid loss (§3.1's
+// design: λ=0 is pure MAPE, which under-estimates; large λ is pure Q-error,
+// which ignores small errors).
+func AblationLambda(env *Env, lambdas []float64) ([]LambdaRow, error) {
+	if len(lambdas) == 0 {
+		lambdas = []float64{0, 0.1, 0.3, 1.0}
+	}
+	samples := env.TrainSamples()
+	var out []LambdaRow
+	for li, l := range lambdas {
+		m, err := model.NewQESModel("QES", rngFor(env.P.Seed+160), env.DS.Dim, env.P.QuerySegs,
+			model.DefaultConvConfigs(), anchorsFromEnv(env, 8), env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+		if err != nil {
+			return nil, err
+		}
+		m.MaxCard = float64(env.DS.Size())
+		cfg := model.DefaultTrainConfig(env.P.Seed + 161 + int64(li))
+		cfg.Epochs = env.P.Epochs
+		cfg.Lambda = l
+		if err := m.Train(samples, cfg); err != nil {
+			return nil, err
+		}
+		out = append(out, LambdaRow{
+			Lambda: l,
+			MeanQ:  metrics.Summarize(searchQErrors(m, env.W.Test)).Mean,
+			MAPE:   metrics.Summarize(searchMAPEs(m, env.W.Test)).Mean,
+		})
+	}
+	return out, nil
+}
+
+// SigmaRow is one point of the selection-threshold ablation.
+type SigmaRow struct {
+	Sigma       float64
+	MeanQ       float64
+	AvgSelected float64 // average number of local models evaluated
+}
+
+// AblationSigma varies the global model's discriminative threshold σ
+// (§5.1's "const value, e.g., 0.5"): lower σ evaluates more local models
+// (better recall, higher latency), higher σ fewer.
+func AblationSigma(env *Env, gl *model.GlobalLocal, sigmas []float64) []SigmaRow {
+	if len(sigmas) == 0 {
+		sigmas = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	orig := gl.Sigma
+	defer func() { gl.Sigma = orig }()
+	var out []SigmaRow
+	for _, s := range sigmas {
+		gl.Sigma = s
+		var qerrs []float64
+		var selected int
+		for _, q := range env.W.Test {
+			sel := gl.SelectedSegments(q.Vec, q.Tau)
+			for _, on := range sel {
+				if on {
+					selected++
+				}
+			}
+			qerrs = append(qerrs, metrics.QError(gl.EstimateSearch(q.Vec, q.Tau), q.Card))
+		}
+		out = append(out, SigmaRow{
+			Sigma:       s,
+			MeanQ:       metrics.Summarize(qerrs).Mean,
+			AvgSelected: float64(selected) / float64(len(env.W.Test)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package exper is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§6), each producing the same rows/series the
+// paper reports, at a configurable scale. The harness is what
+// cmd/simbench and the top-level benchmarks drive.
+package exper
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"simquery/internal/cluster"
+	"simquery/internal/dataset"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+// Scale selects the experiment size. The paper's sizes (Table 3) are
+// impractical for a pure-Go laptop run; "small" finishes the full suite in
+// minutes, "medium" in tens of minutes, "paper" approaches Table 3.
+type Scale string
+
+// Available scales.
+const (
+	Small  Scale = "small"
+	Medium Scale = "medium"
+	Paper  Scale = "paper"
+)
+
+// ParseScale resolves a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case Small, Medium, Paper:
+		return Scale(s), nil
+	default:
+		return "", fmt.Errorf("exper: unknown scale %q (want small|medium|paper)", s)
+	}
+}
+
+// Params are the scale-dependent knobs.
+type Params struct {
+	N           int // dataset size
+	Clusters    int // latent generator clusters
+	TrainPoints int
+	TestPoints  int
+	Thresholds  int
+	Segments    int // data segments for GL models
+	QuerySegs   int // query segments for CNN models
+	Epochs      int
+	JoinSets    int
+	Seed        int64
+	// CacheDir, when set, caches labeled workloads on disk keyed by
+	// (profile, scale knobs, seed) so repeated runs skip exact labeling.
+	CacheDir string
+}
+
+// ParamsFor returns the knobs for a scale.
+func ParamsFor(s Scale) Params {
+	switch s {
+	case Medium:
+		return Params{
+			N: 20000, Clusters: 40, TrainPoints: 400, TestPoints: 120,
+			Thresholds: 10, Segments: 32, QuerySegs: 8, Epochs: 25,
+			JoinSets: 24, Seed: 1,
+		}
+	case Paper:
+		return Params{
+			N: 300000, Clusters: 80, TrainPoints: 800, TestPoints: 200,
+			Thresholds: 10, Segments: 100, QuerySegs: 8, Epochs: 40,
+			JoinSets: 40, Seed: 1,
+		}
+	default: // Small
+		return Params{
+			N: 6000, Clusters: 24, TrainPoints: 150, TestPoints: 50,
+			Thresholds: 8, Segments: 12, QuerySegs: 8, Epochs: 16,
+			JoinSets: 16, Seed: 1,
+		}
+	}
+}
+
+// Env is a fully prepared experiment environment for one dataset profile:
+// the generated data, the labeled workload, and the canonical segmentation
+// shared by every data-segmentation model (so their per-segment labels are
+// computed once).
+type Env struct {
+	Profile dataset.Profile
+	Scale   Scale
+	P       Params
+	DS      *dataset.Dataset
+	W       *workload.SearchWorkload
+	Seg     *cluster.Segmentation
+
+	// LabelTime records how long exact workload labeling took (Fig 14's
+	// "label construction time").
+	LabelTime time.Duration
+}
+
+// NewEnv generates, labels, and segments one dataset profile.
+func NewEnv(p dataset.Profile, scale Scale) (*Env, error) {
+	params := ParamsFor(scale)
+	return NewEnvWithParams(p, scale, params)
+}
+
+// NewEnvWithParams is NewEnv with explicit knobs (used by the sweep
+// figures).
+func NewEnvWithParams(p dataset.Profile, scale Scale, params Params) (*Env, error) {
+	ds, err := dataset.Generate(p, dataset.Config{N: params.N, Clusters: params.Clusters, Seed: params.Seed})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var w *workload.SearchWorkload
+	cachePath := ""
+	if params.CacheDir != "" {
+		cachePath = filepath.Join(params.CacheDir, fmt.Sprintf("%s-n%d-c%d-t%d-q%d-%d-s%d.wl",
+			p, params.N, params.Clusters, params.TrainPoints, params.TestPoints, params.Thresholds, params.Seed))
+		if cached, err := workload.LoadSearch(cachePath); err == nil {
+			w = cached
+		}
+	}
+	if w == nil {
+		var err error
+		w, err = workload.BuildSearch(ds, workload.SearchConfig{
+			TrainPoints:        params.TrainPoints,
+			TestPoints:         params.TestPoints,
+			ThresholdsPerPoint: params.Thresholds,
+			Seed:               params.Seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cachePath != "" {
+			if err := workload.SaveSearch(cachePath, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(params.Seed + 2))
+	seg, err := cluster.KMeans(ds.Vectors, params.Segments, cluster.KMeansOptions{PCADims: 8}, rng)
+	if err != nil {
+		return nil, err
+	}
+	workload.AttachSegmentLabels(ds, seg, w.Train, 0)
+	workload.AttachSegmentLabels(ds, seg, w.Test, 0)
+	labelTime := time.Since(start)
+	return &Env{
+		Profile: p, Scale: scale, P: params,
+		DS: ds, W: w, Seg: seg, LabelTime: labelTime,
+	}, nil
+}
+
+// TrainSamples converts the training workload to model samples.
+func (e *Env) TrainSamples() []model.Sample {
+	out := make([]model.Sample, len(e.W.Train))
+	for i, q := range e.W.Train {
+		out[i] = model.Sample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+	}
+	return out
+}
+
+// SegTrainSamples converts the training workload to per-segment samples.
+func (e *Env) SegTrainSamples() []model.SegSample {
+	out := make([]model.SegSample, len(e.W.Train))
+	for i, q := range e.W.Train {
+		out[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+	}
+	return out
+}

@@ -1,0 +1,481 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/model"
+)
+
+// tinyParams keeps harness tests fast.
+func tinyParams() Params {
+	return Params{
+		N: 1500, Clusters: 10, TrainPoints: 60, TestPoints: 20,
+		Thresholds: 5, Segments: 5, QuerySegs: 8, Epochs: 8,
+		JoinSets: 8, Seed: 71,
+	}
+}
+
+var (
+	envOnce  sync.Once
+	envShare *Env
+	envErr   error
+)
+
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envShare, envErr = NewEnvWithParams(dataset.ImageNET, Small, tinyParams())
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envShare
+}
+
+var (
+	suiteOnce  sync.Once
+	suiteShare *Suite
+	suiteErr   error
+)
+
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	env := tinyEnv(t)
+	suiteOnce.Do(func() {
+		suiteShare, suiteErr = BuildSuite(env, SuiteOptions{SkipTuning: true})
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suiteShare
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"small", "medium", "paper"} {
+		if _, err := ParseScale(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParamsForScales(t *testing.T) {
+	if ParamsFor(Small).N >= ParamsFor(Medium).N || ParamsFor(Medium).N >= ParamsFor(Paper).N {
+		t.Fatal("scales must grow")
+	}
+}
+
+func TestEnvConstruction(t *testing.T) {
+	env := tinyEnv(t)
+	if env.DS.Size() != 1500 {
+		t.Fatalf("size %d", env.DS.Size())
+	}
+	if len(env.W.Train) != 60*5 || len(env.W.Test) != 20*5 {
+		t.Fatalf("workload sizes %d/%d", len(env.W.Train), len(env.W.Test))
+	}
+	if env.Seg.K != 5 {
+		t.Fatalf("segments %d", env.Seg.K)
+	}
+	if env.LabelTime <= 0 {
+		t.Fatal("label time not recorded")
+	}
+	for _, q := range env.W.Train {
+		if len(q.SegCards) != env.Seg.K {
+			t.Fatal("train labels missing segment cards")
+		}
+	}
+}
+
+func TestSuiteHasAllElevenMethods(t *testing.T) {
+	s := tinySuite(t)
+	methods := s.SearchMethods()
+	if len(methods) != 11 {
+		var names []string
+		for _, m := range methods {
+			names = append(names, m.Name())
+		}
+		t.Fatalf("got %d methods: %v", len(methods), names)
+	}
+	// Table 4 order: GL+ first.
+	if methods[0].Name() != "GL+" {
+		t.Fatalf("first method %s", methods[0].Name())
+	}
+}
+
+func TestTable4ProducesSaneRows(t *testing.T) {
+	s := tinySuite(t)
+	res := Table4(s)
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Summary.Mean < 1 {
+			t.Fatalf("%s: mean q-error %v < 1 is impossible", r.Method, r.Summary.Mean)
+		}
+		if r.Summary.Max < r.Summary.Median {
+			t.Fatalf("%s: max < median", r.Method)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderAccuracy(&buf, "Table 4", res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GL+") {
+		t.Fatal("render missing methods")
+	}
+}
+
+func TestLearnedBeatTinySampleOnMean(t *testing.T) {
+	s := tinySuite(t)
+	res := Table4(s)
+	get := func(name string) float64 {
+		for _, r := range res.Rows {
+			if r.Method == name {
+				return r.Summary.Mean
+			}
+		}
+		t.Fatalf("method %s missing", name)
+		return 0
+	}
+	// The headline claim at reduced scale: the data-segmentation models
+	// beat the 1% sampling baseline on mean Q-error.
+	if get("GL+") >= get("Sampling (1%)") {
+		t.Fatalf("GL+ (%.3g) should beat Sampling 1%% (%.3g)", get("GL+"), get("Sampling (1%)"))
+	}
+}
+
+func TestTable5SizesPositive(t *testing.T) {
+	s := tinySuite(t)
+	res := Table5(s)
+	for _, r := range res.Rows {
+		if r.Bytes <= 0 {
+			t.Fatalf("%s: size %d", r.Method, r.Bytes)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderSizes(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable6Latency(t *testing.T) {
+	s := tinySuite(t)
+	res, err := Table6(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 { // 11 methods + SimSelect
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PerCall <= 0 {
+			t.Fatalf("%s: nonpositive latency", r.Method)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderLatency(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSuiteAndTable7(t *testing.T) {
+	s := tinySuite(t)
+	train, test, err := JoinWorkloads(s.Env, 8, 8, 20, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := BuildJoinSuite(s, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Table7(js, test)
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Summary.Mean < 1 {
+			t.Fatalf("%s: impossible mean %v", r.Method, r.Summary.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderAccuracy(&buf, "Table 7", res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 12 with small buckets.
+	points, err := Figure12(js, [][2]int{{5, 10}, {10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	if err := RenderJoinSize(&buf, "ImageNET", points); err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 13 at a reduced set size.
+	lat, err := Figure13(js, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) == 0 {
+		t.Fatal("no latency rows")
+	}
+	if err := RenderJoinLatency(&buf, "ImageNET", lat); err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 14 assembled from both suites.
+	tt := Figure14(s, js)
+	if len(tt.Rows) == 0 || tt.LabelTime <= 0 {
+		t.Fatal("training times missing")
+	}
+	if err := RenderTrainTime(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	s := tinySuite(t)
+	res := Figure8(s)
+	if len(res.Rows) != 7 { // learned methods only
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	var buf bytes.Buffer
+	if err := RenderMAPE(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure9PenaltyReducesMissing(t *testing.T) {
+	env := tinyEnv(t)
+	res, err := Figure9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithPenalty < 0 || res.WithPenalty > 1 || res.WithoutPenalty < 0 || res.WithoutPenalty > 1 {
+		t.Fatalf("missing rates out of range: %+v", res)
+	}
+	var buf bytes.Buffer
+	RenderMissingRate(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFigure10TrainingSizes(t *testing.T) {
+	env := tinyEnv(t)
+	points, err := Figure10(env, []float64{0.5, 1.0}, model.DefaultConvConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	if points[0].TrainQueries >= points[1].TrainQueries {
+		t.Fatal("training sizes must grow")
+	}
+	var buf bytes.Buffer
+	if err := RenderTrainingSize(&buf, env.DS.Name, points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure11Segments(t *testing.T) {
+	env := tinyEnv(t)
+	points, err := Figure11(env, []int{1, 4}, model.DefaultConvConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points %d", len(points))
+	}
+	var buf bytes.Buffer
+	if err := RenderSegments(&buf, env.DS.Name, points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure15Incremental(t *testing.T) {
+	// A fresh env: Figure15 mutates the dataset and labels.
+	env, err := NewEnvWithParams(dataset.GloVe300, Small, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Figure15(env, 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // baseline + 3 ops
+		t.Fatalf("points %d", len(points))
+	}
+	// Accuracy must stay bounded across updates (the figure's claim).
+	base := points[0].MeanQ
+	for _, p := range points[1:] {
+		if p.MeanQ > base*10+10 {
+			t.Fatalf("incremental error blew up: baseline %v, op %d -> %v", base, p.Op, p.MeanQ)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderIncremental(&buf, env.DS.Name, points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationSegmentation(t *testing.T) {
+	env := tinyEnv(t)
+	rows, err := AblationSegmentation(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := RenderSegAblation(&buf, env.DS.Name, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationQuerySegments(t *testing.T) {
+	env := tinyEnv(t)
+	rows, err := AblationQuerySegments(env, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].QuerySegments != 1 || rows[1].QuerySegments != 8 {
+		t.Fatalf("rows %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := RenderQuerySegAblation(&buf, env.DS.Name, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationLambda(t *testing.T) {
+	env := tinyEnv(t)
+	rows, err := AblationLambda(env, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanQ < 1 || r.MAPE < 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderLambdaAblation(&buf, env.DS.Name, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationSigmaTradeoff(t *testing.T) {
+	s := tinySuite(t)
+	rows := AblationSigma(s.Env, s.GLPlus, []float64{0.1, 0.9})
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Lower sigma must evaluate at least as many local models.
+	if rows[0].AvgSelected < rows[1].AvgSelected {
+		t.Fatalf("sigma=0.1 selected %v < sigma=0.9 selected %v", rows[0].AvgSelected, rows[1].AvgSelected)
+	}
+	// Sigma must be restored.
+	if s.GLPlus.Sigma != 0.5 {
+		t.Fatalf("sigma not restored: %v", s.GLPlus.Sigma)
+	}
+	var buf bytes.Buffer
+	if err := RenderSigmaAblation(&buf, s.Env.DS.Name, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuiteOnlyFilter(t *testing.T) {
+	env := tinyEnv(t)
+	s, err := BuildSuite(env, SuiteOptions{SkipTuning: true, Only: map[string]bool{"MLP": true, "Sampling (1%)": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SearchMethods()) != 2 {
+		t.Fatalf("got %d methods", len(s.SearchMethods()))
+	}
+}
+
+func TestTunePerLocalConvs(t *testing.T) {
+	env := tinyEnv(t)
+	segSamples := env.SegTrainSamples()
+	out, err := TunePerLocalConvs(env, segSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != env.Seg.K {
+		t.Fatalf("got %d stacks for %d segments", len(out), env.Seg.K)
+	}
+	tunedAny := false
+	for _, stack := range out {
+		if stack != nil {
+			tunedAny = true
+			for _, c := range stack {
+				if err := c.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if !tunedAny {
+		t.Fatal("no segment had enough samples to tune")
+	}
+}
+
+func TestSuitePerLocalTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains many candidate models")
+	}
+	env := tinyEnv(t)
+	s, err := BuildSuite(env, SuiteOptions{
+		SkipTuning:     true,
+		PerLocalTuning: true,
+		Only:           map[string]bool{"GL+": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GLPlus == nil {
+		t.Fatal("GL+ missing")
+	}
+	res := Table4(s)
+	if res.Rows[0].Summary.Mean < 1 {
+		t.Fatal("impossible q-error")
+	}
+}
+
+func TestEnvWorkloadCache(t *testing.T) {
+	params := tinyParams()
+	params.CacheDir = t.TempDir()
+	a, err := NewEnvWithParams(dataset.ImageNET, Small, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second build hits the cache and must produce identical labels.
+	b, err := NewEnvWithParams(dataset.ImageNET, Small, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LabelTime >= a.LabelTime*2 {
+		t.Logf("cache did not speed up labeling (a=%v b=%v) — acceptable under contention", a.LabelTime, b.LabelTime)
+	}
+	for i := range a.W.Test {
+		if a.W.Test[i].Card != b.W.Test[i].Card || a.W.Test[i].Tau != b.W.Test[i].Tau {
+			t.Fatalf("cached workload differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"simquery/internal/cluster"
+	"simquery/internal/metrics"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+// MAPEResult is Figure 8: mean MAPE per method.
+type MAPEResult struct {
+	Dataset string
+	Rows    []struct {
+		Method string
+		MAPE   float64
+	}
+}
+
+// Figure8 reproduces "Figure 8: MAPE of Different Methods" for the learned
+// estimators the figure plots.
+func Figure8(s *Suite) MAPEResult {
+	res := MAPEResult{Dataset: s.Env.DS.Name}
+	for _, m := range s.SearchMethods() {
+		switch m.Name() {
+		case "Sampling (10%)", "Sampling (1%)", "Sampling (equal)", "Kernel-based":
+			continue // the figure plots the learned methods
+		}
+		mape := metrics.Summarize(searchMAPEs(m, s.Env.W.Test)).Mean
+		res.Rows = append(res.Rows, struct {
+			Method string
+			MAPE   float64
+		}{m.Name(), mape})
+	}
+	return res
+}
+
+// MissingRateResult is Figure 9: global-model cardinality missing rate with
+// and without the loss penalty.
+type MissingRateResult struct {
+	Dataset        string
+	WithPenalty    float64
+	WithoutPenalty float64
+}
+
+// Figure9 reproduces "Figure 9: Missing Rate of Global Model": it trains
+// the global discriminative model twice — with and without the
+// cardinality-weighted penalty term — and measures how much true
+// cardinality the selections miss on the test workload.
+func Figure9(env *Env) (MissingRateResult, error) {
+	res := MissingRateResult{Dataset: env.DS.Name}
+	gs := make([]model.GlobalSample, len(env.W.Train))
+	for i, q := range env.W.Train {
+		gs[i] = model.GlobalSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+	}
+	for _, penalty := range []bool{true, false} {
+		g, err := model.NewGlobalModel(rngFor(env.P.Seed+80), env.DS.Dim, env.Seg.Centroids, env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+		if err != nil {
+			return res, err
+		}
+		cfg := model.DefaultGlobalTrainConfig(env.P.Seed + 81)
+		cfg.Epochs = env.P.Epochs
+		cfg.Penalty = penalty
+		if err := g.Train(gs, cfg); err != nil {
+			return res, err
+		}
+		selected := make([][]bool, len(env.W.Test))
+		segCards := make([][]float64, len(env.W.Test))
+		for i, q := range env.W.Test {
+			selected[i] = g.Select(q.Vec, q.Tau, 0.5)
+			segCards[i] = q.SegCards
+		}
+		rate := metrics.MissingRate(selected, segCards)
+		if penalty {
+			res.WithPenalty = rate
+		} else {
+			res.WithoutPenalty = rate
+		}
+	}
+	return res, nil
+}
+
+// TrainingSizePoint is one point of Figure 10.
+type TrainingSizePoint struct {
+	TrainQueries int
+	MeanQ        map[string]float64 // method → mean q-error
+}
+
+// Figure10 reproduces "Figure 10: Errors of Varying Training Sizes": mean
+// Q-error of QES, GL-CNN and GL+ as the training-set size grows. glConvs,
+// when non-nil, is the tuned CNN stack GL+ uses (pass Suite.TunedConvs);
+// nil runs Algorithm 3 once on the full training set.
+func Figure10(env *Env, fractions []float64, glConvs []model.ConvConfig) ([]TrainingSizePoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	if glConvs == nil {
+		tuned, err := tuneConvs(env, env.TrainSamples())
+		if err != nil {
+			return nil, err
+		}
+		glConvs = tuned
+	}
+	var out []TrainingSizePoint
+	all := env.W.Train
+	for _, f := range fractions {
+		n := int(f * float64(len(all)))
+		if n < 10 {
+			n = 10
+		}
+		if n > len(all) {
+			n = len(all)
+		}
+		sub := all[:n]
+		point := TrainingSizePoint{TrainQueries: n, MeanQ: map[string]float64{}}
+
+		samples := make([]model.Sample, n)
+		segSamples := make([]model.SegSample, n)
+		for i, q := range sub {
+			samples[i] = model.Sample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+			segSamples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+		}
+		cfg := model.DefaultTrainConfig(env.P.Seed + 90)
+		cfg.Epochs = env.P.Epochs
+		gcfg := model.DefaultGlobalTrainConfig(env.P.Seed + 91)
+		gcfg.Epochs = env.P.Epochs
+
+		qes, err := model.NewQESModel("QES", rngFor(env.P.Seed+92), env.DS.Dim, env.P.QuerySegs,
+			model.DefaultConvConfigs(), anchorsFromEnv(env, 8), env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+		if err != nil {
+			return nil, err
+		}
+		if err := qes.Train(samples, cfg); err != nil {
+			return nil, err
+		}
+		point.MeanQ["QES"] = metrics.Summarize(searchQErrors(qes, env.W.Test)).Mean
+
+		for _, variant := range []model.Variant{model.GLCNN, model.GLPlus} {
+			glCfg := model.GLConfig{Variant: variant, QuerySegments: env.P.QuerySegs, Seed: env.P.Seed + 93}
+			if variant == model.GLPlus {
+				glCfg.ConvConfigs = glConvs
+				glCfg.Seed = env.P.Seed + 94
+			}
+			gl, err := model.NewGlobalLocalWithSegmentation(variant.String(), env.DS.Vectors, env.Seg,
+				env.DS.Metric, tauScaleOf(env), glCfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := gl.Train(segSamples, cfg, gcfg); err != nil {
+				return nil, err
+			}
+			point.MeanQ[variant.String()] = metrics.Summarize(searchQErrors(gl, env.W.Test)).Mean
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// SegmentsPoint is one point of Figure 11.
+type SegmentsPoint struct {
+	Segments int
+	MeanQ    float64
+}
+
+// Figure11 reproduces "Figure 11: Mean Errors of Varying #-Data Segments":
+// GL+ accuracy as the number of data segments grows. Each point re-segments
+// the data and relabels the workload.
+func Figure11(env *Env, segmentCounts []int, glConvs []model.ConvConfig) ([]SegmentsPoint, error) {
+	if len(segmentCounts) == 0 {
+		segmentCounts = []int{1, 2, 4, 8, 16}
+	}
+	if glConvs == nil {
+		tuned, err := tuneConvs(env, env.TrainSamples())
+		if err != nil {
+			return nil, err
+		}
+		glConvs = tuned
+	}
+	var out []SegmentsPoint
+	for _, k := range segmentCounts {
+		seg, err := cluster.KMeans(env.DS.Vectors, k, cluster.KMeansOptions{PCADims: 8}, rngFor(env.P.Seed+100))
+		if err != nil {
+			return nil, err
+		}
+		train := append([]workload.Query(nil), env.W.Train...)
+		workload.AttachSegmentLabels(env.DS, seg, train, 0)
+		segSamples := make([]model.SegSample, len(train))
+		for i, q := range train {
+			segSamples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+		}
+		gl, err := model.NewGlobalLocalWithSegmentation("GL+", env.DS.Vectors, seg, env.DS.Metric, tauScaleOf(env),
+			model.GLConfig{Variant: model.GLPlus, QuerySegments: env.P.QuerySegs, ConvConfigs: glConvs, Seed: env.P.Seed + 101})
+		if err != nil {
+			return nil, err
+		}
+		cfg := model.DefaultTrainConfig(env.P.Seed + 102)
+		cfg.Epochs = env.P.Epochs
+		gcfg := model.DefaultGlobalTrainConfig(env.P.Seed + 103)
+		gcfg.Epochs = env.P.Epochs
+		if err := gl.Train(segSamples, cfg, gcfg); err != nil {
+			return nil, err
+		}
+		out = append(out, SegmentsPoint{Segments: seg.K, MeanQ: metrics.Summarize(searchQErrors(gl, env.W.Test)).Mean})
+	}
+	return out, nil
+}
+
+// JoinSizePoint is one bucket of Figure 12.
+type JoinSizePoint struct {
+	Lo, Hi int
+	MeanQ  float64
+	MAPE   float64
+}
+
+// Figure12 reproduces "Figure 12: Join Errors with Query Set Size": GLJoin+
+// accuracy across growing join-set size buckets.
+func Figure12(js *JoinSuite, buckets [][2]int) ([]JoinSizePoint, error) {
+	if js.GLJoinPlus == nil {
+		return nil, fmt.Errorf("exper: Figure12 requires a fine-tuned GLJoin+ model")
+	}
+	if len(buckets) == 0 {
+		buckets = [][2]int{{50, 100}, {100, 150}, {150, 200}}
+	}
+	var out []JoinSizePoint
+	for bi, b := range buckets {
+		sets, err := workload.BuildJoin(js.Env.DS, js.Env.Seg, workload.JoinConfig{
+			Sets: js.Env.P.JoinSets / 2, MinSize: b[0], MaxSize: b[1], Seed: js.Env.P.Seed + 110 + int64(bi),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var qerrs, mapes []float64
+		for _, set := range sets {
+			est := js.GLJoinPlus.EstimateJoin(set.Vecs, set.Tau)
+			qerrs = append(qerrs, metrics.QError(est, set.Card))
+			mapes = append(mapes, metrics.MAPE(est, set.Card))
+		}
+		out = append(out, JoinSizePoint{
+			Lo: b[0], Hi: b[1],
+			MeanQ: metrics.Summarize(qerrs).Mean,
+			MAPE:  metrics.Summarize(mapes).Mean,
+		})
+	}
+	return out, nil
+}
+
+// JoinLatencyRow is one method of Figure 13.
+type JoinLatencyRow struct {
+	Method  string
+	PerSet  time.Duration
+	SetSize int
+}
+
+// Figure13 reproduces "Figure 13: Avg. Latency for Similarity Join": the
+// time to estimate one join set of the given size, contrasting the batch
+// (pooled) embedding of GLJoin+ against per-query evaluation.
+func Figure13(js *JoinSuite, setSize int, rounds int) ([]JoinLatencyRow, error) {
+	if setSize <= 0 {
+		setSize = 200
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	env := js.Env
+	if setSize > env.DS.Size() {
+		setSize = env.DS.Size()
+	}
+	qs := make([][]float64, setSize)
+	rng := rngFor(env.P.Seed + 120)
+	for i := range qs {
+		qs[i] = env.DS.Vectors[rng.Intn(env.DS.Size())]
+	}
+	tau := env.DS.TauMax / 4
+	var out []JoinLatencyRow
+	for _, m := range js.joinMethods() {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			m.est(qs, tau)
+		}
+		out = append(out, JoinLatencyRow{Method: m.name, PerSet: time.Since(start) / time.Duration(rounds), SetSize: setSize})
+	}
+	return out, nil
+}
+
+// TrainTimeRow is one method of Figure 14.
+type TrainTimeRow struct {
+	Method string
+	Train  time.Duration
+}
+
+// TrainTimeResult is Figure 14: training and label-construction time.
+type TrainTimeResult struct {
+	Dataset   string
+	LabelTime time.Duration
+	Rows      []TrainTimeRow
+}
+
+// Figure14 reproduces "Figure 14: Training and Label Time" from the timers
+// the suite builders recorded.
+func Figure14(s *Suite, js *JoinSuite) TrainTimeResult {
+	res := TrainTimeResult{Dataset: s.Env.DS.Name, LabelTime: s.Env.LabelTime}
+	order := []string{"MLP", "QES", "CardNet", "Local+", "GL-MLP", "GL-CNN", "GL+", "Sampling (1%)", "Sampling (10%)", "Kernel-based"}
+	for _, name := range order {
+		if d, ok := s.TrainTimes[name]; ok {
+			res.Rows = append(res.Rows, TrainTimeRow{name, d})
+		}
+	}
+	if js != nil {
+		for _, name := range []string{"CNNJoin", "GLJoin", "GLJoin+"} {
+			if d, ok := js.TrainTimes[name]; ok {
+				res.Rows = append(res.Rows, TrainTimeRow{name, d})
+			}
+		}
+	}
+	return res
+}
+
+// IncrementalPoint is one update operation of Figure 15.
+type IncrementalPoint struct {
+	Op    int
+	MeanQ float64
+}
+
+// Figure15 reproduces "Figure 15: Incremental Training (GloVe300)": data is
+// inserted in batches; after each operation the labels are updated, the
+// affected local models and the global model are incrementally retrained,
+// and the test error is recorded.
+func Figure15(env *Env, ops, recordsPerOp, epochsPerOp int) ([]IncrementalPoint, error) {
+	if ops <= 0 {
+		ops = 10
+	}
+	if recordsPerOp <= 0 {
+		recordsPerOp = 10
+	}
+	if epochsPerOp <= 0 {
+		epochsPerOp = 2
+	}
+	gl, err := model.NewGlobalLocalWithSegmentation("GL+", env.DS.Vectors, env.Seg, env.DS.Metric, tauScaleOf(env),
+		model.GLConfig{Variant: model.GLCNN, QuerySegments: env.P.QuerySegs, Seed: env.P.Seed + 130})
+	if err != nil {
+		return nil, err
+	}
+	cfg := model.DefaultTrainConfig(env.P.Seed + 131)
+	cfg.Epochs = env.P.Epochs
+	gcfg := model.DefaultGlobalTrainConfig(env.P.Seed + 132)
+	gcfg.Epochs = env.P.Epochs
+	if err := gl.Train(env.SegTrainSamples(), cfg, gcfg); err != nil {
+		return nil, err
+	}
+
+	// New records are duplicates of existing points, keeping the insert
+	// stream in-distribution as in Exp-11 (which inserts new GloVe records
+	// from the same corpus).
+	rng := rngFor(env.P.Seed + 133)
+	points := []IncrementalPoint{{Op: 0, MeanQ: metrics.Summarize(searchQErrors(gl, env.W.Test)).Mean}}
+	// Incremental passes fine-tune at a reduced learning rate — restarting
+	// Adam at the full rate every operation accumulates drift.
+	incCfg := cfg
+	incCfg.Epochs = epochsPerOp
+	incCfg.LR = cfg.LR / 5
+	incGcfg := gcfg
+	incGcfg.Epochs = epochsPerOp
+	incGcfg.LR = gcfg.LR / 5
+	for op := 1; op <= ops; op++ {
+		newVecs := make([][]float64, recordsPerOp)
+		for i := range newVecs {
+			src := env.DS.Vectors[rng.Intn(env.DS.Size())]
+			v := append([]float64(nil), src...)
+			newVecs[i] = v
+		}
+		// Insert into the dataset, route to segments, update labels.
+		assign := gl.InsertPoints(newVecs)
+		env.DS.Vectors = append(env.DS.Vectors, newVecs...)
+		workload.ApplyInserts(env.DS, env.W.Train, newVecs, assign)
+		workload.ApplyInserts(env.DS, env.W.Test, newVecs, assign)
+		// Incrementally retrain affected locals + global.
+		affected := map[int]bool{}
+		for _, a := range assign {
+			affected[a] = true
+		}
+		if err := gl.IncrementalTrain(env.SegTrainSamples(), affected, incCfg, incGcfg); err != nil {
+			return nil, err
+		}
+		points = append(points, IncrementalPoint{Op: op, MeanQ: metrics.Summarize(searchQErrors(gl, env.W.Test)).Mean})
+	}
+	return points, nil
+}
+
+// SegmentationAblationRow compares segmentation methods (§3.3's claim that
+// PCA+k-means beats LSH and DBSCAN).
+type SegmentationAblationRow struct {
+	Method   string
+	Segments int
+	MeanQ    float64
+}
+
+// AblationSegmentation trains GL-CNN on k-means, LSH, and DBSCAN
+// segmentations of the same data and compares test accuracy.
+func AblationSegmentation(env *Env) ([]SegmentationAblationRow, error) {
+	type segBuild struct {
+		name string
+		f    func() (*cluster.Segmentation, error)
+	}
+	builds := []segBuild{
+		{"PCA+KMeans", func() (*cluster.Segmentation, error) {
+			return cluster.KMeans(env.DS.Vectors, env.P.Segments, cluster.KMeansOptions{PCADims: 8}, rngFor(env.P.Seed+140))
+		}},
+		{"LSH", func() (*cluster.Segmentation, error) {
+			return cluster.LSHSegment(env.DS.Vectors, env.P.Segments, 12, rngFor(env.P.Seed+141))
+		}},
+		{"DBSCAN", func() (*cluster.Segmentation, error) {
+			eps := cluster.SuggestEps(env.DS.Vectors, 4, 200)
+			return cluster.DBSCAN(env.DS.Vectors, eps, 4)
+		}},
+	}
+	var out []SegmentationAblationRow
+	for _, b := range builds {
+		seg, err := b.f()
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s segmentation: %w", b.name, err)
+		}
+		train := append([]workload.Query(nil), env.W.Train...)
+		workload.AttachSegmentLabels(env.DS, seg, train, 0)
+		segSamples := make([]model.SegSample, len(train))
+		for i, q := range train {
+			segSamples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+		}
+		gl, err := model.NewGlobalLocalWithSegmentation(b.name, env.DS.Vectors, seg, env.DS.Metric, tauScaleOf(env),
+			model.GLConfig{Variant: model.GLCNN, QuerySegments: env.P.QuerySegs, Seed: env.P.Seed + 142})
+		if err != nil {
+			return nil, err
+		}
+		cfg := model.DefaultTrainConfig(env.P.Seed + 143)
+		cfg.Epochs = env.P.Epochs
+		gcfg := model.DefaultGlobalTrainConfig(env.P.Seed + 144)
+		gcfg.Epochs = env.P.Epochs
+		if err := gl.Train(segSamples, cfg, gcfg); err != nil {
+			return nil, err
+		}
+		out = append(out, SegmentationAblationRow{
+			Method: b.name, Segments: seg.K,
+			MeanQ: metrics.Summarize(searchQErrors(gl, env.W.Test)).Mean,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Matrix accumulates one number per (dataset, method) across profiles —
+// used by cmd/simbench to print a cross-dataset comparison after a
+// `-dataset all` sweep, mirroring how the paper's tables juxtapose all six
+// datasets.
+type Matrix struct {
+	Metric   string // e.g. "mean Q-error"
+	datasets []string
+	methods  []string
+	cells    map[[2]string]float64
+}
+
+// NewMatrix creates an empty matrix for the named metric.
+func NewMatrix(metric string) *Matrix {
+	return &Matrix{Metric: metric, cells: map[[2]string]float64{}}
+}
+
+// Add records one cell, registering the dataset/method on first sight (row
+// and column order follow insertion order).
+func (m *Matrix) Add(dataset, method string, value float64) {
+	key := [2]string{dataset, method}
+	if _, ok := m.cells[key]; !ok {
+		if !contains(m.datasets, dataset) {
+			m.datasets = append(m.datasets, dataset)
+		}
+		if !contains(m.methods, method) {
+			m.methods = append(m.methods, method)
+		}
+	}
+	m.cells[key] = value
+}
+
+// AddAccuracy records every method's mean from an accuracy table.
+func (m *Matrix) AddAccuracy(res AccuracyResult) {
+	for _, r := range res.Rows {
+		m.Add(res.Dataset, r.Method, r.Summary.Mean)
+	}
+}
+
+// Empty reports whether nothing was recorded.
+func (m *Matrix) Empty() bool { return len(m.cells) == 0 }
+
+// Render writes the matrix with datasets as columns.
+func (m *Matrix) Render(w io.Writer) error {
+	if m.Empty() {
+		return nil
+	}
+	fmt.Fprintf(w, "Cross-dataset %s\n", m.Metric)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Method")
+	for _, d := range m.datasets {
+		fmt.Fprintf(tw, "\t%s", d)
+	}
+	fmt.Fprintln(tw)
+	for _, meth := range m.methods {
+		fmt.Fprint(tw, meth)
+		for _, d := range m.datasets {
+			if v, ok := m.cells[[2]string{d, meth}]; ok {
+				fmt.Fprintf(tw, "\t%.3g", v)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// BestMethodPerDataset returns, for each dataset, the method with the
+// smallest recorded value (ties broken alphabetically) — the "who wins"
+// digest used in EXPERIMENTS.md.
+func (m *Matrix) BestMethodPerDataset() map[string]string {
+	out := map[string]string{}
+	for _, d := range m.datasets {
+		best := ""
+		bestV := 0.0
+		for _, meth := range m.methods {
+			v, ok := m.cells[[2]string{d, meth}]
+			if !ok {
+				continue
+			}
+			if best == "" || v < bestV || (v == bestV && meth < best) {
+				best, bestV = meth, v
+			}
+		}
+		if best != "" {
+			out[d] = best
+		}
+	}
+	return out
+}
+
+// Winners renders the per-dataset winners on one line.
+func (m *Matrix) Winners(w io.Writer) {
+	best := m.BestMethodPerDataset()
+	var keys []string
+	for d := range best {
+		keys = append(keys, d)
+	}
+	sort.Strings(keys)
+	for _, d := range keys {
+		fmt.Fprintf(w, "  %s: %s\n", d, best[d])
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simquery/internal/metrics"
+)
+
+func TestMatrixAddRenderWinners(t *testing.T) {
+	m := NewMatrix("mean Q-error")
+	if !m.Empty() {
+		t.Fatal("new matrix must be empty")
+	}
+	m.Add("BMS", "GL+", 2.5)
+	m.Add("BMS", "MLP", 5.0)
+	m.Add("DBLP", "GL+", 3.0)
+	m.Add("DBLP", "MLP", 2.0)
+	if m.Empty() {
+		t.Fatal("matrix should have cells")
+	}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BMS", "DBLP", "GL+", "MLP", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	best := m.BestMethodPerDataset()
+	if best["BMS"] != "GL+" || best["DBLP"] != "MLP" {
+		t.Fatalf("winners %v", best)
+	}
+	buf.Reset()
+	m.Winners(&buf)
+	if !strings.Contains(buf.String(), "BMS: GL+") {
+		t.Fatalf("winners render: %s", buf.String())
+	}
+}
+
+func TestMatrixMissingCellsRenderDash(t *testing.T) {
+	m := NewMatrix("x")
+	m.Add("A", "m1", 1)
+	m.Add("B", "m2", 2)
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatal("missing cells should render as dashes")
+	}
+}
+
+func TestMatrixAddAccuracy(t *testing.T) {
+	m := NewMatrix("mean")
+	m.AddAccuracy(AccuracyResult{
+		Dataset: "D",
+		Rows: []MethodSummary{
+			{Method: "a", Summary: metrics.Summary{Mean: 1.5}},
+			{Method: "b", Summary: metrics.Summary{Mean: 2.5}},
+		},
+	})
+	if m.BestMethodPerDataset()["D"] != "a" {
+		t.Fatal("AddAccuracy lost data")
+	}
+}
+
+func TestMatrixEmptyRenderNoop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewMatrix("x").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty matrix should render nothing")
+	}
+}

@@ -1,0 +1,200 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// mb renders bytes as the paper's MB unit.
+func mb(b int) string {
+	return fmt.Sprintf("%.3f", float64(b)/(1024*1024))
+}
+
+// RenderAccuracy writes an accuracy table (Table 4 / Table 7 shape).
+func RenderAccuracy(w io.Writer, title string, res AccuracyResult) error {
+	fmt.Fprintf(w, "%s — %s\n", title, res.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tMean\tMedian\t90th\t95th\t99th\tMax")
+	for _, r := range res.Rows {
+		s := r.Summary
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\n",
+			r.Method, s.Mean, s.Median, s.P90, s.P95, s.P99, s.Max)
+	}
+	return tw.Flush()
+}
+
+// RenderSizes writes Table 5.
+func RenderSizes(w io.Writer, res SizeResult) error {
+	fmt.Fprintf(w, "Table 5: Model Size (MB) — %s\n", res.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tMB")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r.Method, mb(r.Bytes))
+	}
+	return tw.Flush()
+}
+
+// RenderLatency writes Table 6.
+func RenderLatency(w io.Writer, res LatencyResult) error {
+	fmt.Fprintf(w, "Table 6: Avg. Latency for Similarity Search — %s\n", res.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tms/query")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%.4f\n", r.Method, float64(r.PerCall.Nanoseconds())/1e6)
+	}
+	return tw.Flush()
+}
+
+// RenderMAPE writes Figure 8's series.
+func RenderMAPE(w io.Writer, res MAPEResult) error {
+	fmt.Fprintf(w, "Figure 8: MAPE of Different Methods — %s\n", res.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tMAPE")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\n", r.Method, r.MAPE)
+	}
+	return tw.Flush()
+}
+
+// RenderMissingRate writes Figure 9's bars.
+func RenderMissingRate(w io.Writer, res MissingRateResult) {
+	fmt.Fprintf(w, "Figure 9: Missing Rate of Global Model — %s\n", res.Dataset)
+	fmt.Fprintf(w, "  with penalty:    %.4f\n", res.WithPenalty)
+	fmt.Fprintf(w, "  without penalty: %.4f\n", res.WithoutPenalty)
+}
+
+// RenderTrainingSize writes Figure 10's series.
+func RenderTrainingSize(w io.Writer, dataset string, points []TrainingSizePoint) error {
+	fmt.Fprintf(w, "Figure 10: Errors of Varying Training Sizes — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	// Stable method columns.
+	methodSet := map[string]bool{}
+	for _, p := range points {
+		for m := range p.MeanQ {
+			methodSet[m] = true
+		}
+	}
+	var methods []string
+	for m := range methodSet {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	fmt.Fprint(tw, "TrainQueries")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "\t%s", m)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d", p.TrainQueries)
+		for _, m := range methods {
+			fmt.Fprintf(tw, "\t%.3g", p.MeanQ[m])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderSegments writes Figure 11's series.
+func RenderSegments(w io.Writer, dataset string, points []SegmentsPoint) error {
+	fmt.Fprintf(w, "Figure 11: Mean Errors of Varying #-Data Segments — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Segments\tMeanQ")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.3g\n", p.Segments, p.MeanQ)
+	}
+	return tw.Flush()
+}
+
+// RenderJoinSize writes Figure 12's series.
+func RenderJoinSize(w io.Writer, dataset string, points []JoinSizePoint) error {
+	fmt.Fprintf(w, "Figure 12: Join Errors with Query Set Size — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SetSize\tMeanQ\tMAPE")
+	for _, p := range points {
+		fmt.Fprintf(tw, "[%d,%d)\t%.3g\t%.3f\n", p.Lo, p.Hi, p.MeanQ, p.MAPE)
+	}
+	return tw.Flush()
+}
+
+// RenderJoinLatency writes Figure 13's bars.
+func RenderJoinLatency(w io.Writer, dataset string, rows []JoinLatencyRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "Figure 13: Avg. Latency for Similarity Join (set size %d) — %s\n", rows[0].SetSize, dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tms/set")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\n", r.Method, float64(r.PerSet.Nanoseconds())/1e6)
+	}
+	return tw.Flush()
+}
+
+// RenderTrainTime writes Figure 14's bars.
+func RenderTrainTime(w io.Writer, res TrainTimeResult) error {
+	fmt.Fprintf(w, "Figure 14: Training and Label Time — %s\n", res.Dataset)
+	fmt.Fprintf(w, "  label construction: %v\n", res.LabelTime)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tTrainTime")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%v\n", r.Method, r.Train)
+	}
+	return tw.Flush()
+}
+
+// RenderIncremental writes Figure 15's series.
+func RenderIncremental(w io.Writer, dataset string, points []IncrementalPoint) error {
+	fmt.Fprintf(w, "Figure 15: Incremental Training — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "UpdateOp\tMeanQ")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.3g\n", p.Op, p.MeanQ)
+	}
+	return tw.Flush()
+}
+
+// RenderQuerySegAblation writes the query-segmentation-count ablation.
+func RenderQuerySegAblation(w io.Writer, dataset string, rows []QuerySegRow) error {
+	fmt.Fprintf(w, "Ablation: Query Segments (QES) — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "QuerySegments\tMeanQ")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3g\n", r.QuerySegments, r.MeanQ)
+	}
+	return tw.Flush()
+}
+
+// RenderLambdaAblation writes the hybrid-loss-weight ablation.
+func RenderLambdaAblation(w io.Writer, dataset string, rows []LambdaRow) error {
+	fmt.Fprintf(w, "Ablation: Hybrid Loss λ (QES) — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Lambda\tMeanQ\tMAPE")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3g\t%.3f\n", r.Lambda, r.MeanQ, r.MAPE)
+	}
+	return tw.Flush()
+}
+
+// RenderSigmaAblation writes the selection-threshold ablation.
+func RenderSigmaAblation(w io.Writer, dataset string, rows []SigmaRow) error {
+	fmt.Fprintf(w, "Ablation: Global Selection Threshold σ — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Sigma\tMeanQ\tAvgLocalsEvaluated")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3g\t%.2f\n", r.Sigma, r.MeanQ, r.AvgSelected)
+	}
+	return tw.Flush()
+}
+
+// RenderSegAblation writes the segmentation-method ablation.
+func RenderSegAblation(w io.Writer, dataset string, rows []SegmentationAblationRow) error {
+	fmt.Fprintf(w, "Ablation: Segmentation Method (GL-CNN) — %s\n", dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tSegments\tMeanQ")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3g\n", r.Method, r.Segments, r.MeanQ)
+	}
+	return tw.Flush()
+}

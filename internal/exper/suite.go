@@ -1,0 +1,290 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"simquery/internal/baseline"
+	"simquery/internal/cardnet"
+	"simquery/internal/estimator"
+	"simquery/internal/model"
+	"simquery/internal/tune"
+)
+
+// Suite holds every trained estimator for one environment — the eleven
+// search methods of Table 2 — plus per-method training times (Fig 14).
+type Suite struct {
+	Env *Env
+
+	GLPlus    *model.GlobalLocal
+	LocalPlus *model.GlobalLocal
+	GLCNN     *model.GlobalLocal
+	GLMLP     *model.GlobalLocal
+	QES       *model.BasicModel
+	MLP       *model.BasicModel
+	CardNet   *cardnet.CardNet
+	Samp10    *baseline.Sampling
+	Samp1     *baseline.Sampling
+	SampEqual *baseline.Sampling
+	Kernel    *baseline.Kernel
+
+	// TunedConvs is the Algorithm 3 result GL+ used.
+	TunedConvs []model.ConvConfig
+	TrainTimes map[string]time.Duration
+}
+
+// SuiteOptions trims the build for cheaper experiments.
+type SuiteOptions struct {
+	// SkipTuning uses the default CNN stack for GL+ (it then differs from
+	// GL-CNN only by seed). Tuning costs tens of extra model trainings.
+	SkipTuning bool
+	// PerLocalTuning runs Algorithm 3 once per data segment, exactly as
+	// §5.2 describes ("a greedy solution for each data segment"); without
+	// it one tuned stack is shared by all locals — far cheaper and close
+	// in quality at reduced scale.
+	PerLocalTuning bool
+	// Only, when non-empty, restricts the methods trained (by Table 2
+	// name).
+	Only map[string]bool
+}
+
+func (o SuiteOptions) want(name string) bool {
+	return o.Only == nil || o.Only[name]
+}
+
+// BuildSuite trains every requested method on the environment.
+func BuildSuite(env *Env, opts SuiteOptions) (*Suite, error) {
+	s := &Suite{Env: env, TrainTimes: map[string]time.Duration{}}
+	p := env.P
+	cfg := model.DefaultTrainConfig(p.Seed + 10)
+	cfg.Epochs = p.Epochs
+	gcfg := model.DefaultGlobalTrainConfig(p.Seed + 11)
+	gcfg.Epochs = p.Epochs
+	samples := env.TrainSamples()
+	segSamples := env.SegTrainSamples()
+	anchors := anchorsFromEnv(env, 8)
+
+	timed := func(name string, f func() error) error {
+		if !opts.want(name) {
+			return nil
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("exper: building %s: %w", name, err)
+		}
+		s.TrainTimes[name] = time.Since(start)
+		return nil
+	}
+
+	builders := []struct {
+		name string
+		f    func() error
+	}{
+		{"MLP", func() error {
+			m, err := model.NewMLPModel("MLP", rngFor(p.Seed+20), env.DS.Dim, anchors, env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+			if err != nil {
+				return err
+			}
+			m.MaxCard = float64(env.DS.Size())
+			s.MLP = m
+			return m.Train(samples, cfg)
+		}},
+		{"QES", func() error {
+			m, err := model.NewQESModel("QES", rngFor(p.Seed+21), env.DS.Dim, p.QuerySegs, model.DefaultConvConfigs(), anchors, env.DS.Metric, tauScaleOf(env), model.DefaultArch())
+			if err != nil {
+				return err
+			}
+			m.MaxCard = float64(env.DS.Size())
+			s.QES = m
+			return m.Train(samples, cfg)
+		}},
+		{"CardNet", func() error {
+			c, err := cardnet.New("CardNet", env.DS.Dim, cardnet.Config{TauScale: tauScaleOf(env), Seed: p.Seed + 22})
+			if err != nil {
+				return err
+			}
+			c.MaxCard = float64(env.DS.Size())
+			s.CardNet = c
+			cs := make([]cardnet.Sample, len(samples))
+			for i, sm := range samples {
+				cs[i] = cardnet.Sample{Q: sm.Q, Tau: sm.Tau, Card: sm.Card}
+			}
+			return c.Train(cs, cardnet.TrainConfig{Epochs: cfg.Epochs, Seed: p.Seed + 23})
+		}},
+		{"Local+", func() error {
+			gl, err := model.NewGlobalLocalWithSegmentation("Local+", env.DS.Vectors, env.Seg, env.DS.Metric, tauScaleOf(env),
+				model.GLConfig{Variant: model.LocalPlus, QuerySegments: p.QuerySegs, Seed: p.Seed + 24})
+			if err != nil {
+				return err
+			}
+			s.LocalPlus = gl
+			return gl.Train(segSamples, cfg, gcfg)
+		}},
+		{"GL-MLP", func() error {
+			gl, err := model.NewGlobalLocalWithSegmentation("GL-MLP", env.DS.Vectors, env.Seg, env.DS.Metric, tauScaleOf(env),
+				model.GLConfig{Variant: model.GLMLP, Seed: p.Seed + 25})
+			if err != nil {
+				return err
+			}
+			s.GLMLP = gl
+			return gl.Train(segSamples, cfg, gcfg)
+		}},
+		{"GL-CNN", func() error {
+			gl, err := model.NewGlobalLocalWithSegmentation("GL-CNN", env.DS.Vectors, env.Seg, env.DS.Metric, tauScaleOf(env),
+				model.GLConfig{Variant: model.GLCNN, QuerySegments: p.QuerySegs, Seed: p.Seed + 26})
+			if err != nil {
+				return err
+			}
+			s.GLCNN = gl
+			return gl.Train(segSamples, cfg, gcfg)
+		}},
+		{"GL+", func() error {
+			convs := model.DefaultConvConfigs()
+			var perLocal [][]model.ConvConfig
+			if !opts.SkipTuning {
+				tuned, err := tuneConvs(env, samples)
+				if err != nil {
+					return err
+				}
+				convs = tuned
+			}
+			if opts.PerLocalTuning {
+				tuned, err := TunePerLocalConvs(env, segSamples)
+				if err != nil {
+					return err
+				}
+				perLocal = tuned
+			}
+			s.TunedConvs = convs
+			gl, err := model.NewGlobalLocalWithSegmentation("GL+", env.DS.Vectors, env.Seg, env.DS.Metric, tauScaleOf(env),
+				model.GLConfig{Variant: model.GLPlus, QuerySegments: p.QuerySegs, ConvConfigs: convs, PerLocalConv: perLocal, Seed: p.Seed + 27})
+			if err != nil {
+				return err
+			}
+			s.GLPlus = gl
+			return gl.Train(segSamples, cfg, gcfg)
+		}},
+		{"Sampling (10%)", func() error {
+			b, err := baseline.NewSampling("Sampling (10%)", env.DS, 0.10, p.Seed+28)
+			s.Samp10 = b
+			return err
+		}},
+		{"Sampling (1%)", func() error {
+			b, err := baseline.NewSampling("Sampling (1%)", env.DS, 0.01, p.Seed+29)
+			s.Samp1 = b
+			return err
+		}},
+		{"Kernel-based", func() error {
+			k, err := baseline.NewKernel("Kernel-based", env.DS, 0.01, p.Seed+30)
+			s.Kernel = k
+			return err
+		}},
+	}
+	for _, b := range builders {
+		if err := timed(b.name, b.f); err != nil {
+			return nil, err
+		}
+	}
+	// Sampling (equal) matches the GL+ byte budget, so it must come after.
+	if opts.want("Sampling (equal)") {
+		budget := 0
+		if s.GLPlus != nil {
+			budget = s.GLPlus.SizeBytes()
+		} else if s.GLCNN != nil {
+			budget = s.GLCNN.SizeBytes()
+		} else {
+			budget = 64 * env.DS.Dim * 8
+		}
+		start := time.Now()
+		b, err := baseline.NewSamplingBytes("Sampling (equal)", env.DS, budget, p.Seed+31)
+		if err != nil {
+			return nil, err
+		}
+		s.SampEqual = b
+		s.TrainTimes["Sampling (equal)"] = time.Since(start)
+	}
+	return s, nil
+}
+
+// tuneConvs runs Algorithm 3 on a training subsample.
+func tuneConvs(env *Env, samples []model.Sample) ([]model.ConvConfig, error) {
+	p := env.P
+	trainSub := tune.Subsample(samples, 600, p.Seed+40)
+	valSub := tune.Subsample(samples, 150, p.Seed+41)
+	tcfg := model.DefaultTrainConfig(p.Seed + 42)
+	tcfg.Epochs = 5
+	obj := tune.NewQESObjective(env.DS.Dim, p.QuerySegs, env.DS.Metric, tauScaleOf(env),
+		model.DefaultArch(), trainSub, valSub, tcfg, p.Seed+43)
+	stack, tunedErr, err := tune.Greedy(obj, tune.Options{Seed: p.Seed + 44, MaxLayers: 2})
+	if err != nil {
+		return nil, err
+	}
+	// Guard against tuner overfitting its short-trial budget: the default
+	// stack competes on the same validation split, and the better one wins.
+	defErr, err := obj(model.DefaultConvConfigs())
+	if err != nil {
+		return nil, err
+	}
+	if defErr < tunedErr {
+		return model.DefaultConvConfigs(), nil
+	}
+	return stack, nil
+}
+
+// TunePerLocalConvs runs Algorithm 3 once per data segment, each on that
+// segment's own regression problem (the queries whose threshold ball
+// intersects the segment), exactly as §5.2 prescribes. It returns one
+// tuned stack per local model.
+func TunePerLocalConvs(env *Env, segSamples []model.SegSample) ([][]model.ConvConfig, error) {
+	p := env.P
+	out := make([][]model.ConvConfig, env.Seg.K)
+	tcfg := model.DefaultTrainConfig(p.Seed + 45)
+	tcfg.Epochs = 4
+	for i := 0; i < env.Seg.K; i++ {
+		// The paper's RandomSample(Q_train, card, 1000/200) on the local
+		// labels; all zero-label samples add nothing to a local tuner.
+		var local []model.Sample
+		for _, s := range segSamples {
+			if s.SegCards[i] > 0 {
+				local = append(local, model.Sample{Q: s.Q, Tau: s.Tau, Card: s.SegCards[i]})
+			}
+		}
+		if len(local) < 20 {
+			out[i] = nil // too few samples to tune; fall back to shared
+			continue
+		}
+		trainSub := tune.Subsample(local, 400, p.Seed+46+int64(i))
+		valSub := tune.Subsample(local, 100, p.Seed+47+int64(i))
+		obj := tune.NewQESObjective(env.DS.Dim, p.QuerySegs, env.DS.Metric, tauScaleOf(env),
+			model.DefaultArch(), trainSub, valSub, tcfg, p.Seed+48+int64(i))
+		stack, _, err := tune.Greedy(obj, tune.Options{Seed: p.Seed + 49 + int64(i), MaxLayers: 2, InitCandidates: 2})
+		if err != nil {
+			return nil, fmt.Errorf("exper: tuning local %d: %w", i, err)
+		}
+		out[i] = stack
+	}
+	return out, nil
+}
+
+// SearchMethods returns the trained search estimators in the paper's
+// Table 4 row order.
+func (s *Suite) SearchMethods() []estimator.SearchEstimator {
+	var out []estimator.SearchEstimator
+	add := func(e estimator.SearchEstimator, ok bool) {
+		if ok {
+			out = append(out, e)
+		}
+	}
+	add(s.GLPlus, s.GLPlus != nil)
+	add(s.LocalPlus, s.LocalPlus != nil)
+	add(s.Samp10, s.Samp10 != nil)
+	add(s.GLCNN, s.GLCNN != nil)
+	add(s.GLMLP, s.GLMLP != nil)
+	add(s.QES, s.QES != nil)
+	add(s.CardNet, s.CardNet != nil)
+	add(s.MLP, s.MLP != nil)
+	add(s.Kernel, s.Kernel != nil)
+	add(s.SampEqual, s.SampEqual != nil)
+	add(s.Samp1, s.Samp1 != nil)
+	return out
+}

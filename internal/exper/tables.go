@@ -1,0 +1,292 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"simquery/internal/estimator"
+	"simquery/internal/index"
+	"simquery/internal/metrics"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+// MethodSummary is one row of Table 4/7: a method and its error
+// distribution.
+type MethodSummary struct {
+	Method  string
+	Summary metrics.Summary
+}
+
+// AccuracyResult is a full accuracy table for one dataset.
+type AccuracyResult struct {
+	Dataset string
+	Rows    []MethodSummary
+}
+
+// Table4 reproduces "Table 4: Test Errors for Similarity Search": the
+// Q-error distribution of every method on the test workload.
+func Table4(s *Suite) AccuracyResult {
+	res := AccuracyResult{Dataset: s.Env.DS.Name}
+	for _, m := range s.SearchMethods() {
+		res.Rows = append(res.Rows, MethodSummary{
+			Method:  m.Name(),
+			Summary: metrics.Summarize(searchQErrors(m, s.Env.W.Test)),
+		})
+	}
+	return res
+}
+
+// searchQErrors evaluates a method over labeled queries.
+func searchQErrors(m estimator.SearchEstimator, qs []workload.Query) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = metrics.QError(m.EstimateSearch(q.Vec, q.Tau), q.Card)
+	}
+	return out
+}
+
+// searchMAPEs evaluates MAPE over labeled queries (Fig 8's metric).
+func searchMAPEs(m estimator.SearchEstimator, qs []workload.Query) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = metrics.MAPE(m.EstimateSearch(q.Vec, q.Tau), q.Card)
+	}
+	return out
+}
+
+// SizeResult is Table 5: per-method model size.
+type SizeResult struct {
+	Dataset string
+	Rows    []struct {
+		Method string
+		Bytes  int
+	}
+}
+
+// Table5 reproduces "Table 5: Model Size Comparison (MB)".
+func Table5(s *Suite) SizeResult {
+	res := SizeResult{Dataset: s.Env.DS.Name}
+	for _, m := range s.SearchMethods() {
+		res.Rows = append(res.Rows, struct {
+			Method string
+			Bytes  int
+		}{m.Name(), m.SizeBytes()})
+	}
+	return res
+}
+
+// LatencyRow is one method's average estimation latency.
+type LatencyRow struct {
+	Method  string
+	PerCall time.Duration
+}
+
+// LatencyResult is Table 6: per-method average search-estimate latency.
+type LatencyResult struct {
+	Dataset string
+	Rows    []LatencyRow
+}
+
+// Table6 reproduces "Table 6: Avg. Latency for Similarity Search": the mean
+// per-query estimation time of every method plus the exact SimSelect
+// baseline.
+func Table6(s *Suite, pivots int) (LatencyResult, error) {
+	res := LatencyResult{Dataset: s.Env.DS.Name}
+	qs := s.Env.W.Test
+	if len(qs) == 0 {
+		return res, fmt.Errorf("exper: empty test workload")
+	}
+	// Exact baseline.
+	idx, err := index.Build(s.Env.DS, pivots, s.Env.P.Seed+50)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	for _, q := range qs {
+		idx.Count(q.Vec, q.Tau)
+	}
+	res.Rows = append(res.Rows, LatencyRow{"SimSelect", time.Since(start) / time.Duration(len(qs))})
+
+	for _, m := range s.SearchMethods() {
+		start := time.Now()
+		for _, q := range qs {
+			m.EstimateSearch(q.Vec, q.Tau)
+		}
+		res.Rows = append(res.Rows, LatencyRow{m.Name(), time.Since(start) / time.Duration(len(qs))})
+	}
+	return res, nil
+}
+
+// JoinSuite bundles the join estimators of Table 2 rows 11–13 plus the
+// search-method baselines used for joins.
+type JoinSuite struct {
+	Env *Env
+	// GLJoinPlus, GLJoin and CNNJoin are pooled fine-tuned clones; the
+	// remaining methods estimate joins as sums of search estimates.
+	GLJoinPlus *model.GlobalLocal
+	GLJoin     *model.GlobalLocal
+	CNNJoin    *model.BasicModel
+	Search     *Suite
+
+	TrainTimes map[string]time.Duration
+}
+
+// BuildJoinSuite fine-tunes pooled join models from the trained search
+// suite (transfer + a few iterations, §4). The search models are cloned via
+// serialization so the search suite stays untouched.
+func BuildJoinSuite(s *Suite, trainSets []workload.JoinSet) (*JoinSuite, error) {
+	js := &JoinSuite{Env: s.Env, Search: s, TrainTimes: map[string]time.Duration{}}
+	// Transfer fine-tuning: few epochs at a reduced rate — the pooled
+	// inputs are |Q|× larger than anything seen in search training, and a
+	// full-rate restart can wreck the transferred weights.
+	ft := model.DefaultTrainConfig(s.Env.P.Seed + 60)
+	ft.Epochs = 4
+	ft.LR = 1e-3
+
+	segSamples := make([]model.JoinSegSample, len(trainSets))
+	plainSamples := make([]model.JoinSample, len(trainSets))
+	for i, set := range trainSets {
+		segSamples[i] = model.JoinSegSample{Qs: set.Vecs, Tau: set.Tau, PerQuerySegCards: set.PerQuerySegCards}
+		plainSamples[i] = model.JoinSample{Qs: set.Vecs, Tau: set.Tau, Card: set.Card}
+	}
+
+	if s.GLPlus != nil {
+		start := time.Now()
+		clone, err := cloneGL(s.GLPlus, "GLJoin+")
+		if err != nil {
+			return nil, err
+		}
+		if err := clone.FineTuneJoin(segSamples, ft); err != nil {
+			return nil, err
+		}
+		js.GLJoinPlus = clone
+		js.TrainTimes["GLJoin+"] = time.Since(start)
+	}
+	if s.GLMLP != nil {
+		start := time.Now()
+		clone, err := cloneGL(s.GLMLP, "GLJoin")
+		if err != nil {
+			return nil, err
+		}
+		if err := clone.FineTuneJoin(segSamples, ft); err != nil {
+			return nil, err
+		}
+		js.GLJoin = clone
+		js.TrainTimes["GLJoin"] = time.Since(start)
+	}
+	if s.QES != nil {
+		start := time.Now()
+		clone, err := cloneBasic(s.QES, "CNNJoin")
+		if err != nil {
+			return nil, err
+		}
+		if err := clone.FineTuneJoin(plainSamples, ft); err != nil {
+			return nil, err
+		}
+		js.CNNJoin = clone
+		js.TrainTimes["CNNJoin"] = time.Since(start)
+	}
+	return js, nil
+}
+
+func cloneGL(gl *model.GlobalLocal, label string) (*model.GlobalLocal, error) {
+	data, err := gl.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := &model.GlobalLocal{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	out.Label = label
+	return out, nil
+}
+
+func cloneBasic(m *model.BasicModel, label string) (*model.BasicModel, error) {
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := &model.BasicModel{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	out.Label = label
+	return out, nil
+}
+
+// joinMethod pairs a name with a join-estimate function.
+type joinMethod struct {
+	name string
+	est  func(qs [][]float64, tau float64) float64
+}
+
+// joinMethods returns Table 7's row order.
+func (js *JoinSuite) joinMethods() []joinMethod {
+	var out []joinMethod
+	if js.GLJoinPlus != nil {
+		out = append(out, joinMethod{"GLJoin+", js.GLJoinPlus.EstimateJoin})
+	}
+	if js.Search.GLPlus != nil {
+		out = append(out, joinMethod{"GL+", estimator.SumJoin{SearchEstimator: js.Search.GLPlus}.EstimateJoin})
+	}
+	if js.Search.Samp10 != nil {
+		out = append(out, joinMethod{"Sampling (10%)", js.Search.Samp10.EstimateJoin})
+	}
+	if js.GLJoin != nil {
+		out = append(out, joinMethod{"GLJoin", js.GLJoin.EstimateJoin})
+	}
+	if js.CNNJoin != nil {
+		out = append(out, joinMethod{"CNNJoin", js.CNNJoin.EstimateJoinPooled})
+	}
+	if js.Search.CardNet != nil {
+		out = append(out, joinMethod{"CardNet", js.Search.CardNet.EstimateJoin})
+	}
+	if js.Search.SampEqual != nil {
+		out = append(out, joinMethod{"Sampling (equal)", js.Search.SampEqual.EstimateJoin})
+	}
+	if js.Search.Samp1 != nil {
+		out = append(out, joinMethod{"Sampling (1%)", js.Search.Samp1.EstimateJoin})
+	}
+	return out
+}
+
+// Table7 reproduces "Table 7: Test Errors for Similarity Join": Q-error
+// distributions of the join methods on labeled test join sets.
+func Table7(js *JoinSuite, testSets []workload.JoinSet) AccuracyResult {
+	res := AccuracyResult{Dataset: js.Env.DS.Name}
+	for _, m := range js.joinMethods() {
+		errs := make([]float64, len(testSets))
+		for i, set := range testSets {
+			errs[i] = metrics.QError(m.est(set.Vecs, set.Tau), set.Card)
+		}
+		res.Rows = append(res.Rows, MethodSummary{Method: m.name, Summary: metrics.Summarize(errs)})
+	}
+	return res
+}
+
+// JoinWorkloads builds the train sets and the [lo, hi) test bucket used by
+// Table 7 / Fig 12, with per-segment labels for mask routing.
+// Zero trainSets or testSets skips that side.
+func JoinWorkloads(env *Env, trainSets, testSets, trainMax, lo, hi int) ([]workload.JoinSet, []workload.JoinSet, error) {
+	var train, test []workload.JoinSet
+	var err error
+	if trainSets > 0 {
+		train, err = workload.BuildJoin(env.DS, env.Seg, workload.JoinConfig{
+			Sets: trainSets, MinSize: 2, MaxSize: trainMax, Seed: env.P.Seed + 70,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if testSets > 0 {
+		test, err = workload.BuildJoin(env.DS, env.Seg, workload.JoinConfig{
+			Sets: testSets, MinSize: lo, MaxSize: hi, Seed: env.P.Seed + 71,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return train, test, nil
+}

@@ -1,0 +1,37 @@
+package exper
+
+import (
+	"math/rand"
+)
+
+// rngFor returns a deterministic RNG for a sub-seed.
+func rngFor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// tauScaleOf returns the normalization scale for thresholds: the largest
+// training threshold (so the embedding input spans ~[0,1]), falling back to
+// τ_max.
+func tauScaleOf(env *Env) float64 {
+	scale := 0.0
+	for _, q := range env.W.Train {
+		if q.Tau > scale {
+			scale = q.Tau
+		}
+	}
+	if scale <= 0 {
+		scale = env.DS.TauMax
+	}
+	return scale
+}
+
+// anchorsFromEnv draws k data vectors as the x_D anchor samples for the
+// non-segmented models.
+func anchorsFromEnv(env *Env, k int) [][]float64 {
+	rng := rngFor(env.P.Seed + 5)
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = env.DS.Vectors[rng.Intn(env.DS.Size())]
+	}
+	return out
+}

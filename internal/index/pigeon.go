@@ -1,0 +1,162 @@
+package index
+
+import (
+	"fmt"
+
+	"simquery/internal/dataset"
+	"simquery/internal/dist"
+)
+
+// PigeonIndex is an exact thresholded Hamming-search index built on the
+// pigeonhole principle — the algorithmic family of the paper's SimSelect
+// comparator [44] (pigeonring): the bit vector is split into m blocks; any
+// object within T total mismatched bits of the query must match at least
+// one block within floor(T/m) mismatches. With m chosen larger than the
+// largest supported T, that means an *exact* block match, so candidates are
+// found by m hash-bucket probes instead of a scan, then verified with
+// popcount.
+type PigeonIndex struct {
+	ds     *dataset.Dataset
+	packed []dist.BitVector
+	blocks int
+	// buckets[b] maps a block's bit pattern to the data ids holding it.
+	buckets []map[uint64][]int32
+	// blockBits[b] is the [lo, hi) bit range of block b.
+	blockLo []int
+	blockHi []int
+}
+
+// BuildPigeon builds the index with the given number of blocks. Queries
+// with thresholds of fewer than `blocks` mismatched bits are answered via
+// bucket probes; larger thresholds fall back to a packed scan (still
+// exact). Blocks must not exceed 64 bits each.
+func BuildPigeon(ds *dataset.Dataset, blocks int) (*PigeonIndex, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Metric != dist.Hamming {
+		return nil, fmt.Errorf("index: pigeonhole index requires the Hamming metric, dataset uses %v", ds.Metric)
+	}
+	if blocks <= 0 {
+		blocks = 16
+	}
+	if blocks > ds.Dim {
+		blocks = ds.Dim
+	}
+	if (ds.Dim+blocks-1)/blocks > 64 {
+		return nil, fmt.Errorf("index: %d blocks over %d dims exceeds 64 bits per block", blocks, ds.Dim)
+	}
+	p := &PigeonIndex{
+		ds:      ds,
+		packed:  dist.PackAll(ds.Vectors),
+		blocks:  blocks,
+		buckets: make([]map[uint64][]int32, blocks),
+		blockLo: make([]int, blocks),
+		blockHi: make([]int, blocks),
+	}
+	per := (ds.Dim + blocks - 1) / blocks
+	for b := 0; b < blocks; b++ {
+		p.blockLo[b] = b * per
+		hi := (b + 1) * per
+		if hi > ds.Dim {
+			hi = ds.Dim
+		}
+		p.blockHi[b] = hi
+		p.buckets[b] = make(map[uint64][]int32)
+	}
+	for i := range ds.Vectors {
+		for b := 0; b < blocks; b++ {
+			key := p.blockKey(p.packed[i], b)
+			p.buckets[b][key] = append(p.buckets[b][key], int32(i))
+		}
+	}
+	return p, nil
+}
+
+// blockKey extracts block b's bits from a packed vector.
+func (p *PigeonIndex) blockKey(v dist.BitVector, b int) uint64 {
+	lo, hi := p.blockLo[b], p.blockHi[b]
+	var key uint64
+	for bit := lo; bit < hi; bit++ {
+		if v.Words[bit/64]&(1<<uint(bit%64)) != 0 {
+			key |= 1 << uint(bit-lo)
+		}
+	}
+	return key
+}
+
+// Count returns the exact number of objects within tau (normalized Hamming
+// distance) of q, plus the number of verified candidates (diagnostic).
+func (p *PigeonIndex) Count(q []float64, tau float64) (count, verified int) {
+	qb := dist.PackBits(q)
+	maxBits := int(tau * float64(p.ds.Dim)) // mismatches allowed
+	if maxBits >= p.blocks {
+		// Pigeonhole needs an exact-match block (floor(T/m)=0 requires
+		// T < m); fall back to a packed scan.
+		for i := range p.packed {
+			verified++
+			if dist.HammingBits(qb, p.packed[i]) <= tau {
+				count++
+			}
+		}
+		return count, verified
+	}
+	seen := make(map[int32]bool)
+	for b := 0; b < p.blocks; b++ {
+		key := p.blockKey(qb, b)
+		for _, id := range p.buckets[b][key] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			verified++
+			if dist.HammingBits(qb, p.packed[id]) <= tau {
+				count++
+			}
+		}
+	}
+	return count, verified
+}
+
+// Search returns the ids of all objects within tau of q.
+func (p *PigeonIndex) Search(q []float64, tau float64) []int {
+	qb := dist.PackBits(q)
+	maxBits := int(tau * float64(p.ds.Dim))
+	var out []int
+	if maxBits >= p.blocks {
+		for i := range p.packed {
+			if dist.HammingBits(qb, p.packed[i]) <= tau {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	seen := make(map[int32]bool)
+	for b := 0; b < p.blocks; b++ {
+		key := p.blockKey(qb, b)
+		for _, id := range p.buckets[b][key] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if dist.HammingBits(qb, p.packed[id]) <= tau {
+				out = append(out, int(id))
+			}
+		}
+	}
+	return out
+}
+
+// SizeBytes reports the bucket-table footprint.
+func (p *PigeonIndex) SizeBytes() int {
+	b := 0
+	for _, m := range p.buckets {
+		for _, ids := range m {
+			b += 8 + 4*len(ids)
+		}
+	}
+	for _, v := range p.packed {
+		b += 8 * len(v.Words)
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/workload"
+)
+
+func pigeonFixture(t *testing.T) (*dataset.Dataset, *PigeonIndex) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 600, Clusters: 8, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildPigeon(ds, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx
+}
+
+func TestPigeonCountMatchesBruteForce(t *testing.T) {
+	ds, idx := pigeonFixture(t)
+	for qi := 0; qi < 15; qi++ {
+		q := ds.Vectors[qi*13]
+		for _, bits := range []int{0, 2, 5, 10, 20, 40} {
+			tau := float64(bits) / float64(ds.Dim)
+			want := workload.TrueCard(ds, q, tau)
+			got, _ := idx.Count(q, tau)
+			if float64(got) != want {
+				t.Fatalf("count(q%d, %d bits)=%d want %v", qi, bits, got, want)
+			}
+		}
+	}
+}
+
+func TestPigeonProbesFewerThanScanAtSmallTau(t *testing.T) {
+	ds, idx := pigeonFixture(t)
+	q := ds.Vectors[0]
+	tau := 3.0 / float64(ds.Dim) // well under the block count
+	_, verified := idx.Count(q, tau)
+	if verified >= ds.Size() {
+		t.Fatalf("pigeonhole probes verified %d of %d (no filtering)", verified, ds.Size())
+	}
+}
+
+func TestPigeonFallsBackToScanAtLargeTau(t *testing.T) {
+	ds, idx := pigeonFixture(t)
+	q := ds.Vectors[1]
+	tau := 0.5 // 32 bits ≥ 16 blocks → scan
+	got, verified := idx.Count(q, tau)
+	if verified != ds.Size() {
+		t.Fatalf("expected full scan, verified %d", verified)
+	}
+	if float64(got) != workload.TrueCard(ds, q, tau) {
+		t.Fatal("fallback scan wrong")
+	}
+}
+
+func TestPigeonSearchMatchesPivotIndex(t *testing.T) {
+	ds, idx := pigeonFixture(t)
+	pivot, err := Build(ds, 8, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vectors[7]
+	tau := 6.0 / float64(ds.Dim)
+	a := idx.Search(q, tau)
+	b := pivot.Search(q, tau)
+	sort.Ints(a)
+	sort.Ints(b)
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPigeonRejectsNonHamming(t *testing.T) {
+	ds, err := dataset.Generate(dataset.YouTube, dataset.Config{N: 50, Clusters: 4, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPigeon(ds, 8); err == nil {
+		t.Fatal("expected error for non-Hamming dataset")
+	}
+}
+
+func TestPigeonBlockLimit(t *testing.T) {
+	ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 50, Clusters: 4, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ImageNET is 64-dim: no valid way to split into 64-bit-or-more blocks?
+	// Even 1 block of 64 bits is fine; verify small numbers of blocks work.
+	idx, err := BuildPigeon(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vectors[0]
+	got, _ := idx.Count(q, 0)
+	if float64(got) != workload.TrueCard(ds, q, 0) {
+		t.Fatal("single-block count wrong")
+	}
+}
+
+func TestPigeonSizeBytes(t *testing.T) {
+	_, idx := pigeonFixture(t)
+	if idx.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func BenchmarkPigeonVsScanSmallTau(b *testing.B) {
+	ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 5000, Clusters: 20, Seed: 75})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := BuildPigeon(ds, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Vectors[0]
+	tau := 4.0 / float64(ds.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Count(q, tau)
+	}
+}

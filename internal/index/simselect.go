@@ -1,0 +1,219 @@
+// Package index implements SimSelect, the exact threshold-based similarity
+// search baseline (the paper's comparator [44]): a pivot-table metric index
+// that answers count/range queries exactly, pruning candidates with the
+// triangle inequality. It doubles as an exact labeler and as the latency
+// baseline in Table 6.
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/dataset"
+	"simquery/internal/dist"
+)
+
+// SimSelect is an exact pivot-based index over one dataset. For Hamming
+// datasets it additionally bit-packs the vectors so candidate verification
+// uses popcount instead of per-dimension float comparison.
+type SimSelect struct {
+	ds     *dataset.Dataset
+	pivots [][]float64
+	// table[i*p+j] = dis(vector i, pivot j)
+	table  []float64
+	np     int
+	metric dist.Metric
+
+	// Bit-packed fast path (Hamming only).
+	packed  []dist.BitVector
+	qPacked bool
+}
+
+// triangleMetric reports whether the metric satisfies the triangle
+// inequality, enabling pivot pruning. Cosine distance does not; the index
+// falls back to a full scan for it.
+func triangleMetric(m dist.Metric) bool {
+	switch m {
+	case dist.L1, dist.L2, dist.Angular, dist.Hamming:
+		return true
+	default:
+		return false
+	}
+}
+
+// Build constructs the index with the given number of pivots (chosen by
+// max-min farthest-point selection for spread).
+func Build(ds *dataset.Dataset, numPivots int, seed int64) (*SimSelect, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if numPivots <= 0 {
+		return nil, fmt.Errorf("index: pivot count must be positive, got %d", numPivots)
+	}
+	n := ds.Size()
+	if numPivots > n {
+		numPivots = n
+	}
+	s := &SimSelect{ds: ds, np: numPivots, metric: ds.Metric}
+	if ds.Metric == dist.Hamming {
+		s.packed = dist.PackAll(ds.Vectors)
+		s.qPacked = true
+	}
+	if !triangleMetric(ds.Metric) {
+		// Pruning unsound; Count falls back to scanning.
+		return s, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Farthest-point pivot selection.
+	first := ds.Vectors[rng.Intn(n)]
+	s.pivots = append(s.pivots, first)
+	minDist := make([]float64, n)
+	for i, v := range ds.Vectors {
+		minDist[i] = ds.Distance(v, first)
+	}
+	for len(s.pivots) < numPivots {
+		best, bestD := 0, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD <= 0 {
+			break // all remaining points coincide with pivots
+		}
+		p := ds.Vectors[best]
+		s.pivots = append(s.pivots, p)
+		for i, v := range ds.Vectors {
+			if d := ds.Distance(v, p); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	s.np = len(s.pivots)
+	s.table = make([]float64, n*s.np)
+	for i, v := range ds.Vectors {
+		for j, p := range s.pivots {
+			s.table[i*s.np+j] = ds.Distance(v, p)
+		}
+	}
+	return s, nil
+}
+
+// distTo computes the distance between the query and data object i, using
+// the bit-packed fast path when available.
+func (s *SimSelect) distTo(q []float64, qb dist.BitVector, i int) float64 {
+	if s.qPacked {
+		return dist.HammingBits(qb, s.packed[i])
+	}
+	return s.ds.Distance(q, s.ds.Vectors[i])
+}
+
+// packQuery packs q for the Hamming fast path (no-op otherwise).
+func (s *SimSelect) packQuery(q []float64) dist.BitVector {
+	if s.qPacked {
+		return dist.PackBits(q)
+	}
+	return dist.BitVector{}
+}
+
+// Count returns the exact number of data objects within tau of q, and the
+// number of full distance computations performed (a pruning diagnostic).
+func (s *SimSelect) Count(q []float64, tau float64) (count int, evaluated int) {
+	qb := s.packQuery(q)
+	if len(s.pivots) == 0 {
+		// Fallback scan (non-metric distance or single-point dataset).
+		for i := range s.ds.Vectors {
+			evaluated++
+			if s.distTo(q, qb, i) <= tau {
+				count++
+			}
+		}
+		return count, evaluated
+	}
+	qp := make([]float64, s.np)
+	for j, p := range s.pivots {
+		qp[j] = s.ds.Distance(q, p)
+	}
+	for i := range s.ds.Vectors {
+		// Lower bound max_j |d(q,p_j) − d(x,p_j)|; upper bound
+		// min_j d(q,p_j) + d(x,p_j).
+		var lb float64
+		ub := math.Inf(1)
+		row := s.table[i*s.np : (i+1)*s.np]
+		for j, dq := range qp {
+			diff := math.Abs(dq - row[j])
+			if diff > lb {
+				lb = diff
+			}
+			if sum := dq + row[j]; sum < ub {
+				ub = sum
+			}
+		}
+		if lb > tau {
+			continue // provably outside
+		}
+		if ub <= tau {
+			count++ // provably inside
+			continue
+		}
+		evaluated++
+		if s.distTo(q, qb, i) <= tau {
+			count++
+		}
+	}
+	return count, evaluated
+}
+
+// Search returns the indices of all data objects within tau of q.
+func (s *SimSelect) Search(q []float64, tau float64) []int {
+	var out []int
+	qb := s.packQuery(q)
+	if len(s.pivots) == 0 {
+		for i := range s.ds.Vectors {
+			if s.distTo(q, qb, i) <= tau {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	qp := make([]float64, s.np)
+	for j, p := range s.pivots {
+		qp[j] = s.ds.Distance(q, p)
+	}
+	for i := range s.ds.Vectors {
+		var lb float64
+		row := s.table[i*s.np : (i+1)*s.np]
+		for j, dq := range qp {
+			if diff := math.Abs(dq - row[j]); diff > lb {
+				lb = diff
+			}
+		}
+		if lb > tau {
+			continue
+		}
+		if s.distTo(q, qb, i) <= tau {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// JoinCount returns the exact join cardinality for a query set at tau.
+func (s *SimSelect) JoinCount(qs [][]float64, tau float64) int {
+	total := 0
+	for _, q := range qs {
+		c, _ := s.Count(q, tau)
+		total += c
+	}
+	return total
+}
+
+// SizeBytes reports the index memory footprint (pivot table + pivots).
+func (s *SimSelect) SizeBytes() int {
+	b := len(s.table) * 8
+	for _, p := range s.pivots {
+		b += len(p) * 8
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package index
+
+import (
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/dist"
+	"simquery/internal/workload"
+)
+
+func build(t *testing.T, p dataset.Profile) (*dataset.Dataset, *SimSelect) {
+	t.Helper()
+	ds, err := dataset.Generate(p, dataset.Config{N: 500, Clusters: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(ds, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx
+}
+
+func TestCountMatchesBruteForceAllMetrics(t *testing.T) {
+	for _, p := range []dataset.Profile{YouTubeP, GloVeP, ImageNetP} {
+		ds, idx := build(t, p)
+		for qi := 0; qi < 20; qi++ {
+			q := ds.Vectors[qi*7]
+			for _, frac := range []float64{0.1, 0.4, 0.9} {
+				tau := ds.TauMax * frac
+				want := workload.TrueCard(ds, q, tau)
+				got, _ := idx.Count(q, tau)
+				if float64(got) != want {
+					t.Fatalf("%s: count(q%d, %v)=%d want %v", p, qi, tau, got, want)
+				}
+			}
+		}
+	}
+}
+
+// profile aliases keep the table above readable.
+const (
+	YouTubeP  = dataset.YouTube
+	GloVeP    = dataset.GloVe300
+	ImageNetP = dataset.ImageNET
+)
+
+func TestPivotPruningActuallyPrunes(t *testing.T) {
+	ds, idx := build(t, dataset.YouTube)
+	q := ds.Vectors[0]
+	tau := ds.TauMax * 0.05
+	_, evaluated := idx.Count(q, tau)
+	if evaluated >= ds.Size() {
+		t.Fatalf("no pruning: evaluated %d of %d", evaluated, ds.Size())
+	}
+}
+
+func TestSearchMatchesCount(t *testing.T) {
+	ds, idx := build(t, dataset.ImageNET)
+	q := ds.Vectors[3]
+	tau := ds.TauMax * 0.3
+	hits := idx.Search(q, tau)
+	count, _ := idx.Count(q, tau)
+	if len(hits) != count {
+		t.Fatalf("search %d hits, count %d", len(hits), count)
+	}
+	for _, i := range hits {
+		if ds.Distance(q, ds.Vectors[i]) > tau {
+			t.Fatalf("false positive at %d", i)
+		}
+	}
+}
+
+func TestJoinCount(t *testing.T) {
+	ds, idx := build(t, dataset.YouTube)
+	qs := ds.Vectors[:5]
+	tau := ds.TauMax * 0.2
+	want := 0.0
+	for _, q := range qs {
+		want += workload.TrueCard(ds, q, tau)
+	}
+	if got := idx.JoinCount(qs, tau); float64(got) != want {
+		t.Fatalf("join count %d want %v", got, want)
+	}
+}
+
+func TestCosineFallsBackToScan(t *testing.T) {
+	ds, err := dataset.Generate(dataset.GloVe300, dataset.Config{N: 100, Clusters: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Metric = dist.Cosine // not a metric: pruning unsound
+	idx, err := Build(ds, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vectors[0]
+	tau := 0.2
+	want := workload.TrueCard(ds, q, tau)
+	got, evaluated := idx.Count(q, tau)
+	if float64(got) != want {
+		t.Fatalf("cosine count %d want %v", got, want)
+	}
+	if evaluated != ds.Size() {
+		t.Fatalf("cosine should scan all, evaluated %d", evaluated)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.YouTube, dataset.Config{N: 50, Clusters: 4, Seed: 2})
+	if _, err := Build(ds, 0, 1); err == nil {
+		t.Fatal("expected error on zero pivots")
+	}
+	bad := &dataset.Dataset{Name: "empty", Dim: 4, TauMax: 1}
+	if _, err := Build(bad, 4, 1); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	_, idx := build(t, dataset.YouTube)
+	if idx.SizeBytes() <= 0 {
+		t.Fatal("index size must be positive")
+	}
+}
+
+func TestPivotsClampToN(t *testing.T) {
+	ds, _ := dataset.Generate(dataset.YouTube, dataset.Config{N: 5, Clusters: 2, Seed: 3})
+	idx, err := Build(ds, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vectors[0]
+	got, _ := idx.Count(q, ds.TauMax)
+	if float64(got) != workload.TrueCard(ds, q, ds.TauMax) {
+		t.Fatal("clamped-pivot index returned wrong count")
+	}
+}

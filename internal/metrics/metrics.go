@@ -1,0 +1,117 @@
+// Package metrics implements the paper's error measures — Q-error and MAPE
+// (§2) — and the distribution summaries reported in Tables 4 and 7
+// (mean/median/90th/95th/99th/max), plus the global-model missing rate of
+// Fig 9.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// floor substitutes for zero cardinalities, per the paper's convention.
+const floor = 0.1
+
+// QError returns max(est, truth)/min(est, truth) with zero flooring.
+func QError(est, truth float64) float64 {
+	if est < floor {
+		est = floor
+	}
+	if truth < floor {
+		truth = floor
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// MAPE returns |est − truth| / truth with zero flooring of the denominator.
+func MAPE(est, truth float64) float64 {
+	d := truth
+	if d < floor {
+		d = floor
+	}
+	return math.Abs(est-truth) / d
+}
+
+// Summary is the per-method error row of Tables 4 and 7.
+type Summary struct {
+	Mean, Median, P90, P95, P99, Max float64
+	N                                int
+}
+
+// Summarize computes the distribution summary of errors. It returns the
+// zero Summary for empty input.
+func Summarize(errors []float64) Summary {
+	if len(errors) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), errors...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Summary{
+		Mean:   sum / float64(len(s)),
+		Median: quantile(s, 0.50),
+		P90:    quantile(s, 0.90),
+		P95:    quantile(s, 0.95),
+		P99:    quantile(s, 0.99),
+		Max:    s[len(s)-1],
+		N:      len(s),
+	}
+}
+
+// quantile returns the q-quantile of ascending data using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String formats the summary like a Table 4 row.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3g median=%.3g p90=%.3g p95=%.3g p99=%.3g max=%.3g (n=%d)",
+		s.Mean, s.Median, s.P90, s.P95, s.P99, s.Max, s.N)
+}
+
+// MissingRate measures how much true cardinality the global model's segment
+// selection loses (Fig 9): the fraction of total true cardinality residing
+// in segments the model did not select, averaged over queries with nonzero
+// cardinality.
+func MissingRate(selected [][]bool, segCards [][]float64) float64 {
+	if len(selected) != len(segCards) {
+		panic(fmt.Sprintf("metrics: missing-rate input mismatch %d vs %d", len(selected), len(segCards)))
+	}
+	var total float64
+	var n int
+	for qi := range selected {
+		var all, missed float64
+		for si, c := range segCards[qi] {
+			all += c
+			if !selected[qi][si] {
+				missed += c
+			}
+		}
+		if all > 0 {
+			total += missed / all
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQError(t *testing.T) {
+	if QError(10, 5) != 2 || QError(5, 10) != 2 || QError(3, 3) != 1 {
+		t.Fatal("QError basic cases")
+	}
+	if QError(0, 1) != 10 { // floored to 0.1
+		t.Fatalf("QError(0,1)=%v", QError(0, 1))
+	}
+	if QError(0, 0) != 1 {
+		t.Fatalf("QError(0,0)=%v", QError(0, 0))
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if MAPE(8, 10) != 0.2 {
+		t.Fatalf("MAPE=%v", MAPE(8, 10))
+	}
+	if MAPE(1, 0) != 10 { // denominator floored
+		t.Fatalf("MAPE(1,0)=%v", MAPE(1, 0))
+	}
+}
+
+// Property: Q-error is always >= 1 and symmetric under est/truth swap.
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		q := QError(a, b)
+		return q >= 1 && math.Abs(q-QError(b, a)) < 1e-9*q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	errs := make([]float64, 100)
+	for i := range errs {
+		errs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(errs)
+	if s.Mean != 50.5 || s.Median != 50 || s.P90 != 90 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.N != 100 {
+		t.Fatalf("n=%d", s.N)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMissingRate(t *testing.T) {
+	selected := [][]bool{
+		{true, false},  // misses segment 1
+		{true, true},   // misses nothing
+		{false, false}, // misses everything
+	}
+	segCards := [][]float64{
+		{8, 2},
+		{5, 5},
+		{1, 1},
+	}
+	got := MissingRate(selected, segCards)
+	want := (0.2 + 0 + 1.0) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("missing rate %v want %v", got, want)
+	}
+}
+
+func TestMissingRateSkipsZeroCardQueries(t *testing.T) {
+	got := MissingRate([][]bool{{false}}, [][]float64{{0}})
+	if got != 0 {
+		t.Fatalf("zero-card query should not count: %v", got)
+	}
+}
+
+func TestMissingRateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MissingRate([][]bool{{true}}, nil)
+}

@@ -1,0 +1,196 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simquery/internal/nn"
+)
+
+// ConvConfig is one convolutional layer's hyperparameters — the tunable
+// tuple Θ = {θ_ch, θ_ker, θ_stri, θ_pad, θ_pker, θ_op} of §5.2.
+type ConvConfig struct {
+	Channels int
+	Kernel   int
+	Stride   int
+	Padding  int
+	PoolSize int
+	Pool     nn.PoolOp
+}
+
+// Validate reports the first invalid field.
+func (c ConvConfig) Validate() error {
+	if c.Channels <= 0 || c.Kernel <= 0 || c.Stride <= 0 || c.Padding < 0 || c.PoolSize <= 0 {
+		return fmt.Errorf("model: invalid conv config %+v", c)
+	}
+	return nil
+}
+
+// String renders the tuple compactly.
+func (c ConvConfig) String() string {
+	return fmt.Sprintf("{ch=%d k=%d s=%d p=%d pool=%d/%s}",
+		c.Channels, c.Kernel, c.Stride, c.Padding, c.PoolSize, c.Pool)
+}
+
+// TrainConfig controls model training (Algorithm 1).
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Lambda weights the Q-error term of the hybrid loss.
+	Lambda float64
+	// GradClip bounds the global gradient norm per step (0 disables).
+	GradClip float64
+	Seed     int64
+}
+
+// DefaultTrainConfig returns the settings used across the harness.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{
+		Epochs:    30,
+		BatchSize: 64,
+		LR:        5e-3,
+		Lambda:    0.3,
+		GradClip:  10,
+		Seed:      seed,
+	}
+}
+
+func (c *TrainConfig) fill() {
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 5e-3
+	}
+	if c.Lambda < 0 {
+		c.Lambda = 0.3
+	}
+}
+
+// Arch sizes the embedding networks. Small defaults keep per-segment local
+// models light, as the paper's Table 5 sizes suggest.
+type Arch struct {
+	// QueryHidden and QueryEmbed size the query-embedding MLP path.
+	QueryHidden, QueryEmbed int
+	// TauEmbed sizes the (monotone) threshold embedding.
+	TauEmbed int
+	// DistHidden and DistEmbed size the two-hidden-layer distance
+	// embedding (§5.1).
+	DistHidden, DistEmbed int
+	// OutHidden sizes the output network F.
+	OutHidden int
+	// Dropout, when > 0, adds inverted dropout after F's hidden layer.
+	Dropout float64
+}
+
+// DefaultArch returns the default module sizes.
+func DefaultArch() Arch {
+	return Arch{
+		QueryHidden: 32,
+		QueryEmbed:  16,
+		TauEmbed:    8,
+		DistHidden:  16,
+		DistEmbed:   8,
+		OutHidden:   32,
+	}
+}
+
+// DefaultConvConfigs returns the untuned CNN stack used by QES and GL-CNN:
+// one merging layer after the segment layer, with average pooling.
+func DefaultConvConfigs() []ConvConfig {
+	return []ConvConfig{
+		{Channels: 8, Kernel: 2, Stride: 1, Padding: 0, PoolSize: 2, Pool: nn.AvgPool},
+	}
+}
+
+// buildQueryMLP is the fully connected query-embedding network (MLP and
+// GL-MLP variants).
+func buildQueryMLP(rng *rand.Rand, dim int, a Arch) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewDense(rng, dim, a.QueryHidden),
+		nn.NewReLU(),
+		nn.NewDense(rng, a.QueryHidden, a.QueryEmbed),
+		nn.NewReLU(),
+	)
+}
+
+// buildQueryCNN is the query-segmentation network (Fig 3/Fig 7): the first
+// convolution applies the shared per-segment density function f() (kernel =
+// stride = segment length), the configured layers merge segment
+// distributions (g()), and a dense head produces the embedding z_q.
+func buildQueryCNN(rng *rand.Rand, dim, segments int, cfgs []ConvConfig, a Arch, firstChannels int) (*nn.Sequential, error) {
+	if segments <= 0 {
+		return nil, fmt.Errorf("model: segment count must be positive, got %d", segments)
+	}
+	if segments > dim {
+		segments = dim
+	}
+	segLen := (dim + segments - 1) / segments
+	if firstChannels <= 0 {
+		firstChannels = 8
+	}
+	layers := []nn.Layer{
+		nn.NewConv1D(rng, 1, firstChannels, segLen, segLen, 0),
+		nn.NewReLU(),
+	}
+	width := nn.NewSequential(layers...).OutDim(dim)
+	ch := firstChannels
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		conv := nn.NewConv1D(rng, ch, c.Channels, c.Kernel, c.Stride, c.Padding)
+		layers = append(layers, conv, nn.NewReLU())
+		width = conv.OutDim(width)
+		pool := nn.NewPool1D(c.Channels, c.PoolSize, c.Pool)
+		layers = append(layers, pool)
+		width = pool.OutDim(width)
+		ch = c.Channels
+	}
+	layers = append(layers,
+		nn.NewDense(rng, width, a.QueryEmbed),
+		nn.NewReLU(),
+	)
+	return nn.NewSequential(layers...), nil
+}
+
+// buildTauNet is the monotone threshold embedding E2/E5: one hidden layer,
+// all weights constrained non-negative (§5.1).
+func buildTauNet(rng *rand.Rand, a Arch) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewPositiveDense(rng, 1, a.TauEmbed),
+		nn.NewReLU(),
+		nn.NewPositiveDense(rng, a.TauEmbed, a.TauEmbed),
+		nn.NewReLU(),
+	)
+}
+
+// buildDistNet is the two-hidden-layer distance embedding E3/E6 (§5.1).
+func buildDistNet(rng *rand.Rand, k int, a Arch) *nn.Sequential {
+	return nn.NewSequential(
+		nn.NewDense(rng, k, a.DistHidden),
+		nn.NewReLU(),
+		nn.NewDense(rng, a.DistHidden, a.DistHidden),
+		nn.NewReLU(),
+		nn.NewDense(rng, a.DistHidden, a.DistEmbed),
+		nn.NewReLU(),
+	)
+}
+
+// buildOutputNet is F: dense + ReLU (+ optional dropout) then a linear
+// layer (§5.1).
+func buildOutputNet(rng *rand.Rand, in int, a Arch) *nn.Sequential {
+	layers := []nn.Layer{
+		nn.NewDense(rng, in, a.OutHidden),
+		nn.NewReLU(),
+	}
+	if a.Dropout > 0 {
+		layers = append(layers, nn.NewDropout(a.Dropout, rng.Int63()))
+	}
+	layers = append(layers, nn.NewDense(rng, a.OutHidden, 1))
+	return nn.NewSequential(layers...)
+}

@@ -1,0 +1,119 @@
+// Package model implements the paper's learned estimators: the basic DL
+// model with learned embeddings (Fig 2), query segmentation with CNNs
+// (Fig 3/Fig 7 — QES), data segmentation with per-segment local models and
+// the global-local selection framework (Fig 5 — Local+, GL-MLP, GL-CNN,
+// GL+), and the sum-pooling join models (Fig 6 — CNNJoin, GLJoin, GLJoin+),
+// plus incremental updates (§5.3).
+package model
+
+import (
+	"fmt"
+
+	"simquery/internal/dist"
+	"simquery/internal/tensor"
+)
+
+// Sample is one labeled training example for a regression model.
+type Sample struct {
+	Q    []float64
+	Tau  float64
+	Card float64
+}
+
+// concatCols concatenates matrices with equal row counts column-wise.
+func concatCols(ms ...*tensor.Matrix) *tensor.Matrix {
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("model: concat row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := tensor.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		ofs := 0
+		for _, m := range ms {
+			copy(dst[ofs:ofs+m.Cols], m.Row(i))
+			ofs += m.Cols
+		}
+	}
+	return out
+}
+
+// splitCols splits a matrix into column blocks of the given widths.
+func splitCols(m *tensor.Matrix, widths ...int) []*tensor.Matrix {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != m.Cols {
+		panic(fmt.Sprintf("model: split widths sum %d != cols %d", total, m.Cols))
+	}
+	out := make([]*tensor.Matrix, len(widths))
+	ofs := 0
+	for bi, w := range widths {
+		b := tensor.NewMatrix(m.Rows, w)
+		for i := 0; i < m.Rows; i++ {
+			copy(b.Row(i), m.Row(i)[ofs:ofs+w])
+		}
+		out[bi] = b
+		ofs += w
+	}
+	return out
+}
+
+// queryBatch stacks query vectors into a matrix.
+func queryBatch(qs [][]float64, dim int) *tensor.Matrix {
+	m := tensor.NewMatrix(len(qs), dim)
+	for i, q := range qs {
+		if len(q) != dim {
+			panic(fmt.Sprintf("model: query %d has dim %d, want %d", i, len(q), dim))
+		}
+		copy(m.Row(i), q)
+	}
+	return m
+}
+
+// tauBatch stacks scaled thresholds into an N×1 matrix.
+func tauBatch(taus []float64, scale float64) *tensor.Matrix {
+	m := tensor.NewMatrix(len(taus), 1)
+	for i, t := range taus {
+		m.Data[i] = t / scale
+	}
+	return m
+}
+
+// distBatch computes the anchor-distance feature x_D (or x_C) for each
+// query: distances to the anchor vectors under the metric, scaled.
+func distBatch(qs [][]float64, anchors [][]float64, metric dist.Metric, scale float64) *tensor.Matrix {
+	m := tensor.NewMatrix(len(qs), len(anchors))
+	for i, q := range qs {
+		row := m.Row(i)
+		for j, a := range anchors {
+			row[j] = dist.Distance(metric, q, a) / scale
+		}
+	}
+	return m
+}
+
+// sumRows sum-pools a matrix's rows into a 1×C matrix — the join models'
+// query-set embedding (§4).
+func sumRows(m *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		tensor.AddTo(out.Row(0), m.Row(i))
+	}
+	return out
+}
+
+// broadcastRows expands a 1×C gradient to n identical rows — the backward
+// pass of sum pooling.
+func broadcastRows(g *tensor.Matrix, n int) *tensor.Matrix {
+	out := tensor.NewMatrix(n, g.Cols)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), g.Row(0))
+	}
+	return out
+}

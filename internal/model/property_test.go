@@ -1,0 +1,162 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simquery/internal/cluster"
+	"simquery/internal/dist"
+	"simquery/internal/nn"
+)
+
+// Property: any valid QES architecture serializes and deserializes to a
+// model with identical outputs.
+func TestQESSerializationProperty(t *testing.T) {
+	f := func(seed int64, chRaw, kerRaw, segRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := ConvConfig{
+			Channels: int(chRaw)%8 + 1,
+			Kernel:   int(kerRaw)%3 + 1,
+			Stride:   1,
+			Padding:  int(kerRaw) % 2,
+			PoolSize: int(chRaw)%2 + 1,
+			Pool:     nn.PoolOp(int(segRaw) % 3),
+		}
+		segs := int(segRaw)%6 + 2
+		dim := 32
+		m, err := NewQESModel("prop", rng, dim, segs, []ConvConfig{cfg}, nil, dist.L2, 1.0, DefaultArch())
+		if err != nil {
+			return false
+		}
+		data, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		restored := &BasicModel{}
+		if err := restored.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		q := make([]float64, dim)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		tau := rng.Float64()
+		return m.EstimateSearch(q, tau) == restored.EstimateSearch(q, tau)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the monotone threshold embedding E2 is non-decreasing in every
+// coordinate as τ grows, for any model seed.
+func TestThresholdEmbeddingMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMLPModel("prop", rng, 4, nil, dist.L2, 1.0, DefaultArch())
+		if err != nil {
+			return false
+		}
+		prev := m.E2.Forward(tauBatch([]float64{0}, 1), false)
+		for tau := 0.1; tau <= 1.0; tau += 0.1 {
+			cur := m.E2.Forward(tauBatch([]float64{tau}, 1), false)
+			for i := range cur.Data {
+				if cur.Data[i] < prev.Data[i]-1e-12 {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalLocalSingleSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := make([][]float64, 60)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	gl, err := NewGlobalLocal("one", data, dist.L2, 4, GLConfig{Variant: GLCNN, Segments: 1, QuerySegments: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]SegSample, 20)
+	for i := range samples {
+		samples[i] = SegSample{Q: data[i], Tau: 0.5, SegCards: []float64{5}}
+	}
+	cfg := DefaultTrainConfig(43)
+	cfg.Epochs = 3
+	if err := gl.Train(samples, cfg, DefaultGlobalTrainConfig(44)); err != nil {
+		t.Fatal(err)
+	}
+	if est := gl.EstimateSearch(data[0], 0.5); est < 0 {
+		t.Fatalf("estimate %v", est)
+	}
+}
+
+func TestLocalTrainingSetBalancing(t *testing.T) {
+	samples := make([]SegSample, 100)
+	for i := range samples {
+		cards := []float64{0, 0}
+		if i < 10 {
+			cards[0] = float64(i + 1) // 10 positives for segment 0
+		}
+		samples[i] = SegSample{Q: []float64{float64(i)}, Tau: 0.1, SegCards: cards}
+	}
+	gl := &GlobalLocal{Metric: dist.L2, Seg: &cluster.Segmentation{K: 2, Centroids: [][]float64{{0}, {100}}}}
+	set := gl.localTrainingSet(samples, 0, 1)
+	var pos, neg int
+	for _, s := range set {
+		if s.Card > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != 10 {
+		t.Fatalf("positives %d want 10", pos)
+	}
+	if neg > pos/2+4 {
+		t.Fatalf("negatives %d exceed the cap", neg)
+	}
+	if neg == 0 {
+		t.Fatal("hard negatives must be kept")
+	}
+	// Segment 1 has no positives at all: a small zero set keeps the local
+	// predicting ≈0.
+	empty := gl.localTrainingSet(samples, 1, 2)
+	if len(empty) == 0 || len(empty) > 8 {
+		t.Fatalf("degenerate segment set size %d", len(empty))
+	}
+	for _, s := range empty {
+		if s.Card != 0 {
+			t.Fatal("degenerate set must be all zeros")
+		}
+	}
+}
+
+func TestFineTuneJoinSkipsEmptySets(t *testing.T) {
+	gl := trainedGL(t, GLCNN)
+	err := gl.FineTuneJoin([]JoinSegSample{{Qs: nil, Tau: 0.1, PerQuerySegCards: nil}}, DefaultTrainConfig(45))
+	if err != nil {
+		t.Fatalf("empty join sets must be tolerated: %v", err)
+	}
+}
+
+func TestFineTuneJoinLabelMismatch(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+	bad := []JoinSegSample{{
+		Qs:               [][]float64{f.ds.Vectors[0], f.ds.Vectors[1]},
+		Tau:              0.1,
+		PerQuerySegCards: [][]float64{{1, 0, 0, 0, 0, 0}}, // one label for two queries
+	}}
+	if err := gl.FineTuneJoin(bad, DefaultTrainConfig(46)); err == nil {
+		t.Fatal("expected error on label/query mismatch")
+	}
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestRemovePointsSwapRemove(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+	// Work on a serialized clone so the cached model stays intact; clones
+	// lack member lists, so rebuild a fresh model instead.
+	cfg := GLConfig{Variant: GLCNN, Segments: 4, QuerySegments: 8, Seed: 17}
+	fresh, err := NewGlobalLocal("rm", f.ds.Vectors, f.ds.Metric, f.ds.TauMax, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(fresh.Seg.Assignments)
+	affected, err := fresh.RemovePoints([]int{0, 5, n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Seg.Assignments) != n-3 {
+		t.Fatalf("assignments %d want %d", len(fresh.Seg.Assignments), n-3)
+	}
+	if len(affected) == 0 {
+		t.Fatal("no affected segments reported")
+	}
+	// Members must partition the remaining points.
+	total := 0
+	for s, members := range fresh.Seg.Members {
+		total += len(members)
+		for _, i := range members {
+			if fresh.Seg.Assignments[i] != s {
+				t.Fatal("member list inconsistent after removal")
+			}
+		}
+		if fresh.Locals[s].MaxCard != float64(len(members)) {
+			t.Fatalf("MaxCard %v != member count %d", fresh.Locals[s].MaxCard, len(members))
+		}
+	}
+	if total != n-3 {
+		t.Fatalf("members cover %d, want %d", total, n-3)
+	}
+	_ = gl
+}
+
+func TestRemovePointsErrors(t *testing.T) {
+	f := getFixture(t)
+	cfg := GLConfig{Variant: GLCNN, Segments: 4, QuerySegments: 8, Seed: 18}
+	fresh, err := NewGlobalLocal("rm", f.ds.Vectors, f.ds.Metric, f.ds.TauMax, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.RemovePoints([]int{-1}); err == nil {
+		t.Fatal("expected error on negative index")
+	}
+	if _, err := fresh.RemovePoints([]int{1, 1}); err == nil {
+		t.Fatal("expected error on duplicate index")
+	}
+	if _, err := fresh.RemovePoints([]int{1 << 30}); err == nil {
+		t.Fatal("expected error on out-of-range index")
+	}
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+
+	"simquery/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation used in every hidden layer of the
+// paper's models (§5.1).
+type ReLU struct {
+	mask []bool // true where input > 0
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	if train {
+		r.mask = make([]bool, len(x.Data))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			if train {
+				r.mask[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the positive mask.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if r.mask == nil {
+		panic("nn: ReLU Backward before Forward(train=true)")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutDim is the identity.
+func (r *ReLU) OutDim(in int) int { return in }
+
+// Spec serializes the layer.
+func (r *ReLU) Spec() LayerSpec { return LayerSpec{Kind: "relu"} }
+
+// Sigmoid is the logistic activation; the global model uses it to turn
+// per-segment scores into selection probabilities.
+type Sigmoid struct {
+	lastOut *tensor.Matrix
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function element-wise.
+func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = tensor.Sigmoid(v)
+	}
+	if train {
+		s.lastOut = out
+	}
+	return out
+}
+
+// Backward multiplies by σ(x)(1−σ(x)).
+func (s *Sigmoid) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if s.lastOut == nil {
+		panic("nn: Sigmoid Backward before Forward(train=true)")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		y := s.lastOut.Data[i]
+		out.Data[i] = v * y * (1 - y)
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutDim is the identity.
+func (s *Sigmoid) OutDim(in int) int { return in }
+
+// Spec serializes the layer.
+func (s *Sigmoid) Spec() LayerSpec { return LayerSpec{Kind: "sigmoid"} }
+
+// Tanh is the hyperbolic-tangent activation (used by the CardNet stand-in's
+// encoder).
+type Tanh struct {
+	lastOut *tensor.Matrix
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if train {
+		t.lastOut = out
+	}
+	return out
+}
+
+// Backward multiplies by 1−tanh².
+func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if t.lastOut == nil {
+		panic("nn: Tanh Backward before Forward(train=true)")
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		y := t.lastOut.Data[i]
+		out.Data[i] = v * (1 - y*y)
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutDim is the identity.
+func (t *Tanh) OutDim(in int) int { return in }
+
+// Spec serializes the layer.
+func (t *Tanh) Spec() LayerSpec { return LayerSpec{Kind: "tanh"} }
+
+// Bias adds a learnable per-feature offset. The global model's "learnable
+// threshold before the Sigmoid activator" (§5.1) is a Bias layer: shifting
+// the logit by a learned amount keeps the selection probability monotone in
+// the query threshold.
+type Bias struct {
+	Dim int
+	B   *Param
+}
+
+// NewBias returns a zero-initialized bias layer of the given width.
+func NewBias(dim int) *Bias {
+	return &Bias{Dim: dim, B: NewParam("bias.B", dim)}
+}
+
+// Forward adds the offset to every row.
+func (b *Bias) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone()
+	for i := 0; i < out.Rows; i++ {
+		tensor.AddTo(out.Row(i), b.B.W)
+	}
+	return out
+}
+
+// Backward accumulates the offset gradient and passes grad through.
+func (b *Bias) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := 0; i < grad.Rows; i++ {
+		tensor.AddTo(b.B.Grad, grad.Row(i))
+	}
+	return grad
+}
+
+// Params returns the offset parameter.
+func (b *Bias) Params() []*Param { return []*Param{b.B} }
+
+// OutDim is the identity.
+func (b *Bias) OutDim(in int) int { return in }
+
+// Spec serializes the layer.
+func (b *Bias) Spec() LayerSpec {
+	return LayerSpec{
+		Kind:   "bias",
+		Ints:   map[string]int{"dim": b.Dim},
+		Floats: map[string][]float64{"B": append([]float64(nil), b.B.W...)},
+	}
+}
+
+var (
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*Sigmoid)(nil)
+	_ Layer = (*Tanh)(nil)
+	_ Layer = (*Bias)(nil)
+)

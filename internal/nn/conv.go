@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simquery/internal/tensor"
+)
+
+// Conv1D is a one-dimensional convolution over per-sample signals laid out
+// channel-major: sample = [ch0 pos0..L−1, ch1 pos0..L−1, …].
+//
+// The paper's query-embedding network (Fig 3/Fig 7) is a stack of these:
+// the first layer, with kernel = stride = segment length, applies the shared
+// per-segment distance-density function f(); deeper layers merge adjacent
+// segment distributions, realizing g().
+type Conv1D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Stride      int
+	Padding     int
+
+	W *Param // OutChannels × InChannels × Kernel
+	B *Param // OutChannels
+
+	lastX *tensor.Matrix
+	lastL int // input length per channel of lastX
+}
+
+// NewConv1D builds the layer with He initialization.
+func NewConv1D(rng *rand.Rand, inCh, outCh, kernel, stride, padding int) *Conv1D {
+	if inCh <= 0 || outCh <= 0 || kernel <= 0 || stride <= 0 || padding < 0 {
+		panic(fmt.Sprintf("nn: invalid conv1d config in=%d out=%d k=%d s=%d p=%d",
+			inCh, outCh, kernel, stride, padding))
+	}
+	c := &Conv1D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Stride:      stride,
+		Padding:     padding,
+		W:           NewParam("conv1d.W", outCh*inCh*kernel),
+		B:           NewParam("conv1d.B", outCh),
+	}
+	HeInit(rng, c.W.W, inCh*kernel)
+	return c
+}
+
+// outLen reports the number of output positions for input length l.
+func (c *Conv1D) outLen(l int) int {
+	n := (l+2*c.Padding-c.Kernel)/c.Stride + 1
+	if n < 1 {
+		n = 1 // degenerate short input: single window over what exists
+	}
+	return n
+}
+
+// inLen recovers the per-channel length from the flat per-sample width.
+func (c *Conv1D) inLen(cols int) int {
+	if cols%c.InChannels != 0 {
+		panic(fmt.Sprintf("nn: conv1d input width %d not divisible by %d channels", cols, c.InChannels))
+	}
+	return cols / c.InChannels
+}
+
+// Forward applies the convolution to the batch.
+func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	l := c.inLen(x.Cols)
+	outL := c.outLen(l)
+	out := tensor.NewMatrix(x.Rows, c.OutChannels*outL)
+	if train {
+		c.lastX = x
+		c.lastL = l
+	}
+	for n := 0; n < x.Rows; n++ {
+		xr := x.Row(n)
+		or := out.Row(n)
+		for co := 0; co < c.OutChannels; co++ {
+			for t := 0; t < outL; t++ {
+				sum := c.B.W[co]
+				base := t*c.Stride - c.Padding
+				for ci := 0; ci < c.InChannels; ci++ {
+					wofs := (co*c.InChannels + ci) * c.Kernel
+					xofs := ci * l
+					for k := 0; k < c.Kernel; k++ {
+						pos := base + k
+						if pos < 0 || pos >= l {
+							continue
+						}
+						sum += c.W.W[wofs+k] * xr[xofs+pos]
+					}
+				}
+				or[co*outL+t] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight gradients and returns the input gradient.
+func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if c.lastX == nil {
+		panic("nn: conv1d Backward before Forward(train=true)")
+	}
+	x, l := c.lastX, c.lastL
+	outL := c.outLen(l)
+	dx := tensor.NewMatrix(x.Rows, x.Cols)
+	for n := 0; n < x.Rows; n++ {
+		xr := x.Row(n)
+		gr := grad.Row(n)
+		dxr := dx.Row(n)
+		for co := 0; co < c.OutChannels; co++ {
+			for t := 0; t < outL; t++ {
+				g := gr[co*outL+t]
+				if g == 0 {
+					continue
+				}
+				c.B.Grad[co] += g
+				base := t*c.Stride - c.Padding
+				for ci := 0; ci < c.InChannels; ci++ {
+					wofs := (co*c.InChannels + ci) * c.Kernel
+					xofs := ci * l
+					for k := 0; k < c.Kernel; k++ {
+						pos := base + k
+						if pos < 0 || pos >= l {
+							continue
+						}
+						c.W.Grad[wofs+k] += g * xr[xofs+pos]
+						dxr[xofs+pos] += g * c.W.W[wofs+k]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutDim reports the flat output width for a flat input width.
+func (c *Conv1D) OutDim(inDim int) int {
+	return c.OutChannels * c.outLen(c.inLen(inDim))
+}
+
+// Spec serializes the layer.
+func (c *Conv1D) Spec() LayerSpec {
+	return LayerSpec{
+		Kind: "conv1d",
+		Ints: map[string]int{
+			"in": c.InChannels, "out": c.OutChannels,
+			"kernel": c.Kernel, "stride": c.Stride, "padding": c.Padding,
+		},
+		Floats: map[string][]float64{"W": append([]float64(nil), c.W.W...), "B": append([]float64(nil), c.B.W...)},
+	}
+}
+
+var _ Layer = (*Conv1D)(nil)

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simquery/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape Out×In.
+type Dense struct {
+	In, Out int
+	W       *Param // Out×In, flat row-major
+	B       *Param // Out
+
+	lastX *tensor.Matrix // cached input for Backward
+}
+
+// NewDense builds a dense layer with He-uniform initialization (suited to
+// the ReLU activations used throughout the paper's networks).
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape %d->%d", in, out))
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam("dense.W", in*out),
+		B:   NewParam("dense.B", out),
+	}
+	HeInit(rng, d.W.W, in)
+	return d
+}
+
+// NewPositiveDense builds a dense layer whose weights are constrained
+// non-negative (projected after every optimizer step). The paper uses this
+// for the threshold-embedding networks E2/E5 so that the embedding — and
+// through monotone downstream activations, the estimate — is monotone in τ.
+func NewPositiveDense(rng *rand.Rand, in, out int) *Dense {
+	d := NewDense(rng, in, out)
+	d.W.NonNegative = true
+	// Start in the feasible region.
+	for i, v := range d.W.W {
+		if v < 0 {
+			d.W.W[i] = -v
+		}
+	}
+	return d
+}
+
+// Forward computes the affine map for the batch.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Cols))
+	}
+	if train {
+		d.lastX = x
+	}
+	out := tensor.NewMatrix(x.Rows, d.Out)
+	w := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.W}
+	tensor.MatMulTransB(out, x, w)
+	for i := 0; i < out.Rows; i++ {
+		tensor.AddTo(out.Row(i), d.B.W)
+	}
+	return out
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: dense Backward before Forward(train=true)")
+	}
+	x := d.lastX
+	// dW = gradᵀ · x  (Out×In)
+	dW := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: make([]float64, d.Out*d.In)}
+	tensor.MatMulTransA(dW, grad, x)
+	tensor.AddTo(d.W.Grad, dW.Data)
+	// dB = column sums of grad
+	for i := 0; i < grad.Rows; i++ {
+		tensor.AddTo(d.B.Grad, grad.Row(i))
+	}
+	// dX = grad · W (N×In)
+	dx := tensor.NewMatrix(grad.Rows, d.In)
+	w := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.W}
+	tensor.MatMul(dx, grad, w)
+	return dx
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutDim reports the output width.
+func (d *Dense) OutDim(int) int { return d.Out }
+
+// Spec serializes the layer.
+func (d *Dense) Spec() LayerSpec {
+	kind := "dense"
+	if d.W.NonNegative {
+		kind = "posdense"
+	}
+	return LayerSpec{
+		Kind:   kind,
+		Ints:   map[string]int{"in": d.In, "out": d.Out},
+		Floats: map[string][]float64{"W": append([]float64(nil), d.W.W...), "B": append([]float64(nil), d.B.W...)},
+	}
+}
+
+var _ Layer = (*Dense)(nil)

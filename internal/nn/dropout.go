@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simquery/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training (inverted dropout:
+// surviving units are scaled by 1/(1−p) so inference is the identity). The
+// paper notes its models use dropout, which also shrinks the effective
+// parameter count per estimate (Exp-9's latency discussion).
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds the layer; rate must lie in [0, 1).
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Forward zeroes a random subset during training and passes through at
+// inference.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.Rate == 0 {
+		if train {
+			d.mask = nil // identity backward
+		}
+		return x
+	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	d.mask = make([]float64, len(x.Data))
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward gates gradients by the surviving mask.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	out := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i, v := range grad.Data {
+		out.Data[i] = v * d.mask[i]
+	}
+	return out
+}
+
+// Params reports no learnables.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutDim is the identity.
+func (d *Dropout) OutDim(in int) int { return in }
+
+// Spec serializes the layer (the RNG restarts from a fixed seed on load;
+// inference behaviour is unaffected).
+func (d *Dropout) Spec() LayerSpec {
+	return LayerSpec{
+		Kind:   "dropout",
+		Floats: map[string][]float64{"rate": {d.Rate}},
+	}
+}
+
+var _ Layer = (*Dropout)(nil)

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simquery/internal/tensor"
+)
+
+func TestDropoutInferenceIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := randBatch(rand.New(rand.NewSource(1)), 4, 6)
+	out := d.Forward(x, false)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("inference must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	d := NewDropout(0.5, 2)
+	x := tensor.NewMatrix(1, 1000)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1-0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("drop count %d far from expectation", zeros)
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("values unaccounted")
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	d := NewDropout(0.3, 3)
+	x := tensor.NewMatrix(1, 5000)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x, true)
+	mean := tensor.Mean(out.Data)
+	if math.Abs(mean-1) > 0.06 {
+		t.Fatalf("inverted dropout must preserve expectation, mean %v", mean)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 4)
+	x := randBatch(rand.New(rand.NewSource(5)), 2, 8)
+	out := d.Forward(x, true)
+	grad := tensor.NewMatrix(2, 8)
+	for i := range grad.Data {
+		grad.Data[i] = 1
+	}
+	back := d.Backward(grad)
+	for i := range out.Data {
+		// Gradient flows exactly where activations survived, with the same
+		// scale.
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("gradient mask mismatch")
+		}
+	}
+}
+
+func TestDropoutInNetworkGradients(t *testing.T) {
+	// With rate 0 the layer is exactly the identity, so the standard
+	// numeric gradient check applies.
+	rng := rand.New(rand.NewSource(6))
+	net := NewSequential(NewDense(rng, 4, 6), NewReLU(), NewDropout(0, 7), NewDense(rng, 6, 2))
+	checkGradients(t, net, randBatch(rng, 5, 4), randBatch(rng, 5, 2), 1e-4)
+}
+
+func TestDropoutSerialization(t *testing.T) {
+	net := NewSequential(NewDropout(0.25, 8))
+	data, err := Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := restored.(*Sequential).Layers[0].(*Dropout)
+	if d.Rate != 0.25 {
+		t.Fatalf("rate lost: %v", d.Rate)
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout(1.0, 1)
+}
+
+func TestDropoutBadSpec(t *testing.T) {
+	if _, err := FromSpec(LayerSpec{Kind: "dropout", Floats: map[string][]float64{"rate": {2}}}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"simquery/internal/tensor"
+)
+
+// Layer is one differentiable module. Forward consumes a batch (rows are
+// samples) and caches whatever Backward needs; Backward consumes the
+// gradient of the loss with respect to the layer output, accumulates
+// parameter gradients, and returns the gradient with respect to the input.
+//
+// Layers are single-threaded: one Forward/Backward pair in flight at a time,
+// matching mini-batch SGD training loops.
+type Layer interface {
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	Backward(grad *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+	// OutDim reports the per-sample output width given the per-sample input
+	// width, so networks can be assembled without running data through them.
+	OutDim(inDim int) int
+	// Spec returns a serializable description (architecture + weights).
+	Spec() LayerSpec
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a chain of layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the batch through every layer in order.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad through the layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutDim composes the per-layer output dims.
+func (s *Sequential) OutDim(inDim int) int {
+	for _, l := range s.Layers {
+		inDim = l.OutDim(inDim)
+	}
+	return inDim
+}
+
+// Spec serializes the whole chain.
+func (s *Sequential) Spec() LayerSpec {
+	spec := LayerSpec{Kind: "sequential"}
+	for _, l := range s.Layers {
+		spec.Children = append(spec.Children, l.Spec())
+	}
+	return spec
+}
+
+// ZeroGrad clears gradients on every parameter of the network.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+var _ Layer = (*Sequential)(nil)

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"simquery/internal/tensor"
+)
+
+// logCardMax bounds the predicted log-cardinality before exponentiation so
+// the loss stays finite while training warms up.
+const logCardMax = 30.0
+
+// cardFloor replaces zero cardinalities in denominators, per the paper's
+// convention "(If min(card̂, card) = 0, we set it with a small value, e.g.,
+// 0.1.)".
+const cardFloor = 0.1
+
+// HybridLoss is the paper's regression loss (§3.1):
+//
+//	J(θ) = |e^ŷ − card| / card + λ · max(e^ŷ, card) / min(e^ŷ, card)
+//
+// where ŷ is the network output interpreted as log-cardinality. MAPE alone
+// under-estimates, Q-error alone ignores small errors; the hybrid combines
+// both.
+type HybridLoss struct {
+	// Lambda weights the Q-error term.
+	Lambda float64
+	// GradClip bounds the per-sample gradient magnitude (0 disables).
+	GradClip float64
+}
+
+// NewHybridLoss returns the loss with the given λ and a default per-sample
+// gradient clip of 50 to keep early training stable.
+func NewHybridLoss(lambda float64) *HybridLoss {
+	return &HybridLoss{Lambda: lambda, GradClip: 50}
+}
+
+// Compute returns the mean loss over the batch and the gradient with
+// respect to the predictions (an N×1 matrix of log-cardinalities).
+func (h *HybridLoss) Compute(pred *tensor.Matrix, card []float64) (float64, *tensor.Matrix) {
+	if pred.Cols != 1 || pred.Rows != len(card) {
+		panic(fmt.Sprintf("nn: hybrid loss expects N×1 preds for N=%d targets, got %dx%d",
+			len(card), pred.Rows, pred.Cols))
+	}
+	n := pred.Rows
+	grad := tensor.NewMatrix(n, 1)
+	var total float64
+	for i := 0; i < n; i++ {
+		y := tensor.Clamp(pred.Data[i], -logCardMax, logCardMax)
+		e := math.Exp(y)
+		c := card[i]
+		if c < cardFloor {
+			c = cardFloor
+		}
+		// MAPE term.
+		mape := math.Abs(e-c) / c
+		dMape := e / c
+		if e < c {
+			dMape = -dMape
+		}
+		// Q-error term.
+		eq := e
+		if eq < cardFloor {
+			eq = cardFloor
+		}
+		var q, dQ float64
+		if eq >= c {
+			q = eq / c
+			dQ = eq / c
+		} else {
+			q = c / eq
+			dQ = -c / eq
+		}
+		total += mape + h.Lambda*q
+		g := (dMape + h.Lambda*dQ) / float64(n)
+		if h.GradClip > 0 {
+			g = tensor.Clamp(g, -h.GradClip, h.GradClip)
+		}
+		grad.Data[i] = g
+	}
+	return total / float64(n), grad
+}
+
+// QErrorOf returns the Q-error between an estimate and the truth, flooring
+// zeros per the paper's convention.
+func QErrorOf(est, truth float64) float64 {
+	if est < cardFloor {
+		est = cardFloor
+	}
+	if truth < cardFloor {
+		truth = cardFloor
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// WeightedBCELoss is the global discriminative model's loss (§3.3):
+//
+//	J(θ) = −1/(n·Bs) Σᵢ Σⱼ R·log(I)·(1+ε) + (1−R)·log(1−I)
+//
+// computed on logits for numerical stability (I = σ(logit)). ε is the
+// min-max normalized per-segment cardinality "penalty" that discourages
+// missing segments with large cardinalities; pass nil weights for the
+// no-penalty ablation (Fig 9).
+type WeightedBCELoss struct{}
+
+// Compute takes logits (N×K), binary labels (N×K) and optional penalty
+// weights ε (N×K or nil), returning the mean loss and the gradient with
+// respect to the logits.
+func (WeightedBCELoss) Compute(logits, labels, eps *tensor.Matrix) (float64, *tensor.Matrix) {
+	if logits.Rows != labels.Rows || logits.Cols != labels.Cols {
+		panic(fmt.Sprintf("nn: bce shape mismatch %dx%d vs %dx%d",
+			logits.Rows, logits.Cols, labels.Rows, labels.Cols))
+	}
+	if eps != nil && (eps.Rows != logits.Rows || eps.Cols != logits.Cols) {
+		panic("nn: bce penalty weight shape mismatch")
+	}
+	n := float64(logits.Rows * logits.Cols)
+	grad := tensor.NewMatrix(logits.Rows, logits.Cols)
+	var total float64
+	for i, z := range logits.Data {
+		r := labels.Data[i]
+		w := 1.0
+		if eps != nil && r > 0.5 {
+			w = 1 + eps.Data[i]
+		}
+		// log σ(z) = −softplus(−z);  log(1−σ(z)) = −softplus(z)
+		if r > 0.5 {
+			total += w * tensor.Softplus(-z)
+			grad.Data[i] = w * (tensor.Sigmoid(z) - 1) / n
+		} else {
+			total += tensor.Softplus(z)
+			grad.Data[i] = tensor.Sigmoid(z) / n
+		}
+	}
+	return total / n, grad
+}
+
+// MSELoss is plain mean squared error, used by the CardNet stand-in's
+// reconstruction term and by unit tests.
+type MSELoss struct{}
+
+// Compute returns the mean squared error and its gradient.
+func (MSELoss) Compute(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: mse shape mismatch %dx%d vs %dx%d",
+			pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(pred.Data))
+	grad := tensor.NewMatrix(pred.Rows, pred.Cols)
+	var total float64
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		total += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return total / n, grad
+}

@@ -1,0 +1,430 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"simquery/internal/tensor"
+)
+
+// lossFor runs a fresh forward pass and returns the MSE loss against target.
+func lossFor(net *Sequential, x, target *tensor.Matrix) float64 {
+	out := net.Forward(x, false)
+	l, _ := MSELoss{}.Compute(out, target)
+	return l
+}
+
+// checkGradients numerically verifies every parameter gradient of net under
+// an MSE objective.
+func checkGradients(t *testing.T, net *Sequential, x, target *tensor.Matrix, tol float64) {
+	t.Helper()
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, g := MSELoss{}.Compute(out, target)
+	net.Backward(g)
+
+	const h = 1e-5
+	for pi, p := range net.Params() {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			lp := lossFor(net, x, target)
+			p.W[i] = orig - h
+			lm := lossFor(net, x, target)
+			p.W[i] = orig
+			num := (lp - lm) / (2 * h)
+			ana := p.Grad[i]
+			if math.Abs(num-ana) > tol*(1+math.Abs(num)+math.Abs(ana)) {
+				t.Fatalf("param %d (%s) idx %d: numeric %v analytic %v", pi, p.Name, i, num, ana)
+			}
+		}
+	}
+}
+
+func randBatch(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(NewDense(rng, 4, 3))
+	checkGradients(t, net, randBatch(rng, 5, 4), randBatch(rng, 5, 3), 1e-5)
+}
+
+func TestDenseReLUDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewSequential(NewDense(rng, 6, 8), NewReLU(), NewDense(rng, 8, 2))
+	checkGradients(t, net, randBatch(rng, 7, 6), randBatch(rng, 7, 2), 1e-4)
+}
+
+func TestSigmoidTanhGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewSequential(NewDense(rng, 3, 4), NewTanh(), NewDense(rng, 4, 4), NewSigmoid(), NewDense(rng, 4, 1))
+	checkGradients(t, net, randBatch(rng, 6, 3), randBatch(rng, 6, 1), 1e-4)
+}
+
+func TestBiasGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewSequential(NewDense(rng, 3, 5), NewBias(5))
+	checkGradients(t, net, randBatch(rng, 4, 3), randBatch(rng, 4, 5), 1e-5)
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 2 channels × length 8 input, kernel 3 stride 2 padding 1.
+	net := NewSequential(NewConv1D(rng, 2, 3, 3, 2, 1))
+	x := randBatch(rng, 3, 16)
+	out := net.OutDim(16)
+	checkGradients(t, net, x, randBatch(rng, 3, out), 1e-4)
+}
+
+func TestConv1DSegmentStackGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Mimics the query-segmentation stack: kernel=stride=segment length,
+	// then a merging conv, then pooling and a dense head.
+	conv1 := NewConv1D(rng, 1, 4, 4, 4, 0) // 16 inputs -> 4ch × 4 positions
+	conv2 := NewConv1D(rng, 4, 4, 2, 1, 0) // -> 4ch × 3
+	pool := NewPool1D(4, 2, AvgPool)       // -> 4ch × 2
+	net := NewSequential(conv1, NewReLU(), conv2, NewReLU(), pool, NewDense(rng, net8Dim(conv1, conv2, pool), 2))
+	x := randBatch(rng, 4, 16)
+	checkGradients(t, net, x, randBatch(rng, 4, 2), 1e-4)
+}
+
+func net8Dim(layers ...Layer) int {
+	d := 16
+	for _, l := range layers {
+		d = l.OutDim(d)
+	}
+	return d
+}
+
+func TestPool1DGradientsAllOps(t *testing.T) {
+	for _, op := range []PoolOp{MaxPool, AvgPool, SumPool} {
+		rng := rand.New(rand.NewSource(7))
+		net := NewSequential(NewDense(rng, 5, 12), NewPool1D(3, 2, op))
+		checkGradients(t, net, randBatch(rng, 4, 5), randBatch(rng, 4, net.OutDim(5)), 1e-4)
+	}
+}
+
+func TestPool1DPartialWindow(t *testing.T) {
+	// Length 5 windows of 2 -> 3 outputs, last covers one element.
+	p := NewPool1D(1, 2, AvgPool)
+	x, _ := tensor.FromRows([][]float64{{1, 3, 5, 7, 9}})
+	out := p.Forward(x, false)
+	want := []float64{2, 6, 9}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool[%d]=%v want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestPoolOpString(t *testing.T) {
+	if MaxPool.String() != "MAX" || AvgPool.String() != "AVG" || SumPool.String() != "SUM" {
+		t.Fatal("PoolOp.String broken")
+	}
+}
+
+func TestHybridLossGradient(t *testing.T) {
+	loss := NewHybridLoss(0.5)
+	loss.GradClip = 0
+	pred := tensor.NewMatrix(4, 1)
+	pred.Data = []float64{1.2, 3.4, 0.5, 2.0}
+	card := []float64{5, 20, 1, 9}
+	_, grad := loss.Compute(pred, card)
+	const h = 1e-6
+	for i := range pred.Data {
+		orig := pred.Data[i]
+		pred.Data[i] = orig + h
+		lp, _ := loss.Compute(pred, card)
+		pred.Data[i] = orig - h
+		lm, _ := loss.Compute(pred, card)
+		pred.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("hybrid grad[%d]: numeric %v analytic %v", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestHybridLossZeroCardinality(t *testing.T) {
+	loss := NewHybridLoss(1)
+	pred := tensor.NewMatrix(1, 1)
+	pred.Data[0] = 0 // e^0 = 1
+	l, g := loss.Compute(pred, []float64{0})
+	if math.IsNaN(l) || math.IsInf(l, 0) || math.IsNaN(g.Data[0]) {
+		t.Fatalf("loss must stay finite on zero cardinality: %v %v", l, g.Data[0])
+	}
+}
+
+func TestHybridLossExtremePredFinite(t *testing.T) {
+	loss := NewHybridLoss(1)
+	pred := tensor.NewMatrix(2, 1)
+	pred.Data = []float64{1e9, -1e9}
+	l, g := loss.Compute(pred, []float64{10, 10})
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatalf("loss must stay finite on extreme predictions: %v", l)
+	}
+	checkFinite("grad", g.Data)
+}
+
+func TestQErrorOf(t *testing.T) {
+	if QErrorOf(10, 5) != 2 || QErrorOf(5, 10) != 2 || QErrorOf(7, 7) != 1 {
+		t.Fatal("QErrorOf broken")
+	}
+	if q := QErrorOf(0, 10); q != 100 { // floor 0.1
+		t.Fatalf("QErrorOf(0,10)=%v", q)
+	}
+}
+
+func TestWeightedBCEGradient(t *testing.T) {
+	logits := tensor.NewMatrix(2, 3)
+	logits.Data = []float64{0.5, -1.2, 2.0, -0.3, 0.8, -2.5}
+	labels := tensor.NewMatrix(2, 3)
+	labels.Data = []float64{1, 0, 1, 0, 1, 0}
+	eps := tensor.NewMatrix(2, 3)
+	eps.Data = []float64{0.9, 0, 0.2, 0, 1.0, 0}
+	_, grad := WeightedBCELoss{}.Compute(logits, labels, eps)
+	const h = 1e-6
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp, _ := WeightedBCELoss{}.Compute(logits, labels, eps)
+		logits.Data[i] = orig - h
+		lm, _ := WeightedBCELoss{}.Compute(logits, labels, eps)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("bce grad[%d]: numeric %v analytic %v", i, num, grad.Data[i])
+		}
+	}
+}
+
+func TestWeightedBCEPenaltyIncreasesPositiveLoss(t *testing.T) {
+	logits := tensor.NewMatrix(1, 1)
+	logits.Data[0] = -2 // confident wrong on a positive
+	labels := tensor.NewMatrix(1, 1)
+	labels.Data[0] = 1
+	eps := tensor.NewMatrix(1, 1)
+	eps.Data[0] = 1
+	lNo, _ := WeightedBCELoss{}.Compute(logits, labels, nil)
+	lPen, _ := WeightedBCELoss{}.Compute(logits, labels, eps)
+	if lPen <= lNo {
+		t.Fatalf("penalty must increase loss on missed positives: %v vs %v", lPen, lNo)
+	}
+}
+
+func TestSGDAndAdamConvergeOnLinear(t *testing.T) {
+	// Learn y = 2x1 - 3x2 + 1.
+	for name, opt := range map[string]Optimizer{
+		"sgd":  NewSGD(0.05, 0.9),
+		"adam": NewAdam(0.05),
+	} {
+		rng := rand.New(rand.NewSource(8))
+		net := NewSequential(NewDense(rng, 2, 1))
+		x := randBatch(rng, 64, 2)
+		target := tensor.NewMatrix(64, 1)
+		for i := 0; i < 64; i++ {
+			target.Data[i] = 2*x.At(i, 0) - 3*x.At(i, 1) + 1
+		}
+		var last float64
+		for epoch := 0; epoch < 300; epoch++ {
+			out := net.Forward(x, true)
+			l, g := MSELoss{}.Compute(out, target)
+			last = l
+			net.Backward(g)
+			opt.Step(net.Params())
+		}
+		if last > 1e-3 {
+			t.Fatalf("%s failed to converge: loss=%v", name, last)
+		}
+	}
+}
+
+func TestPositiveDenseStaysNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(NewPositiveDense(rng, 3, 4))
+	opt := NewAdam(0.1)
+	x := randBatch(rng, 16, 3)
+	target := randBatch(rng, 16, 4)
+	for i := 0; i < 50; i++ {
+		out := net.Forward(x, true)
+		_, g := MSELoss{}.Compute(out, target)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	d := net.Layers[0].(*Dense)
+	for i, w := range d.W.W {
+		if w < 0 {
+			t.Fatalf("positive dense weight %d went negative: %v", i, w)
+		}
+	}
+}
+
+// Monotonicity: with non-negative weights and monotone activations, a larger
+// scalar input can never reduce any output coordinate.
+func TestPositiveDenseMonotoneInInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := NewSequential(NewPositiveDense(rng, 1, 8), NewReLU(), NewPositiveDense(rng, 8, 1))
+	prev := math.Inf(-1)
+	for tau := 0.0; tau <= 2.0; tau += 0.05 {
+		x := tensor.NewMatrix(1, 1)
+		x.Data[0] = tau
+		y := net.Forward(x, false).Data[0]
+		if y < prev-1e-12 {
+			t.Fatalf("output decreased at tau=%v: %v < %v", tau, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("p", 2)
+	p.Grad[0] = 3
+	p.Grad[1] = 4
+	norm := ClipGradNorm([]*Param{p}, 1)
+	if norm != 5 {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	if math.Abs(math.Hypot(p.Grad[0], p.Grad[1])-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v", math.Hypot(p.Grad[0], p.Grad[1]))
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(
+		NewConv1D(rng, 1, 3, 4, 4, 0),
+		NewReLU(),
+		NewPool1D(3, 2, MaxPool),
+		NewDense(rng, NewSequential(NewConv1D(rng, 1, 3, 4, 4, 0), NewPool1D(3, 2, MaxPool)).OutDim(16), 5),
+		NewBias(5),
+		NewSigmoid(),
+	)
+	x := randBatch(rng, 3, 16)
+	want := net.Forward(x, false)
+
+	data, err := Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Forward(x, false)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("output %d differs after round trip: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestSerializePreservesNonNegativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewSequential(NewPositiveDense(rng, 2, 2))
+	data, err := Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := restored.(*Sequential).Layers[0].(*Dense)
+	if !d.W.NonNegative {
+		t.Fatal("NonNegative flag lost in round trip")
+	}
+}
+
+func TestFromSpecUnknownKind(t *testing.T) {
+	if _, err := FromSpec(LayerSpec{Kind: "nope"}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestFromSpecBadWeights(t *testing.T) {
+	spec := LayerSpec{
+		Kind:   "dense",
+		Ints:   map[string]int{"in": 2, "out": 2},
+		Floats: map[string][]float64{"W": {1}, "B": {0, 0}},
+	}
+	if _, err := FromSpec(spec); err == nil {
+		t.Fatal("expected error for wrong weight length")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := NewSequential(NewDense(rng, 10, 5))
+	if got := SizeBytes(net.Params()); got != 8*(10*5+5) {
+		t.Fatalf("SizeBytes=%d", got)
+	}
+}
+
+func TestDenseRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := NewDense(rng, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input width")
+		}
+	}()
+	d.Forward(tensor.NewMatrix(1, 4), false)
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := NewDense(rng, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Backward(tensor.NewMatrix(1, 2))
+}
+
+func TestSGDZeroMomentum(t *testing.T) {
+	p := NewParam("p", 1)
+	p.W[0] = 1
+	p.Grad[0] = 0.5
+	opt := NewSGD(0.1, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(p.W[0]-0.95) > 1e-12 {
+		t.Fatalf("w=%v", p.W[0])
+	}
+	if p.Grad[0] != 0 {
+		t.Fatal("grad must be cleared")
+	}
+}
+
+func TestAdamClearsGradAndProjects(t *testing.T) {
+	p := NewParam("p", 1)
+	p.NonNegative = true
+	p.W[0] = 0.001
+	p.Grad[0] = 10 // large positive grad pushes w negative
+	opt := NewAdam(0.1)
+	opt.Step([]*Param{p})
+	if p.W[0] < 0 {
+		t.Fatalf("projection failed: %v", p.W[0])
+	}
+	if p.Grad[0] != 0 {
+		t.Fatal("grad must be cleared")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	a := NewParam("a", 3)
+	b := NewParam("b", 5)
+	if NumParams([]*Param{a, b}) != 8 {
+		t.Fatal("NumParams wrong")
+	}
+}

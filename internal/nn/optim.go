@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients. Step also
+// re-projects NonNegative parameters onto the feasible region, preserving
+// the monotonicity guarantee of the threshold-embedding networks.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD builds the optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one update and clears gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.W))
+			s.velocity[p] = v
+		}
+		for i := range p.W {
+			v[i] = s.Momentum*v[i] - s.LR*p.Grad[i]
+			p.W[i] += v[i]
+		}
+		p.project()
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) — the workhorse for all model
+// training in this repository.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam builds Adam with the standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param][]float64),
+		v:     make(map[*Param][]float64),
+	}
+}
+
+// Step applies one bias-corrected Adam update and clears gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.W))
+			v = make([]float64, len(p.W))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i := range p.W {
+			g := p.Grad[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.W[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		p.project()
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm. It returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,100 @@
+// Package nn is a small from-scratch neural-network engine: dense and 1-D
+// convolutional layers with reverse-mode gradients, the loss functions from
+// the paper (hybrid MAPE+Q-error regression loss, cardinality-weighted BCE),
+// SGD/Adam optimizers, deterministic initialization, and parameter
+// serialization. It substitutes for the PyTorch training + C++ inference
+// stack the paper used; see DESIGN.md §2.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor stored flat, together with its gradient
+// accumulator. Optimizers update W from Grad; layers accumulate into Grad
+// during Backward.
+type Param struct {
+	Name string
+	W    []float64
+	Grad []float64
+	// NonNegative marks parameters that are projected onto [0, ∞) after
+	// every optimizer step. The paper uses this for the threshold-embedding
+	// weights to guarantee the estimate is monotone in τ (§5.1).
+	NonNegative bool
+}
+
+// NewParam allocates a parameter of n weights.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, W: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// project enforces the NonNegative constraint (projected gradient descent).
+func (p *Param) project() {
+	if !p.NonNegative {
+		return
+	}
+	for i, v := range p.W {
+		if v < 0 {
+			p.W[i] = 0
+		}
+	}
+}
+
+// NumParams returns the total number of scalar weights in params.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// SizeBytes returns the serialized parameter footprint (8 bytes per weight),
+// the quantity reported in the paper's Table 5.
+func SizeBytes(params []*Param) int {
+	return 8 * NumParams(params)
+}
+
+// initUniform fills w with Uniform(-a, a) draws from rng.
+func initUniform(rng *rand.Rand, w []float64, a float64) {
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// XavierInit fills w (treated as fanOut×fanIn) with Glorot-uniform values.
+func XavierInit(rng *rand.Rand, w []float64, fanIn, fanOut int) {
+	if fanIn+fanOut == 0 {
+		return
+	}
+	a := math.Sqrt(6 / float64(fanIn+fanOut))
+	initUniform(rng, w, a)
+}
+
+// HeInit fills w with He-uniform values, suited to ReLU layers.
+func HeInit(rng *rand.Rand, w []float64, fanIn int) {
+	if fanIn == 0 {
+		return
+	}
+	a := math.Sqrt(6 / float64(fanIn))
+	initUniform(rng, w, a)
+}
+
+// checkFinite panics if any value is NaN or Inf; used in tests and guarded
+// debug paths.
+func checkFinite(tag string, xs []float64) {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("nn: non-finite value %v at %s[%d]", v, tag, i))
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+
+	"simquery/internal/tensor"
+)
+
+// PoolOp selects the pooling function. The paper's hyperparameter space
+// θ_op ∈ {MAX, AVG, SUM} (§5.2).
+type PoolOp int
+
+// Pooling operators.
+const (
+	MaxPool PoolOp = iota
+	AvgPool
+	SumPool
+)
+
+// String implements fmt.Stringer.
+func (op PoolOp) String() string {
+	switch op {
+	case MaxPool:
+		return "MAX"
+	case AvgPool:
+		return "AVG"
+	case SumPool:
+		return "SUM"
+	default:
+		return fmt.Sprintf("PoolOp(%d)", int(op))
+	}
+}
+
+// Pool1D pools non-overlapping windows of Size positions per channel.
+// A trailing partial window is pooled over the positions that exist.
+type Pool1D struct {
+	Channels int
+	Size     int
+	Op       PoolOp
+
+	lastL    int
+	lastRows int
+	argmax   []int // flat per-output index of the winning input position (MaxPool)
+}
+
+// NewPool1D builds the pooling layer.
+func NewPool1D(channels, size int, op PoolOp) *Pool1D {
+	if channels <= 0 || size <= 0 {
+		panic(fmt.Sprintf("nn: invalid pool1d config ch=%d size=%d", channels, size))
+	}
+	return &Pool1D{Channels: channels, Size: size, Op: op}
+}
+
+func (p *Pool1D) inLen(cols int) int {
+	if cols%p.Channels != 0 {
+		panic(fmt.Sprintf("nn: pool1d input width %d not divisible by %d channels", cols, p.Channels))
+	}
+	return cols / p.Channels
+}
+
+func (p *Pool1D) outLen(l int) int {
+	return (l + p.Size - 1) / p.Size
+}
+
+// Forward pools each window.
+func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	l := p.inLen(x.Cols)
+	outL := p.outLen(l)
+	out := tensor.NewMatrix(x.Rows, p.Channels*outL)
+	if train {
+		p.lastL = l
+		p.lastRows = x.Rows
+		if p.Op == MaxPool {
+			p.argmax = make([]int, x.Rows*p.Channels*outL)
+		}
+	}
+	for n := 0; n < x.Rows; n++ {
+		xr := x.Row(n)
+		or := out.Row(n)
+		for ci := 0; ci < p.Channels; ci++ {
+			for t := 0; t < outL; t++ {
+				start := t * p.Size
+				end := start + p.Size
+				if end > l {
+					end = l
+				}
+				switch p.Op {
+				case MaxPool:
+					best := start
+					for j := start + 1; j < end; j++ {
+						if xr[ci*l+j] > xr[ci*l+best] {
+							best = j
+						}
+					}
+					or[ci*outL+t] = xr[ci*l+best]
+					if train {
+						p.argmax[(n*p.Channels+ci)*outL+t] = best
+					}
+				case AvgPool:
+					var s float64
+					for j := start; j < end; j++ {
+						s += xr[ci*l+j]
+					}
+					or[ci*outL+t] = s / float64(end-start)
+				case SumPool:
+					var s float64
+					for j := start; j < end; j++ {
+						s += xr[ci*l+j]
+					}
+					or[ci*outL+t] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients back through the pooled windows.
+func (p *Pool1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if p.lastRows == 0 {
+		panic("nn: pool1d Backward before Forward(train=true)")
+	}
+	l := p.lastL
+	outL := p.outLen(l)
+	dx := tensor.NewMatrix(p.lastRows, p.Channels*l)
+	for n := 0; n < grad.Rows; n++ {
+		gr := grad.Row(n)
+		dxr := dx.Row(n)
+		for ci := 0; ci < p.Channels; ci++ {
+			for t := 0; t < outL; t++ {
+				g := gr[ci*outL+t]
+				if g == 0 {
+					continue
+				}
+				start := t * p.Size
+				end := start + p.Size
+				if end > l {
+					end = l
+				}
+				switch p.Op {
+				case MaxPool:
+					best := p.argmax[(n*p.Channels+ci)*outL+t]
+					dxr[ci*l+best] += g
+				case AvgPool:
+					share := g / float64(end-start)
+					for j := start; j < end; j++ {
+						dxr[ci*l+j] += share
+					}
+				case SumPool:
+					for j := start; j < end; j++ {
+						dxr[ci*l+j] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params reports no learnables.
+func (p *Pool1D) Params() []*Param { return nil }
+
+// OutDim reports the flat output width.
+func (p *Pool1D) OutDim(inDim int) int {
+	return p.Channels * p.outLen(p.inLen(inDim))
+}
+
+// Spec serializes the layer.
+func (p *Pool1D) Spec() LayerSpec {
+	return LayerSpec{
+		Kind: "pool1d",
+		Ints: map[string]int{"channels": p.Channels, "size": p.Size, "op": int(p.Op)},
+	}
+}
+
+var _ Layer = (*Pool1D)(nil)

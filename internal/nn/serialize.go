@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// LayerSpec is the serializable description of a layer: its architecture
+// plus trained weights. Specs round-trip through encoding/gob, which is how
+// models are saved, loaded, and measured for Table 5.
+type LayerSpec struct {
+	Kind     string
+	Ints     map[string]int
+	Floats   map[string][]float64
+	Strs     map[string]string
+	Children []LayerSpec
+}
+
+// FromSpec reconstructs a layer (with its weights) from a spec.
+func FromSpec(spec LayerSpec) (Layer, error) {
+	switch spec.Kind {
+	case "sequential":
+		seq := &Sequential{}
+		for i, ch := range spec.Children {
+			l, err := FromSpec(ch)
+			if err != nil {
+				return nil, fmt.Errorf("child %d: %w", i, err)
+			}
+			seq.Layers = append(seq.Layers, l)
+		}
+		return seq, nil
+	case "dense", "posdense":
+		in, out := spec.Ints["in"], spec.Ints["out"]
+		if in <= 0 || out <= 0 {
+			return nil, fmt.Errorf("nn: bad dense spec in=%d out=%d", in, out)
+		}
+		d := &Dense{In: in, Out: out, W: NewParam("dense.W", in*out), B: NewParam("dense.B", out)}
+		if err := copyWeights(d.W.W, spec.Floats["W"], "dense.W"); err != nil {
+			return nil, err
+		}
+		if err := copyWeights(d.B.W, spec.Floats["B"], "dense.B"); err != nil {
+			return nil, err
+		}
+		if spec.Kind == "posdense" {
+			d.W.NonNegative = true
+		}
+		return d, nil
+	case "conv1d":
+		c := &Conv1D{
+			InChannels:  spec.Ints["in"],
+			OutChannels: spec.Ints["out"],
+			Kernel:      spec.Ints["kernel"],
+			Stride:      spec.Ints["stride"],
+			Padding:     spec.Ints["padding"],
+		}
+		if c.InChannels <= 0 || c.OutChannels <= 0 || c.Kernel <= 0 || c.Stride <= 0 || c.Padding < 0 {
+			return nil, fmt.Errorf("nn: bad conv1d spec %+v", spec.Ints)
+		}
+		c.W = NewParam("conv1d.W", c.OutChannels*c.InChannels*c.Kernel)
+		c.B = NewParam("conv1d.B", c.OutChannels)
+		if err := copyWeights(c.W.W, spec.Floats["W"], "conv1d.W"); err != nil {
+			return nil, err
+		}
+		if err := copyWeights(c.B.W, spec.Floats["B"], "conv1d.B"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "pool1d":
+		ch, size := spec.Ints["channels"], spec.Ints["size"]
+		if ch <= 0 || size <= 0 {
+			return nil, fmt.Errorf("nn: bad pool1d spec %+v", spec.Ints)
+		}
+		return NewPool1D(ch, size, PoolOp(spec.Ints["op"])), nil
+	case "bias":
+		dim := spec.Ints["dim"]
+		if dim <= 0 {
+			return nil, fmt.Errorf("nn: bad bias spec dim=%d", dim)
+		}
+		b := NewBias(dim)
+		if err := copyWeights(b.B.W, spec.Floats["B"], "bias.B"); err != nil {
+			return nil, err
+		}
+		return b, nil
+	case "dropout":
+		rates := spec.Floats["rate"]
+		if len(rates) != 1 || rates[0] < 0 || rates[0] >= 1 {
+			return nil, fmt.Errorf("nn: bad dropout spec %v", rates)
+		}
+		return NewDropout(rates[0], 1), nil
+	case "relu":
+		return NewReLU(), nil
+	case "sigmoid":
+		return NewSigmoid(), nil
+	case "tanh":
+		return NewTanh(), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown layer kind %q", spec.Kind)
+	}
+}
+
+func copyWeights(dst, src []float64, name string) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("nn: %s weight length %d, want %d", name, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
+// Marshal gob-encodes a layer's spec.
+func Marshal(l Layer) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(l.Spec()); err != nil {
+		return nil, fmt.Errorf("nn: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal reconstructs a layer from gob-encoded spec bytes.
+func Unmarshal(data []byte) (Layer, error) {
+	var spec LayerSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: unmarshal: %w", err)
+	}
+	return FromSpec(spec)
+}

@@ -1,0 +1,339 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("bad contents: %+v", m)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows != 0 {
+		t.Fatalf("empty input should give empty matrix, got %v %v", m, err)
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	out := NewMatrix(2, 2)
+	MatMul(out, a, b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if out.At(i, j) != want[i][j] {
+				t.Fatalf("matmul[%d][%d]=%v want %v", i, j, out.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestMatMulTransBMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 5)
+	b := NewMatrix(3, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	// bT explicit.
+	bt := NewMatrix(5, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := NewMatrix(4, 3)
+	MatMul(want, a, bt)
+	got := NewMatrix(4, 3)
+	MatMulTransB(got, a, b)
+	for i := range want.Data {
+		if !almostEqual(want.Data[i], got.Data[i], 1e-12) {
+			t.Fatalf("mismatch at %d: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestMatMulTransAMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(6, 4)
+	b := NewMatrix(6, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	at := NewMatrix(4, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := NewMatrix(4, 3)
+	MatMul(want, at, b)
+	got := NewMatrix(4, 3)
+	MatMulTransA(got, a, b)
+	for i := range want.Data {
+		if !almostEqual(want.Data[i], got.Data[i], 1e-12) {
+			t.Fatalf("mismatch at %d: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestDotAndAxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("dot=%v", Dot(x, y))
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("axpy=%v", y)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestSumMeanNorm(t *testing.T) {
+	x := []float64{3, 4}
+	if Sum(x) != 7 || Mean(x) != 3.5 || Norm2(x) != 5 {
+		t.Fatalf("sum/mean/norm wrong: %v %v %v", Sum(x), Mean(x), Norm2(x))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty must be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	if !Normalize(x) {
+		t.Fatal("expected normalization")
+	}
+	if !almostEqual(Norm2(x), 1, 1e-12) {
+		t.Fatalf("norm=%v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) {
+		t.Fatal("zero vector must not normalize")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	x := []float64{2, -1, 5, 5, -1}
+	lo, hi := MinMax(x)
+	if lo != -1 || hi != 5 {
+		t.Fatalf("minmax=%v,%v", lo, hi)
+	}
+	if ArgMax(x) != 2 || ArgMin(x) != 1 {
+		t.Fatalf("argmax=%d argmin=%d", ArgMax(x), ArgMin(x))
+	}
+}
+
+func TestSoftplusStable(t *testing.T) {
+	if math.IsInf(Softplus(1000), 1) || Softplus(1000) != 1000 {
+		t.Fatalf("softplus(1000)=%v", Softplus(1000))
+	}
+	if Softplus(-1000) != math.Exp(-1000) {
+		t.Fatalf("softplus(-1000)=%v", Softplus(-1000))
+	}
+	if !almostEqual(Softplus(0), math.Log(2), 1e-12) {
+		t.Fatalf("softplus(0)=%v", Softplus(0))
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	if Sigmoid(1000) != 1 {
+		t.Fatalf("sigmoid(1000)=%v", Sigmoid(1000))
+	}
+	if Sigmoid(-1000) != 0 {
+		t.Fatalf("sigmoid(-1000)=%v", Sigmoid(-1000))
+	}
+	if !almostEqual(Sigmoid(0), 0.5, 1e-12) {
+		t.Fatalf("sigmoid(0)=%v", Sigmoid(0))
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	x := []float64{1000, 1000}
+	got := LogSumExp(x)
+	want := 1000 + math.Log(2)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("lse=%v want %v", got, want)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+// Property: sigmoid(x) + sigmoid(-x) == 1 for all finite x.
+func TestSigmoidSymmetryProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		// keep magnitude reasonable to avoid denormal noise
+		x = math.Mod(x, 100)
+		return almostEqual(Sigmoid(x)+Sigmoid(-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softplus(x) - softplus(-x) == x (identity from log identities).
+func TestSoftplusIdentityProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 50)
+		return almostEqual(Softplus(x)-Softplus(-x), x, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot(x, x) == Norm2(x)^2.
+func TestDotNormProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		x := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x = append(x, math.Mod(v, 1e6))
+		}
+		n := Norm2(x)
+		return almostEqual(Dot(x, x), n*n, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	a := NewMatrix(64, 64)
+	c := NewMatrix(64, 64)
+	out := NewMatrix(64, 64)
+	rng := rand.New(rand.NewSource(3))
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		c.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, a, c)
+	}
+}
+
+func TestCloneAndZero(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone must not alias")
+	}
+	m.Zero()
+	if Sum(m.Data) != 0 {
+		t.Fatal("zero failed")
+	}
+}
+
+func TestScaleAddTo(t *testing.T) {
+	x := []float64{1, 2}
+	Scale(3, x)
+	if x[0] != 3 || x[1] != 6 {
+		t.Fatalf("scale %v", x)
+	}
+	y := []float64{1, 1}
+	AddTo(y, x)
+	if y[0] != 4 || y[1] != 7 {
+		t.Fatalf("addto %v", y)
+	}
+}
+
+func TestMinMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestLogSumExpEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogSumExp(nil)
+}

@@ -1,0 +1,276 @@
+// Package tune implements the greedy hyperparameter search of §5.2
+// (Algorithm 3) for the query-embedding CNN: starting from a small random
+// pool of layer configurations, it greedily appends layers, coordinate-
+// descending each layer's six hyperparameters
+// Θ = {θ_ch, θ_ker, θ_stri, θ_pad, θ_pker, θ_op}, and stops when the
+// relative validation-error improvement drops below 2%.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/internal/dist"
+	"simquery/internal/metrics"
+	"simquery/internal/model"
+	"simquery/internal/nn"
+)
+
+// Objective trains a candidate query-embedding stack and returns its
+// validation error (lower is better).
+type Objective func(cfgs []model.ConvConfig) (float64, error)
+
+// Ranges is the hyperparameter grid Θ_full (GetConfigs in Algorithm 3).
+type Ranges struct {
+	Channels []int
+	Kernel   []int
+	Stride   []int
+	Padding  []int
+	PoolSize []int
+	PoolOps  []nn.PoolOp
+}
+
+// DefaultRanges returns a compact grid that keeps the number of training
+// trials laptop-sized.
+func DefaultRanges() Ranges {
+	return Ranges{
+		Channels: []int{4, 8, 16},
+		Kernel:   []int{2, 3},
+		Stride:   []int{1, 2},
+		Padding:  []int{0, 1},
+		PoolSize: []int{1, 2},
+		PoolOps:  []nn.PoolOp{nn.MaxPool, nn.AvgPool, nn.SumPool},
+	}
+}
+
+// Options controls the greedy search.
+type Options struct {
+	Ranges Ranges
+	// InitCandidates is the size of the random cold-start pool (paper: 3).
+	InitCandidates int
+	// Tol is the relative-improvement stopping threshold (paper: 0.02).
+	Tol float64
+	// MaxLayers caps the stack depth as a safety bound.
+	MaxLayers int
+	Seed      int64
+}
+
+func (o *Options) fill() {
+	if o.Ranges.Channels == nil {
+		o.Ranges = DefaultRanges()
+	}
+	if o.InitCandidates <= 0 {
+		o.InitCandidates = 3
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.02
+	}
+	if o.MaxLayers <= 0 {
+		o.MaxLayers = 4
+	}
+}
+
+// randomConfig draws one configuration uniformly from the grid.
+func randomConfig(rng *rand.Rand, r Ranges) model.ConvConfig {
+	pick := func(xs []int) int { return xs[rng.Intn(len(xs))] }
+	return model.ConvConfig{
+		Channels: pick(r.Channels),
+		Kernel:   pick(r.Kernel),
+		Stride:   pick(r.Stride),
+		Padding:  pick(r.Padding),
+		PoolSize: pick(r.PoolSize),
+		Pool:     r.PoolOps[rng.Intn(len(r.PoolOps))],
+	}
+}
+
+// Greedy runs Algorithm 3 and returns the tuned layer stack and its final
+// validation error.
+func Greedy(obj Objective, opts Options) ([]model.ConvConfig, float64, error) {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	inits := make([]model.ConvConfig, opts.InitCandidates)
+	for i := range inits {
+		inits[i] = randomConfig(rng, opts.Ranges)
+	}
+
+	var stack []model.ConvConfig
+	bestErr := math.Inf(1)
+	for len(stack) < opts.MaxLayers {
+		// SelectBestFrom: best init candidate as the next layer.
+		layer, layerErr, err := selectBest(obj, stack, inits)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Coordinate-descent refinement of the new layer (Update loop).
+		layer, layerErr, err = refine(obj, stack, layer, layerErr, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Outer stopping rule: relative improvement ≥ Tol.
+		if !improved(bestErr, layerErr, opts.Tol) {
+			break
+		}
+		bestErr = layerErr
+		stack = append(stack, layer)
+	}
+	if len(stack) == 0 {
+		// Even a single layer did not beat infinity only if obj failed;
+		// fall back to the best init so callers always get a valid stack.
+		layer, layerErr, err := selectBest(obj, nil, inits)
+		if err != nil {
+			return nil, 0, err
+		}
+		return []model.ConvConfig{layer}, layerErr, nil
+	}
+	return stack, bestErr, nil
+}
+
+// improved reports whether next improves on prev by at least tol
+// (relative), handling the infinite cold start.
+func improved(prev, next, tol float64) bool {
+	if math.IsInf(prev, 1) {
+		return !math.IsInf(next, 1)
+	}
+	if prev <= 0 {
+		return next < prev
+	}
+	return (prev-next)/prev >= tol
+}
+
+// selectBest evaluates each candidate appended to the stack and returns the
+// winner.
+func selectBest(obj Objective, stack []model.ConvConfig, candidates []model.ConvConfig) (model.ConvConfig, float64, error) {
+	var best model.ConvConfig
+	bestErr := math.Inf(1)
+	for _, c := range candidates {
+		e, err := obj(appendCopy(stack, c))
+		if err != nil {
+			return model.ConvConfig{}, 0, fmt.Errorf("tune: candidate %v: %w", c, err)
+		}
+		if e < bestErr {
+			best, bestErr = c, e
+		}
+	}
+	return best, bestErr, nil
+}
+
+// refine coordinate-descends the six hyperparameters of the candidate layer
+// until the inner 2% stopping rule fires.
+func refine(obj Objective, stack []model.ConvConfig, layer model.ConvConfig, layerErr float64, opts Options) (model.ConvConfig, float64, error) {
+	for {
+		prev := layerErr
+		var err error
+		layer, layerErr, err = sweepOnce(obj, stack, layer, layerErr, opts.Ranges)
+		if err != nil {
+			return model.ConvConfig{}, 0, err
+		}
+		if !improved(prev, layerErr, opts.Tol) {
+			return layer, layerErr, nil
+		}
+	}
+}
+
+// sweepOnce tries every value of every hyperparameter in turn, keeping
+// improvements.
+func sweepOnce(obj Objective, stack []model.ConvConfig, layer model.ConvConfig, layerErr float64, r Ranges) (model.ConvConfig, float64, error) {
+	trial := func(c model.ConvConfig) error {
+		e, err := obj(appendCopy(stack, c))
+		if err != nil {
+			return err
+		}
+		if e < layerErr {
+			layer, layerErr = c, e
+		}
+		return nil
+	}
+	for _, v := range r.Channels {
+		c := layer
+		c.Channels = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	for _, v := range r.Kernel {
+		c := layer
+		c.Kernel = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	for _, v := range r.Stride {
+		c := layer
+		c.Stride = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	for _, v := range r.Padding {
+		c := layer
+		c.Padding = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	for _, v := range r.PoolSize {
+		c := layer
+		c.PoolSize = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	for _, v := range r.PoolOps {
+		c := layer
+		c.Pool = v
+		if err := trial(c); err != nil {
+			return layer, layerErr, err
+		}
+	}
+	return layer, layerErr, nil
+}
+
+func appendCopy(stack []model.ConvConfig, c model.ConvConfig) []model.ConvConfig {
+	out := make([]model.ConvConfig, len(stack)+1)
+	copy(out, stack)
+	out[len(stack)] = c
+	return out
+}
+
+// NewQESObjective builds the Algorithm 3 objective: train a QES model with
+// the candidate stack on the training subsample (RandomSample(…, 1000) /
+// RandomSample(…, 200) in the paper) and return its validation mean
+// Q-error.
+func NewQESObjective(dim, querySegments int, metric dist.Metric, tauScale float64, arch model.Arch,
+	train, validate []model.Sample, trainCfg model.TrainConfig, seed int64) Objective {
+	return func(cfgs []model.ConvConfig) (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := model.NewQESModel("tune", rng, dim, querySegments, cfgs, nil,
+			metric, tauScale, arch)
+		if err != nil {
+			return 0, err
+		}
+		if err := m.Train(train, trainCfg); err != nil {
+			return 0, err
+		}
+		var errs []float64
+		for _, s := range validate {
+			errs = append(errs, metrics.QError(m.EstimateSearch(s.Q, s.Tau), s.Card))
+		}
+		return metrics.Summarize(errs).Mean, nil
+	}
+}
+
+// Subsample draws up to n samples without replacement — the paper's
+// RandomSample step.
+func Subsample(samples []model.Sample, n int, seed int64) []model.Sample {
+	if n >= len(samples) {
+		return samples
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(samples))
+	out := make([]model.Sample, n)
+	for i := 0; i < n; i++ {
+		out[i] = samples[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/model"
+	"simquery/internal/nn"
+	"simquery/internal/workload"
+)
+
+// countingObjective scores configs by a synthetic preference so the greedy
+// search's mechanics can be verified without training networks.
+func countingObjective(calls *int) Objective {
+	return func(cfgs []model.ConvConfig) (float64, error) {
+		*calls++
+		// Prefers: 2 layers, channels 8, avg pooling.
+		err := 10.0
+		err -= float64(len(cfgs)) * 2
+		if len(cfgs) > 2 {
+			err += float64(len(cfgs)-2) * 5
+		}
+		for _, c := range cfgs {
+			if c.Channels == 8 {
+				err -= 0.5
+			}
+			if c.Pool == nn.AvgPool {
+				err -= 0.3
+			}
+		}
+		if err < 0.1 {
+			err = 0.1
+		}
+		return err, nil
+	}
+}
+
+func TestGreedyFindsPreferredShape(t *testing.T) {
+	calls := 0
+	stack, errVal, err := Greedy(countingObjective(&calls), Options{Seed: 1, MaxLayers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) < 1 {
+		t.Fatal("empty stack")
+	}
+	if len(stack) > 2 {
+		t.Fatalf("greedy overgrew to %d layers (err=%v)", len(stack), errVal)
+	}
+	if calls == 0 {
+		t.Fatal("objective never called")
+	}
+	for _, c := range stack {
+		if c.Channels != 8 {
+			t.Fatalf("coordinate descent should find channels=8, got %v", stack)
+		}
+	}
+}
+
+func TestGreedyStopsOnNoImprovement(t *testing.T) {
+	// Constant objective: one layer, then stop.
+	obj := func(cfgs []model.ConvConfig) (float64, error) { return 5, nil }
+	stack, errVal, err := Greedy(obj, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) != 1 || errVal != 5 {
+		t.Fatalf("want single fallback layer, got %d (err=%v)", len(stack), errVal)
+	}
+}
+
+func TestGreedyPropagatesErrors(t *testing.T) {
+	obj := func(cfgs []model.ConvConfig) (float64, error) { return 0, fmt.Errorf("boom") }
+	if _, _, err := Greedy(obj, Options{Seed: 3}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestImproved(t *testing.T) {
+	if !improved(math.Inf(1), 10, 0.02) {
+		t.Fatal("infinite cold start should improve")
+	}
+	if improved(10, 9.9, 0.02) {
+		t.Fatal("0.1% is not a 2% improvement")
+	}
+	if !improved(10, 9.5, 0.02) {
+		t.Fatal("5% should improve")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	samples := make([]model.Sample, 50)
+	for i := range samples {
+		samples[i].Card = float64(i)
+	}
+	sub := Subsample(samples, 10, 1)
+	if len(sub) != 10 {
+		t.Fatalf("got %d", len(sub))
+	}
+	all := Subsample(samples, 100, 1)
+	if len(all) != 50 {
+		t.Fatal("oversized request should return everything")
+	}
+}
+
+func TestQESObjectiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 800, Clusters: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.BuildSearch(ds, workload.SearchConfig{TrainPoints: 40, TestPoints: 10, ThresholdsPerPoint: 4, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toSamples := func(qs []workload.Query) []model.Sample {
+		out := make([]model.Sample, len(qs))
+		for i, q := range qs {
+			out[i] = model.Sample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
+		}
+		return out
+	}
+	cfg := model.DefaultTrainConfig(63)
+	cfg.Epochs = 5
+	obj := NewQESObjective(ds.Dim, 8, ds.Metric, ds.TauMax, model.DefaultArch(),
+		toSamples(w.Train), toSamples(w.Test), cfg, 64)
+	e, err := obj(model.DefaultConvConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+		t.Fatalf("objective value %v", e)
+	}
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveSearch writes a labeled workload to disk (gob). Exact labeling is the
+// expensive part of experiment setup at medium/paper scale (Fig 14's label
+// construction time); caching it makes repeated runs cheap.
+func SaveSearch(path string, w *SearchWorkload) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return fmt.Errorf("workload: encode: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("workload: mkdir: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("workload: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSearch reads a workload saved by SaveSearch. The caller is
+// responsible for keying the path on everything that determines labels
+// (dataset profile, size, seed, workload config) — a stale cache silently
+// yields wrong ground truth.
+func LoadSearch(path string) (*SearchWorkload, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read %s: %w", path, err)
+	}
+	w := &SearchWorkload{}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(w); err != nil {
+		return nil, fmt.Errorf("workload: decode %s: %w", path, err)
+	}
+	return w, nil
+}

@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"simquery/internal/cluster"
+	"simquery/internal/dataset"
+)
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.YouTube, dataset.Config{N: 600, Clusters: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildSearchShapesAndLabels(t *testing.T) {
+	ds := testDataset(t)
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 20, TestPoints: 5, ThresholdsPerPoint: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Train) != 80 || len(w.Test) != 20 {
+		t.Fatalf("sizes %d/%d", len(w.Train), len(w.Test))
+	}
+	for i, q := range append(w.Train, w.Test...) {
+		if q.Tau < 0 || q.Tau > ds.TauMax {
+			t.Fatalf("query %d tau out of range: %v", i, q.Tau)
+		}
+		want := TrueCard(ds, q.Vec, q.Tau)
+		if q.Card != want {
+			t.Fatalf("query %d card %v, exact %v", i, q.Card, want)
+		}
+		if q.Card < 1 {
+			t.Fatalf("query point must match itself: card=%v", q.Card)
+		}
+	}
+}
+
+func TestBuildSearchSelectivityCap(t *testing.T) {
+	ds := testDataset(t)
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 10, TestPoints: 5, MaxSelectivity: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train selectivities are uniform in (0, 1%]; because τ can clamp at
+	// TauMax, allow a small margin.
+	for _, q := range w.Train {
+		if sel := q.Card / float64(ds.Size()); sel > 0.02 {
+			t.Fatalf("train selectivity too high: %v", sel)
+		}
+	}
+}
+
+func TestBuildSearchDeterministic(t *testing.T) {
+	ds := testDataset(t)
+	cfg := SearchConfig{TrainPoints: 8, TestPoints: 4, Seed: 3}
+	a, err := BuildSearch(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSearch(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		if a.Train[i].Tau != b.Train[i].Tau || a.Train[i].Card != b.Train[i].Card {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestBuildSearchErrors(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := BuildSearch(ds, SearchConfig{TrainPoints: 0, TestPoints: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := BuildSearch(ds, SearchConfig{TrainPoints: 10000, TestPoints: 10000}); err == nil {
+		t.Fatal("expected error on too many query points")
+	}
+}
+
+func TestAttachSegmentLabelsSumsToCard(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(4))
+	seg, err := cluster.KMeans(ds.Vectors, 6, cluster.KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 10, TestPoints: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachSegmentLabels(ds, seg, w.Train, 0)
+	for i, q := range w.Train {
+		if len(q.SegCards) != seg.K {
+			t.Fatalf("query %d SegCards len %d", i, len(q.SegCards))
+		}
+		var sum float64
+		for _, c := range q.SegCards {
+			sum += c
+		}
+		if sum != q.Card {
+			t.Fatalf("query %d: seg sum %v != card %v", i, sum, q.Card)
+		}
+	}
+}
+
+func TestApplyInserts(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(6))
+	seg, err := cluster.KMeans(ds.Vectors, 4, cluster.KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 6, TestPoints: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachSegmentLabels(ds, seg, w.Train, 0)
+	q := &w.Train[0]
+	before := q.Card
+	// Insert a copy of the query point itself: always within τ.
+	newVecs := [][]float64{append([]float64(nil), q.Vec...)}
+	assign := []int{seg.NearestSegment(q.Vec)}
+	ApplyInserts(ds, w.Train[:1], newVecs, assign)
+	if q.Card != before+1 {
+		t.Fatalf("card %v, want %v", q.Card, before+1)
+	}
+	var sum float64
+	for _, c := range q.SegCards {
+		sum += c
+	}
+	if sum != q.Card {
+		t.Fatalf("seg labels out of sync: %v vs %v", sum, q.Card)
+	}
+}
+
+func TestApplyDeletes(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(16))
+	seg, err := cluster.KMeans(ds.Vectors, 4, cluster.KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 6, TestPoints: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachSegmentLabels(ds, seg, w.Train, 0)
+	q := &w.Train[3]
+	before := q.Card
+	// Delete a copy of the query point: always within τ.
+	removed := [][]float64{append([]float64(nil), q.Vec...)}
+	assign := []int{seg.NearestSegment(q.Vec)}
+	ApplyDeletes(ds, w.Train[3:4], removed, assign)
+	if q.Card != before-1 {
+		t.Fatalf("card %v want %v", q.Card, before-1)
+	}
+	var sum float64
+	for _, c := range q.SegCards {
+		sum += c
+	}
+	if sum != q.Card {
+		t.Fatalf("seg labels out of sync after delete: %v vs %v", sum, q.Card)
+	}
+}
+
+func TestApplyDeletesClampsAtZero(t *testing.T) {
+	ds := testDataset(t)
+	q := Query{Vec: ds.Vectors[0], Tau: ds.TauMax, Card: 0}
+	ApplyDeletes(ds, []Query{q}, [][]float64{ds.Vectors[1]}, nil)
+	// Card must not go negative even if labels were stale.
+}
+
+func TestBuildJoinLabels(t *testing.T) {
+	ds := testDataset(t)
+	rng := rand.New(rand.NewSource(8))
+	seg, err := cluster.KMeans(ds.Vectors, 4, cluster.KMeansOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := BuildJoin(ds, seg, JoinConfig{Sets: 3, MinSize: 5, MaxSize: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+	for _, js := range sets {
+		if len(js.Vecs) < 5 || len(js.Vecs) >= 10 {
+			t.Fatalf("set size %d outside [5,10)", len(js.Vecs))
+		}
+		var sum float64
+		for qi, pc := range js.PerQueryCards {
+			sum += pc
+			want := TrueCard(ds, js.Vecs[qi], js.Tau)
+			if pc != want {
+				t.Fatalf("per-query card %v, exact %v", pc, want)
+			}
+			var segSum float64
+			for _, c := range js.PerQuerySegCards[qi] {
+				segSum += c
+			}
+			if segSum != pc {
+				t.Fatalf("per-query seg sum %v != %v", segSum, pc)
+			}
+		}
+		if sum != js.Card {
+			t.Fatalf("join card %v != per-query sum %v", js.Card, sum)
+		}
+	}
+}
+
+func TestBuildJoinWithoutSegmentation(t *testing.T) {
+	ds := testDataset(t)
+	sets, err := BuildJoin(ds, nil, JoinConfig{Sets: 2, MinSize: 3, MaxSize: 6, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range sets {
+		if js.PerQuerySegCards != nil {
+			t.Fatal("seg cards should be nil without segmentation")
+		}
+	}
+}
+
+func TestBuildJoinErrors(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := BuildJoin(ds, nil, JoinConfig{Sets: 0, MinSize: 1, MaxSize: 2}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := BuildJoin(ds, nil, JoinConfig{Sets: 1, MinSize: 5, MaxSize: 5}); err == nil {
+		t.Fatal("expected error on empty size range")
+	}
+}
+
+func TestGeometricSelectivitiesSkewLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	low := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		s := geometricSelectivities(rng, 1, 0.01)[0]
+		if s < 0.002 {
+			low++
+		}
+		if s <= 0 || s > 0.01 {
+			t.Fatalf("selectivity %v out of range", s)
+		}
+	}
+	if float64(low)/float64(n) < 0.4 {
+		t.Fatalf("geometric selectivities should skew low, got %d/%d below 0.002", low, n)
+	}
+}
+
+func TestUniformSelectivities(t *testing.T) {
+	s := uniformSelectivities(4, 0.01)
+	want := []float64{0.0025, 0.005, 0.0075, 0.01}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("got %v", s)
+		}
+	}
+	if one := uniformSelectivities(1, 0.01); one[0] != 0.01 {
+		t.Fatalf("single selectivity %v", one)
+	}
+}
+
+func TestSaveLoadSearchRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	w, err := BuildSearch(ds, SearchConfig{TrainPoints: 6, TestPoints: 3, ThresholdsPerPoint: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/sub/wl.gob"
+	if err := SaveSearch(path, w); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSearch(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Train) != len(w.Train) || len(loaded.Test) != len(w.Test) {
+		t.Fatal("sizes changed")
+	}
+	for i := range w.Train {
+		if loaded.Train[i].Tau != w.Train[i].Tau || loaded.Train[i].Card != w.Train[i].Card {
+			t.Fatalf("query %d changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadSearchMissing(t *testing.T) {
+	if _, err := LoadSearch("/nonexistent/w.gob"); err == nil {
+		t.Fatal("expected error")
+	}
+}
