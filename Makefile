@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: static checks plus the full suite under
+# the race detector (the serving engine is concurrent; see DESIGN.md §7).
+verify: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

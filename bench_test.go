@@ -114,6 +114,41 @@ func BenchmarkTable6SearchLatency(b *testing.B) {
 	b.ReportMetric(glUS, "GL+_us_per_query")
 }
 
+// BenchmarkEstimateSearchSerial measures GL+'s single-query estimate path
+// (per-op = one estimate) with allocation reporting — the baseline the
+// batched path is compared against.
+func BenchmarkEstimateSearchSerial(b *testing.B) {
+	env, s, _ := sharedSuite(b)
+	qs := env.W.Test
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		s.GLPlus.EstimateSearch(q.Vec, q.Tau)
+	}
+}
+
+// BenchmarkEstimateSearchBatch measures GL+'s batched estimate path: per-op
+// is one EstimateSearchBatch over the whole test workload, so ns/op and
+// allocs/op divide by the workload size for per-estimate figures. Reports
+// batched throughput in estimates per second.
+func BenchmarkEstimateSearchBatch(b *testing.B) {
+	env, s, _ := sharedSuite(b)
+	qs := env.W.Test
+	vecs := make([][]float64, len(qs))
+	taus := make([]float64, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GLPlus.EstimateSearchBatch(vecs, taus)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(vecs))/b.Elapsed().Seconds(), "est/s")
+}
+
 // BenchmarkTable7JoinAccuracy regenerates Table 7: join Q-errors. Reports
 // GLJoin+'s mean Q-error.
 func BenchmarkTable7JoinAccuracy(b *testing.B) {

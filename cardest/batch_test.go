@@ -1,0 +1,70 @@
+package cardest
+
+import "testing"
+
+// TestEstimateSearchBatchMatchesSerial asserts, for every trainable method,
+// that the public batch path returns exactly the per-query estimates.
+func TestEstimateSearchBatchMatchesSerial(t *testing.T) {
+	f := getFixture(t)
+	qs := make([][]float64, len(f.test))
+	taus := make([]float64, len(f.test))
+	for i, q := range f.test {
+		qs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+	for _, method := range []string{"mlp", "qes", "cardnet", "sampling", "kernel", "prototype", "local+", "gl+"} {
+		est, err := Train(f.ds, f.train, TrainOptions{Method: method, Segments: 5, Epochs: 8, Seed: 87})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		batch := est.EstimateSearchBatch(qs, taus)
+		if len(batch) != len(qs) {
+			t.Fatalf("%s: %d results for %d queries", method, len(batch), len(qs))
+		}
+		for i := range qs {
+			if single := est.EstimateSearch(qs[i], taus[i]); batch[i] != single {
+				t.Fatalf("%s query %d: batch %v != serial %v", method, i, batch[i], single)
+			}
+		}
+	}
+}
+
+// TestMonotoneEstimateSearchBatch covers the wrapper's batch path.
+func TestMonotoneEstimateSearchBatch(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 88})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Monotone(base, f.ds.TauMax(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{f.test[0].Vec, f.test[1].Vec}
+	taus := []float64{f.test[0].Tau, f.test[1].Tau}
+	batch := mono.EstimateSearchBatch(qs, taus)
+	for i := range qs {
+		if single := mono.EstimateSearch(qs[i], taus[i]); batch[i] != single {
+			t.Fatalf("monotone query %d: batch %v != serial %v", i, batch[i], single)
+		}
+	}
+}
+
+// TestVectorsCopyIsStable asserts the snapshot survives dataset updates
+// that reorder or grow the live storage.
+func TestVectorsCopyIsStable(t *testing.T) {
+	ds, err := NewDataset("x", [][]float64{{1, 0}, {2, 0}, {3, 0}}, "l2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ds.VectorsCopy()
+	if _, err := ds.Remove([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Append([][]float64{{9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 || snap[0][0] != 1 || snap[1][0] != 2 || snap[2][0] != 3 {
+		t.Fatalf("snapshot mutated by updates: %v", snap)
+	}
+}

@@ -79,8 +79,25 @@ func (d *Dataset) Metric() string { return d.inner.Metric.String() }
 // TauMax returns the maximum supported threshold.
 func (d *Dataset) TauMax() float64 { return d.inner.TauMax }
 
-// Vectors exposes the raw vectors (shared, not copied).
+// Vectors exposes the raw vectors — shared, not copied. The returned slice
+// aliases the dataset's live storage: Append may reallocate it and Remove
+// swap-moves entries in place, so a slice captured before an update can see
+// reordered rows or miss appended ones. Estimators trained earlier are
+// unaffected (they copy what they need at training time), but callers that
+// iterate concurrently with updates, or keep the slice across updates,
+// should use VectorsCopy instead.
 func (d *Dataset) Vectors() [][]float64 { return d.inner.Vectors }
+
+// VectorsCopy returns a snapshot of the dataset's vectors that stays valid
+// and stable across Append/Remove. The row slices are copied too, so the
+// snapshot shares no memory with the live dataset.
+func (d *Dataset) VectorsCopy() [][]float64 {
+	out := make([][]float64, len(d.inner.Vectors))
+	for i, v := range d.inner.Vectors {
+		out[i] = append([]float64(nil), v...)
+	}
+	return out
+}
 
 // Distance computes the dataset's metric between two vectors.
 func (d *Dataset) Distance(a, b []float64) float64 { return d.inner.Distance(a, b) }
@@ -188,18 +205,17 @@ func TrueCard(d *Dataset, q []float64, tau float64) float64 {
 
 // LabelQueries exactly labels caller-chosen (query, τ) pairs, producing
 // training data for Train from a real query log instead of sampled points.
+// Labeling runs in parallel across queries.
 func LabelQueries(d *Dataset, vecs [][]float64, taus []float64) ([]Query, error) {
 	if len(vecs) != len(taus) {
 		return nil, fmt.Errorf("cardest: %d queries but %d thresholds", len(vecs), len(taus))
 	}
-	out := make([]Query, len(vecs))
 	for i, v := range vecs {
 		if len(v) != d.Dim() {
 			return nil, fmt.Errorf("cardest: query %d has dim %d, want %d", i, len(v), d.Dim())
 		}
-		out[i] = Query{Vec: v, Tau: taus[i], Card: workload.TrueCard(d.inner, v, taus[i])}
 	}
-	return out, nil
+	return fromWorkload(workload.LabelPairs(d.inner, vecs, taus, 0)), nil
 }
 
 // JoinSet is one labeled similarity-join query set.
@@ -237,12 +253,18 @@ func BuildJoinWorkload(d *Dataset, opts JoinOptions) ([]JoinSet, error) {
 }
 
 // Estimator is a trained cardinality estimator for similarity search and
-// join queries.
+// join queries. After training, estimators are safe for concurrent use:
+// EstimateSearch, EstimateSearchBatch, and EstimateJoin may be called from
+// many goroutines against one trained instance.
 type Estimator interface {
 	// Name identifies the method (Table 2 naming).
 	Name() string
 	// EstimateSearch returns the estimated card(q, τ, D).
 	EstimateSearch(q []float64, tau float64) float64
+	// EstimateSearchBatch returns one estimate per (qs[i], taus[i]) pair.
+	// Learned methods amortize routing and network evaluation across the
+	// batch; results match per-query EstimateSearch exactly.
+	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
 	// EstimateJoin returns the estimated card(Q, τ, D).
 	EstimateJoin(qs [][]float64, tau float64) float64
 	// SizeBytes reports the model footprint.

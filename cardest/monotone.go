@@ -106,6 +106,17 @@ func (m *MonotoneEstimator) EstimateSearch(q []float64, tau float64) float64 {
 	return lo + frac*(hi-lo)
 }
 
+// EstimateSearchBatch evaluates the envelope per query. The grid cache —
+// not the base estimator's batch path — dominates this wrapper's cost, so
+// a serial loop over cached envelopes is the natural batch form.
+func (m *MonotoneEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = m.EstimateSearch(q, taus[i])
+	}
+	return out
+}
+
 // EstimateJoin sums monotone per-query estimates (monotone in τ as a sum of
 // monotone terms).
 func (m *MonotoneEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {

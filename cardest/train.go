@@ -199,6 +199,13 @@ func (g *GlobalLocalEstimator) EstimateSearch(q []float64, tau float64) float64 
 	return g.gl.EstimateSearch(q, tau)
 }
 
+// EstimateSearchBatch implements Estimator: one global routing pass,
+// grouped sub-batches per local model, locals evaluated in parallel.
+// Results match per-query EstimateSearch exactly.
+func (g *GlobalLocalEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	return g.gl.EstimateSearchBatch(qs, taus)
+}
+
 // EstimateJoin implements Estimator using mask-based routing and sum
 // pooling (Fig 6). Call FineTuneJoin first for best accuracy.
 func (g *GlobalLocalEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
@@ -218,19 +225,11 @@ func (g *GlobalLocalEstimator) FineTuneJoin(sets []JoinSet, epochs int, seed int
 	for i, s := range sets {
 		wsets[i] = workload.JoinSet{Vecs: s.Vecs, Tau: s.Tau, Card: s.Card}
 	}
-	// Compute per-query per-segment labels under this model's segmentation.
+	// Compute per-query per-segment labels under this model's segmentation,
+	// parallel across each set's queries.
 	samples := make([]model.JoinSegSample, len(wsets))
 	for i, s := range wsets {
-		per := make([][]float64, len(s.Vecs))
-		for qi, q := range s.Vecs {
-			segCards := make([]float64, g.gl.Seg.K)
-			for vi, v := range g.ds.Vectors() {
-				if g.ds.Distance(q, v) <= s.Tau {
-					segCards[g.gl.Seg.Assignments[vi]]++
-				}
-			}
-			per[qi] = segCards
-		}
+		per := workload.JoinSegLabels(g.ds.inner, g.gl.Seg.Assignments, g.gl.Seg.K, s.Vecs, s.Tau, 0)
 		samples[i] = model.JoinSegSample{Qs: s.Vecs, Tau: s.Tau, PerQuerySegCards: per}
 	}
 	cfg := model.DefaultTrainConfig(seed)

@@ -106,6 +106,15 @@ func (k *Kernel) EstimateSearch(q []float64, tau float64) float64 {
 	return mass * k.scale
 }
 
+// EstimateSearchBatch estimates each pair serially (see Sampling).
+func (k *Kernel) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = k.EstimateSearch(q, taus[i])
+	}
+	return out
+}
+
 // EstimateJoin sums per-query estimates.
 func (k *Kernel) EstimateJoin(qs [][]float64, tau float64) float64 {
 	return estimator.SumJoin{SearchEstimator: k}.EstimateJoin(qs, tau)

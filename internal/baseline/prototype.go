@@ -135,6 +135,15 @@ func (p *Prototype) EstimateSearch(q []float64, tau float64) float64 {
 	return est
 }
 
+// EstimateSearchBatch estimates each pair serially (see Sampling).
+func (p *Prototype) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = p.EstimateSearch(q, taus[i])
+	}
+	return out
+}
+
 // EstimateJoin sums per-query estimates.
 func (p *Prototype) EstimateJoin(qs [][]float64, tau float64) float64 {
 	var total float64

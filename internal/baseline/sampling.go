@@ -87,6 +87,17 @@ func (s *Sampling) EstimateSearch(q []float64, tau float64) float64 {
 	return float64(count) * s.scale
 }
 
+// EstimateSearchBatch estimates each pair serially — the sample scan has no
+// batched form, the method exists so every Table 2 baseline satisfies the
+// batch estimator surface.
+func (s *Sampling) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.EstimateSearch(q, taus[i])
+	}
+	return out
+}
+
 // EstimateJoin sums per-query estimates.
 func (s *Sampling) EstimateJoin(qs [][]float64, tau float64) float64 {
 	return estimator.SumJoin{SearchEstimator: s}.EstimateJoin(qs, tau)

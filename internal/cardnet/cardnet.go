@@ -278,6 +278,24 @@ func (c *CardNet) EstimateSearch(q []float64, tau float64) float64 {
 	return est
 }
 
+// EstimateSearchBatch estimates many (q, τ) pairs with one forward pass
+// over the whole batch; per-pair results match EstimateSearch exactly.
+func (c *CardNet) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	pred := c.forward(qs, taus, false)
+	for i := range out {
+		est := math.Exp(tensor.Clamp(pred.Data[i], -30, 30))
+		if c.MaxCard > 0 && est > c.MaxCard {
+			est = c.MaxCard
+		}
+		out[i] = est
+	}
+	return out
+}
+
 // EstimateJoin sums per-query estimates (CardNet has no pooled join path).
 func (c *CardNet) EstimateJoin(qs [][]float64, tau float64) float64 {
 	var total float64

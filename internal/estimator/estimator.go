@@ -25,6 +25,30 @@ type JoinEstimator interface {
 	EstimateJoin(qs [][]float64, tau float64) float64
 }
 
+// BatchSearchEstimator is implemented by estimators with a native batched
+// search path (one routing pass, grouped sub-batches, parallel locals).
+// Results must match per-query EstimateSearch exactly.
+type BatchSearchEstimator interface {
+	SearchEstimator
+	// EstimateSearchBatch returns one estimate per (qs[i], taus[i]) pair.
+	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
+}
+
+// SearchBatch estimates every (qs[i], taus[i]) pair, using the estimator's
+// native batched path when it has one and falling back to a serial
+// per-query loop otherwise — so callers can batch uniformly over all
+// Table 2 methods.
+func SearchBatch(e SearchEstimator, qs [][]float64, taus []float64) []float64 {
+	if be, ok := e.(BatchSearchEstimator); ok {
+		return be.EstimateSearchBatch(qs, taus)
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = e.EstimateSearch(q, taus[i])
+	}
+	return out
+}
+
 // SumJoin adapts any search estimator to joins by summing per-query
 // estimates — how the paper uses search estimators as join baselines (§6).
 type SumJoin struct {

@@ -36,13 +36,21 @@ func RenderSizes(w io.Writer, res SizeResult) error {
 	return tw.Flush()
 }
 
-// RenderLatency writes Table 6.
+// RenderLatency writes Table 6, serial latency next to batched latency and
+// throughput (methods without a batched measurement show "-").
 func RenderLatency(w io.Writer, res LatencyResult) error {
 	fmt.Fprintf(w, "Table 6: Avg. Latency for Similarity Search — %s\n", res.Dataset)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Method\tms/query")
+	fmt.Fprintln(tw, "Method\tms/query\tms/query (batched)\test/s (batched)")
 	for _, r := range res.Rows {
-		fmt.Fprintf(tw, "%s\t%.4f\n", r.Method, float64(r.PerCall.Nanoseconds())/1e6)
+		if r.BatchPerCall > 0 {
+			fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.0f\n", r.Method,
+				float64(r.PerCall.Nanoseconds())/1e6,
+				float64(r.BatchPerCall.Nanoseconds())/1e6,
+				r.BatchEstPerSec())
+		} else {
+			fmt.Fprintf(tw, "%s\t%.4f\t-\t-\n", r.Method, float64(r.PerCall.Nanoseconds())/1e6)
+		}
 	}
 	return tw.Flush()
 }

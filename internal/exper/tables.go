@@ -76,10 +76,24 @@ func Table5(s *Suite) SizeResult {
 	return res
 }
 
-// LatencyRow is one method's average estimation latency.
+// LatencyRow is one method's average estimation latency, serial and (when
+// measured) batched.
 type LatencyRow struct {
 	Method  string
 	PerCall time.Duration
+	// BatchPerCall is the per-estimate latency when the whole workload is
+	// estimated through the batched path (estimator.SearchBatch); zero when
+	// the method was not measured in batch.
+	BatchPerCall time.Duration
+}
+
+// BatchEstPerSec reports the batched throughput in estimates per second
+// (zero when no batched measurement exists).
+func (r LatencyRow) BatchEstPerSec() float64 {
+	if r.BatchPerCall <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(r.BatchPerCall)
 }
 
 // LatencyResult is Table 6: per-method average search-estimate latency.
@@ -90,7 +104,8 @@ type LatencyResult struct {
 
 // Table6 reproduces "Table 6: Avg. Latency for Similarity Search": the mean
 // per-query estimation time of every method plus the exact SimSelect
-// baseline.
+// baseline, and alongside it the per-estimate latency of the batched
+// serving path (one routing pass, grouped sub-batches, parallel locals).
 func Table6(s *Suite, pivots int) (LatencyResult, error) {
 	res := LatencyResult{Dataset: s.Env.DS.Name}
 	qs := s.Env.W.Test
@@ -106,14 +121,24 @@ func Table6(s *Suite, pivots int) (LatencyResult, error) {
 	for _, q := range qs {
 		idx.Count(q.Vec, q.Tau)
 	}
-	res.Rows = append(res.Rows, LatencyRow{"SimSelect", time.Since(start) / time.Duration(len(qs))})
+	res.Rows = append(res.Rows, LatencyRow{Method: "SimSelect", PerCall: time.Since(start) / time.Duration(len(qs))})
 
+	vecs := make([][]float64, len(qs))
+	taus := make([]float64, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		taus[i] = q.Tau
+	}
 	for _, m := range s.SearchMethods() {
 		start := time.Now()
 		for _, q := range qs {
 			m.EstimateSearch(q.Vec, q.Tau)
 		}
-		res.Rows = append(res.Rows, LatencyRow{m.Name(), time.Since(start) / time.Duration(len(qs))})
+		perCall := time.Since(start) / time.Duration(len(qs))
+		start = time.Now()
+		estimator.SearchBatch(m, vecs, taus)
+		batchPerCall := time.Since(start) / time.Duration(len(qs))
+		res.Rows = append(res.Rows, LatencyRow{Method: m.Name(), PerCall: perCall, BatchPerCall: batchPerCall})
 	}
 	return res, nil
 }

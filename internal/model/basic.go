@@ -106,16 +106,36 @@ func (m *BasicModel) SetOutputBias(meanLogCard float64) {
 // forward runs a labeled batch and returns the N×1 log-cardinality
 // predictions; train=true caches for backward.
 func (m *BasicModel) forward(qs [][]float64, taus []float64, train bool) *tensor.Matrix {
-	zq := m.E1.Forward(queryBatch(qs, m.Dim), train)
-	zt := m.E2.Forward(tauBatch(taus, m.TauScale), train)
+	if !train {
+		return m.infer(qs, taus, nil)
+	}
+	zq := m.E1.Forward(queryBatch(nil, qs, m.Dim), true)
+	zt := m.E2.Forward(tauBatch(nil, taus, m.TauScale), true)
 	var z *tensor.Matrix
 	if m.E3 != nil {
-		zd := m.E3.Forward(distBatch(qs, m.Anchors, m.Metric, m.DistScale), train)
-		z = concatCols(zq, zt, zd)
+		zd := m.E3.Forward(distBatch(nil, qs, m.Anchors, m.Metric, m.DistScale), true)
+		z = concatCols(nil, zq, zt, zd)
 	} else {
-		z = concatCols(zq, zt)
+		z = concatCols(nil, zq, zt)
 	}
-	return m.F.Forward(z, train)
+	return m.F.Forward(z, true)
+}
+
+// infer is the pure inference path: it reads only trained parameters and
+// writes only into the caller-owned scratch, so one trained model serves
+// many goroutines (each with its own scratch). The returned matrix aliases
+// scratch memory — copy results out before releasing the scratch.
+func (m *BasicModel) infer(qs [][]float64, taus []float64, s *nn.Scratch) *tensor.Matrix {
+	zq := m.E1.Infer(queryBatch(s, qs, m.Dim), s)
+	zt := m.E2.Infer(tauBatch(s, taus, m.TauScale), s)
+	var z *tensor.Matrix
+	if m.E3 != nil {
+		zd := m.E3.Infer(distBatch(s, qs, m.Anchors, m.Metric, m.DistScale), s)
+		z = concatCols(s, zq, zt, zd)
+	} else {
+		z = concatCols(s, zq, zt)
+	}
+	return m.F.Infer(z, s)
 }
 
 // backward distributes the output gradient through F and the encoders.
@@ -183,13 +203,20 @@ func (m *BasicModel) Train(samples []Sample, cfg TrainConfig) error {
 
 // EstimateSearch returns the estimated cardinality for one query.
 func (m *BasicModel) EstimateSearch(q []float64, tau float64) float64 {
-	pred := m.forward([][]float64{q}, []float64{tau}, false)
+	s := takeScratch()
+	defer putScratch(s)
+	pred := m.infer([][]float64{q}, []float64{tau}, s)
 	return m.capCard(expCard(pred.Data[0]))
 }
 
 // EstimateSearchBatch estimates many (q, τ) pairs in one forward pass.
 func (m *BasicModel) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
-	pred := m.forward(qs, taus, false)
+	if len(qs) != len(taus) {
+		panic(fmt.Sprintf("model: batch size mismatch: %d queries, %d thresholds", len(qs), len(taus)))
+	}
+	s := takeScratch()
+	defer putScratch(s)
+	pred := m.infer(qs, taus, s)
 	out := make([]float64, pred.Rows)
 	for i := range out {
 		out[i] = m.capCard(expCard(pred.Data[i]))
@@ -228,20 +255,36 @@ func (m *BasicModel) SizeBytes() int {
 // embeddings, and runs the output module once. It returns the predicted
 // log of the set's total cardinality.
 func (m *BasicModel) forwardJoin(qs [][]float64, tau float64, train bool) *tensor.Matrix {
-	zqAll := m.E1.Forward(queryBatch(qs, m.Dim), train)
-	zq := sumRows(zqAll)
-	zt := m.E2.Forward(tauBatch([]float64{tau}, m.TauScale), train)
+	if !train {
+		return m.inferJoin(qs, tau, nil)
+	}
+	zqAll := m.E1.Forward(queryBatch(nil, qs, m.Dim), true)
+	zq := sumRows(nil, zqAll)
+	zt := m.E2.Forward(tauBatch(nil, []float64{tau}, m.TauScale), true)
 	var z *tensor.Matrix
 	if m.E3 != nil {
-		zdAll := m.E3.Forward(distBatch(qs, m.Anchors, m.Metric, m.DistScale), train)
-		z = concatCols(zq, zt, sumRows(zdAll))
+		zdAll := m.E3.Forward(distBatch(nil, qs, m.Anchors, m.Metric, m.DistScale), true)
+		z = concatCols(nil, zq, zt, sumRows(nil, zdAll))
 	} else {
-		z = concatCols(zq, zt)
+		z = concatCols(nil, zq, zt)
 	}
-	if train {
-		m.joinRows = len(qs)
+	m.joinRows = len(qs)
+	return m.F.Forward(z, true)
+}
+
+// inferJoin is the pure pooled-join inference path (see infer).
+func (m *BasicModel) inferJoin(qs [][]float64, tau float64, s *nn.Scratch) *tensor.Matrix {
+	zqAll := m.E1.Infer(queryBatch(s, qs, m.Dim), s)
+	zq := sumRows(s, zqAll)
+	zt := m.E2.Infer(tauBatch(s, []float64{tau}, m.TauScale), s)
+	var z *tensor.Matrix
+	if m.E3 != nil {
+		zdAll := m.E3.Infer(distBatch(s, qs, m.Anchors, m.Metric, m.DistScale), s)
+		z = concatCols(s, zq, zt, sumRows(s, zdAll))
+	} else {
+		z = concatCols(s, zq, zt)
 	}
-	return m.F.Forward(z, train)
+	return m.F.Infer(z, s)
 }
 
 // backwardJoin propagates the join gradient, broadcasting through the sum
@@ -265,7 +308,9 @@ func (m *BasicModel) EstimateJoinPooled(qs [][]float64, tau float64) float64 {
 	if len(qs) == 0 {
 		return 0
 	}
-	pred := m.forwardJoin(qs, tau, false)
+	s := takeScratch()
+	defer putScratch(s)
+	pred := m.inferJoin(qs, tau, s)
 	est := expCard(pred.Data[0])
 	if m.MaxCard > 0 {
 		// A set of |Q| queries can match at most |Q| × population pairs.

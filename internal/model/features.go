@@ -8,8 +8,10 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"simquery/internal/dist"
+	"simquery/internal/nn"
 	"simquery/internal/tensor"
 )
 
@@ -20,8 +22,23 @@ type Sample struct {
 	Card float64
 }
 
-// concatCols concatenates matrices with equal row counts column-wise.
-func concatCols(ms ...*tensor.Matrix) *tensor.Matrix {
+// scratchPool recycles inference arenas across estimates. Every public
+// estimation entry point takes a scratch from the pool, runs the pure Infer
+// path with it, copies results out of arena memory, and returns it — so
+// steady-state serving reuses buffers instead of allocating per call, and
+// concurrent callers each hold their own arena.
+var scratchPool = sync.Pool{New: func() any { return new(nn.Scratch) }}
+
+func takeScratch() *nn.Scratch { return scratchPool.Get().(*nn.Scratch) }
+
+func putScratch(s *nn.Scratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}
+
+// concatCols concatenates matrices with equal row counts column-wise into
+// scratch memory (a nil scratch allocates fresh).
+func concatCols(s *nn.Scratch, ms ...*tensor.Matrix) *tensor.Matrix {
 	rows := ms[0].Rows
 	cols := 0
 	for _, m := range ms {
@@ -30,7 +47,7 @@ func concatCols(ms ...*tensor.Matrix) *tensor.Matrix {
 		}
 		cols += m.Cols
 	}
-	out := tensor.NewMatrix(rows, cols)
+	out := s.Matrix(rows, cols)
 	for i := 0; i < rows; i++ {
 		dst := out.Row(i)
 		ofs := 0
@@ -65,8 +82,8 @@ func splitCols(m *tensor.Matrix, widths ...int) []*tensor.Matrix {
 }
 
 // queryBatch stacks query vectors into a matrix.
-func queryBatch(qs [][]float64, dim int) *tensor.Matrix {
-	m := tensor.NewMatrix(len(qs), dim)
+func queryBatch(s *nn.Scratch, qs [][]float64, dim int) *tensor.Matrix {
+	m := s.Matrix(len(qs), dim)
 	for i, q := range qs {
 		if len(q) != dim {
 			panic(fmt.Sprintf("model: query %d has dim %d, want %d", i, len(q), dim))
@@ -77,8 +94,8 @@ func queryBatch(qs [][]float64, dim int) *tensor.Matrix {
 }
 
 // tauBatch stacks scaled thresholds into an N×1 matrix.
-func tauBatch(taus []float64, scale float64) *tensor.Matrix {
-	m := tensor.NewMatrix(len(taus), 1)
+func tauBatch(s *nn.Scratch, taus []float64, scale float64) *tensor.Matrix {
+	m := s.Matrix(len(taus), 1)
 	for i, t := range taus {
 		m.Data[i] = t / scale
 	}
@@ -87,8 +104,8 @@ func tauBatch(taus []float64, scale float64) *tensor.Matrix {
 
 // distBatch computes the anchor-distance feature x_D (or x_C) for each
 // query: distances to the anchor vectors under the metric, scaled.
-func distBatch(qs [][]float64, anchors [][]float64, metric dist.Metric, scale float64) *tensor.Matrix {
-	m := tensor.NewMatrix(len(qs), len(anchors))
+func distBatch(s *nn.Scratch, qs [][]float64, anchors [][]float64, metric dist.Metric, scale float64) *tensor.Matrix {
+	m := s.Matrix(len(qs), len(anchors))
 	for i, q := range qs {
 		row := m.Row(i)
 		for j, a := range anchors {
@@ -100,8 +117,8 @@ func distBatch(qs [][]float64, anchors [][]float64, metric dist.Metric, scale fl
 
 // sumRows sum-pools a matrix's rows into a 1×C matrix — the join models'
 // query-set embedding (§4).
-func sumRows(m *tensor.Matrix) *tensor.Matrix {
-	out := tensor.NewMatrix(1, m.Cols)
+func sumRows(s *nn.Scratch, m *tensor.Matrix) *tensor.Matrix {
+	out := s.Matrix(1, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		tensor.AddTo(out.Row(0), m.Row(i))
 	}

@@ -378,21 +378,30 @@ func (gl *GlobalLocal) provablyEmpty(q []float64, tau float64, i int) bool {
 	return d-gl.MetricRadii[i] > tau
 }
 
-// SelectedSegments returns which local models will be evaluated for (q, τ):
-// the global model's picks, hard-filtered by the triangle-inequality bound;
-// for Local+ every not-provably-empty segment. If the global model selects
-// nothing that survives the bound, the highest-probability surviving
-// segment is used so plausible queries never silently estimate zero —
-// unless every segment is provably empty, in which case zero is exact.
-func (gl *GlobalLocal) SelectedSegments(q []float64, tau float64) []bool {
+// maskFor turns one query's global-model probabilities into the selection
+// mask: picks above σ, hard-filtered by the triangle-inequality bound, with
+// a fallback to the highest-probability surviving segment so plausible
+// queries never silently estimate zero — unless every segment is provably
+// empty, in which case zero is exact. A nil probs row is the Local+ case:
+// every not-provably-empty segment is selected. This is the single source
+// of routing truth shared by the search, batch, and join paths, so they
+// select identical segments for identical queries.
+func (gl *GlobalLocal) maskFor(q []float64, tau float64, probs []float64) []bool {
 	sel := make([]bool, gl.Seg.K)
-	if gl.Global == nil {
+	gl.maskInto(sel, q, tau, probs)
+	return sel
+}
+
+// maskInto is maskFor writing into caller-owned storage (len gl.Seg.K, all
+// false) — the batched path slices one backing array into per-query masks
+// instead of allocating each mask.
+func (gl *GlobalLocal) maskInto(sel []bool, q []float64, tau float64, probs []float64) {
+	if probs == nil {
 		for i := range sel {
 			sel[i] = !gl.provablyEmpty(q, tau, i)
 		}
-		return sel
+		return
 	}
-	probs := gl.Global.Probs(q, tau)
 	any := false
 	bestIdx, bestProb := -1, -1.0
 	for i, p := range probs {
@@ -410,7 +419,37 @@ func (gl *GlobalLocal) SelectedSegments(q []float64, tau float64) []bool {
 	if !any && bestIdx >= 0 {
 		sel[bestIdx] = true
 	}
-	return sel
+}
+
+// selectionMasks computes the per-query selection masks for a batch with a
+// single global-model forward pass — the batched counterpart of
+// SelectedSegments (Fig 6's indicator matrix).
+func (gl *GlobalLocal) selectionMasks(qs [][]float64, taus []float64) [][]bool {
+	masks := make([][]bool, len(qs))
+	flat := make([]bool, len(qs)*gl.Seg.K) // one backing array for all masks
+	var probs [][]float64
+	if gl.Global != nil {
+		probs = gl.Global.ProbsBatch(qs, taus)
+	}
+	for i, q := range qs {
+		masks[i] = flat[i*gl.Seg.K : (i+1)*gl.Seg.K]
+		if probs == nil {
+			gl.maskInto(masks[i], q, taus[i], nil)
+		} else {
+			gl.maskInto(masks[i], q, taus[i], probs[i])
+		}
+	}
+	return masks
+}
+
+// SelectedSegments returns which local models will be evaluated for (q, τ):
+// the global model's picks, hard-filtered by the triangle-inequality bound;
+// for Local+ every not-provably-empty segment.
+func (gl *GlobalLocal) SelectedSegments(q []float64, tau float64) []bool {
+	if gl.Global == nil {
+		return gl.maskFor(q, tau, nil)
+	}
+	return gl.maskFor(q, tau, gl.Global.Probs(q, tau))
 }
 
 // EstimateSearch sums the selected local models' estimates (ŷ = Σ ŷ^[i]).
@@ -425,6 +464,63 @@ func (gl *GlobalLocal) EstimateSearch(q []float64, tau float64) float64 {
 	return total
 }
 
+// EstimateSearchBatch estimates many (q, τ) pairs at once: the global model
+// routes the whole batch in one forward pass, queries are grouped by
+// selected local model (the same grouping the join path uses), each local
+// evaluates its sub-batch, and locals run in parallel under the configured
+// worker bound. Per-query results are bitwise identical to EstimateSearch:
+// the per-row network math is batch-size-invariant, and the final reduction
+// sums local contributions in ascending segment order, matching the serial
+// loop (float addition is not associative).
+func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	if len(qs) != len(taus) {
+		panic(fmt.Sprintf("model: batch size mismatch: %d queries, %d thresholds", len(qs), len(taus)))
+	}
+	out := make([]float64, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	masks := gl.selectionMasks(qs, taus)
+	groups := make([][]int, gl.Seg.K)
+	for i := range qs {
+		for j, on := range masks[i] {
+			if on {
+				groups[j] = append(groups[j], i)
+			}
+		}
+	}
+	ests := make([][]float64, gl.Seg.K)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, gl.cfg.Workers)
+	for j := range groups {
+		if len(groups[j]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g := groups[j]
+			gqs := make([][]float64, len(g))
+			gts := make([]float64, len(g))
+			for k, i := range g {
+				gqs[k] = qs[i]
+				gts[k] = taus[i]
+			}
+			ests[j] = gl.Locals[j].EstimateSearchBatch(gqs, gts)
+		}(j)
+	}
+	wg.Wait()
+	// Deterministic reduction: ascending segment order per query.
+	for j, g := range groups {
+		for k, i := range g {
+			out[i] += ests[j][k]
+		}
+	}
+	return out
+}
+
 // EstimateJoin routes each query of the set to local models via the global
 // model's indicator matrix (mask-based routing), sum-pools the routed
 // queries per local model, and sums the local pooled estimates (Fig 6).
@@ -432,43 +528,11 @@ func (gl *GlobalLocal) EstimateJoin(qs [][]float64, tau float64) float64 {
 	if len(qs) == 0 {
 		return 0
 	}
-	masks := make([][]bool, len(qs))
-	if gl.Global == nil {
-		for i, q := range qs {
-			m := make([]bool, gl.Seg.K)
-			for j := range m {
-				m[j] = !gl.provablyEmpty(q, tau, j)
-			}
-			masks[i] = m
-		}
-	} else {
-		taus := make([]float64, len(qs))
-		for i := range taus {
-			taus[i] = tau
-		}
-		probs := gl.Global.ProbsBatch(qs, taus)
-		for i, row := range probs {
-			m := make([]bool, gl.Seg.K)
-			any := false
-			bestIdx, bestProb := -1, -1.0
-			for j, p := range row {
-				if gl.provablyEmpty(qs[i], tau, j) {
-					continue
-				}
-				if p > gl.Sigma {
-					m[j] = true
-					any = true
-				}
-				if p > bestProb {
-					bestIdx, bestProb = j, p
-				}
-			}
-			if !any && bestIdx >= 0 {
-				m[bestIdx] = true
-			}
-			masks[i] = m
-		}
+	taus := make([]float64, len(qs))
+	for i := range taus {
+		taus[i] = tau
 	}
+	masks := gl.selectionMasks(qs, taus)
 	var total float64
 	for j, local := range gl.Locals {
 		var routed [][]float64

@@ -73,10 +73,22 @@ func (g *GlobalModel) params() []*nn.Param {
 
 // forward produces per-segment logits for a batch.
 func (g *GlobalModel) forward(qs [][]float64, taus []float64, train bool) *tensor.Matrix {
-	z4 := g.E4.Forward(queryBatch(qs, g.Dim), train)
-	z5 := g.E5.Forward(tauBatch(taus, g.TauScale), train)
-	z6 := g.E6.Forward(distBatch(qs, g.Centroids, g.Metric, g.TauScale), train)
-	return g.G.Forward(concatCols(z4, z5, z6), train)
+	if !train {
+		return g.infer(qs, taus, nil)
+	}
+	z4 := g.E4.Forward(queryBatch(nil, qs, g.Dim), true)
+	z5 := g.E5.Forward(tauBatch(nil, taus, g.TauScale), true)
+	z6 := g.E6.Forward(distBatch(nil, qs, g.Centroids, g.Metric, g.TauScale), true)
+	return g.G.Forward(concatCols(nil, z4, z5, z6), true)
+}
+
+// infer is the pure inference path for the logits (see BasicModel.infer for
+// the scratch-ownership contract).
+func (g *GlobalModel) infer(qs [][]float64, taus []float64, s *nn.Scratch) *tensor.Matrix {
+	z4 := g.E4.Infer(queryBatch(s, qs, g.Dim), s)
+	z5 := g.E5.Infer(tauBatch(s, taus, g.TauScale), s)
+	z6 := g.E6.Infer(distBatch(s, qs, g.Centroids, g.Metric, g.TauScale), s)
+	return g.G.Infer(concatCols(s, z4, z5, z6), s)
 }
 
 func (g *GlobalModel) backward(dy *tensor.Matrix) {
@@ -182,7 +194,9 @@ func (g *GlobalModel) Train(samples []GlobalSample, cfg GlobalTrainConfig) error
 // Probs returns the per-segment selection probabilities I^[i] for one
 // query.
 func (g *GlobalModel) Probs(q []float64, tau float64) []float64 {
-	logits := g.forward([][]float64{q}, []float64{tau}, false)
+	s := takeScratch()
+	defer putScratch(s)
+	logits := g.infer([][]float64{q}, []float64{tau}, s)
 	out := make([]float64, g.Segments)
 	for i := range out {
 		out[i] = tensor.Sigmoid(logits.Data[i])
@@ -192,10 +206,15 @@ func (g *GlobalModel) Probs(q []float64, tau float64) []float64 {
 
 // ProbsBatch returns selection probabilities for many queries at once.
 func (g *GlobalModel) ProbsBatch(qs [][]float64, taus []float64) [][]float64 {
-	logits := g.forward(qs, taus, false)
+	s := takeScratch()
+	defer putScratch(s)
+	logits := g.infer(qs, taus, s)
+	// One backing array for all rows: the batched serving path calls this
+	// once per batch, so per-row allocations would dominate its alloc count.
 	out := make([][]float64, logits.Rows)
+	flat := make([]float64, logits.Rows*g.Segments)
 	for i := range out {
-		row := make([]float64, g.Segments)
+		row := flat[i*g.Segments : (i+1)*g.Segments]
 		for j := 0; j < g.Segments; j++ {
 			row[j] = tensor.Sigmoid(logits.At(i, j))
 		}

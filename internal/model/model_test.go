@@ -451,9 +451,9 @@ func TestConvConfigValidate(t *testing.T) {
 }
 
 func TestConcatSplitRoundTrip(t *testing.T) {
-	a := queryBatch([][]float64{{1, 2}, {3, 4}}, 2)
-	b := queryBatch([][]float64{{5}, {6}}, 1)
-	cat := concatCols(a, b)
+	a := queryBatch(nil, [][]float64{{1, 2}, {3, 4}}, 2)
+	b := queryBatch(nil, [][]float64{{5}, {6}}, 1)
+	cat := concatCols(nil, a, b)
 	parts := splitCols(cat, 2, 1)
 	if parts[0].At(1, 1) != 4 || parts[1].At(0, 0) != 5 {
 		t.Fatal("concat/split mismatch")
@@ -461,8 +461,8 @@ func TestConcatSplitRoundTrip(t *testing.T) {
 }
 
 func TestSumRowsBroadcastRows(t *testing.T) {
-	m := queryBatch([][]float64{{1, 2}, {3, 4}, {5, 6}}, 2)
-	s := sumRows(m)
+	m := queryBatch(nil, [][]float64{{1, 2}, {3, 4}, {5, 6}}, 2)
+	s := sumRows(nil, m)
 	if s.At(0, 0) != 9 || s.At(0, 1) != 12 {
 		t.Fatalf("sumRows %v", s.Data)
 	}

@@ -58,9 +58,9 @@ func TestThresholdEmbeddingMonotoneProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		prev := m.E2.Forward(tauBatch([]float64{0}, 1), false)
+		prev := m.E2.Forward(tauBatch(nil, []float64{0}, 1), false)
 		for tau := 0.1; tau <= 1.0; tau += 0.1 {
-			cur := m.E2.Forward(tauBatch([]float64{tau}, 1), false)
+			cur := m.E2.Forward(tauBatch(nil, []float64{tau}, 1), false)
 			for i := range cur.Data {
 				if cur.Data[i] < prev.Data[i]-1e-12 {
 					return false

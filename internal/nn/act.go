@@ -17,16 +17,26 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) element-wise.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := tensor.NewMatrix(x.Rows, x.Cols)
-	if train {
-		r.mask = make([]bool, len(x.Data))
+	if !train {
+		return r.Infer(x, nil)
 	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	r.mask = make([]bool, len(x.Data))
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
-			if train {
-				r.mask[i] = true
-			}
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Infer applies max(0, x) into scratch memory.
+func (r *ReLU) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
 		}
 	}
 	return out
@@ -66,12 +76,22 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function element-wise.
 func (s *Sigmoid) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train {
+		return s.Infer(x, nil)
+	}
 	out := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = tensor.Sigmoid(v)
 	}
-	if train {
-		s.lastOut = out
+	s.lastOut = out
+	return out
+}
+
+// Infer applies the logistic function into scratch memory.
+func (s *Sigmoid) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = tensor.Sigmoid(v)
 	}
 	return out
 }
@@ -109,12 +129,22 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train {
+		return t.Infer(x, nil)
+	}
 	out := tensor.NewMatrix(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
-	if train {
-		t.lastOut = out
+	t.lastOut = out
+	return out
+}
+
+// Infer applies tanh into scratch memory.
+func (t *Tanh) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
 	}
 	return out
 }
@@ -157,10 +187,19 @@ func NewBias(dim int) *Bias {
 
 // Forward adds the offset to every row.
 func (b *Bias) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := x.Clone()
-	for i := 0; i < out.Rows; i++ {
-		tensor.AddTo(out.Row(i), b.B.W)
+	if !train {
+		return b.Infer(x, nil)
 	}
+	out := x.Clone()
+	tensor.AddRowVec(out, b.B.W)
+	return out
+}
+
+// Infer adds the offset into scratch memory.
+func (b *Bias) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	copy(out.Data, x.Data)
+	tensor.AddRowVec(out, b.B.W)
 	return out
 }
 

@@ -66,13 +66,25 @@ func (c *Conv1D) inLen(cols int) int {
 
 // Forward applies the convolution to the batch.
 func (c *Conv1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	l := c.inLen(x.Cols)
-	outL := c.outLen(l)
-	out := tensor.NewMatrix(x.Rows, c.OutChannels*outL)
-	if train {
-		c.lastX = x
-		c.lastL = l
+	if !train {
+		return c.Infer(x, nil)
 	}
+	l := c.inLen(x.Cols)
+	c.lastX = x
+	c.lastL = l
+	return c.apply(x, tensor.NewMatrix(x.Rows, c.OutChannels*c.outLen(l)), l)
+}
+
+// Infer applies the convolution into scratch memory without touching layer
+// state.
+func (c *Conv1D) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	l := c.inLen(x.Cols)
+	return c.apply(x, scratch.Matrix(x.Rows, c.OutChannels*c.outLen(l)), l)
+}
+
+// apply fills out with the convolution of x (per-channel length l).
+func (c *Conv1D) apply(x, out *tensor.Matrix, l int) *tensor.Matrix {
+	outL := c.outLen(l)
 	for n := 0; n < x.Rows; n++ {
 		xr := x.Row(n)
 		or := out.Row(n)

@@ -50,18 +50,27 @@ func NewPositiveDense(rng *rand.Rand, in, out int) *Dense {
 
 // Forward computes the affine map for the batch.
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train {
+		return d.Infer(x, nil)
+	}
+	d.lastX = x
+	return d.affine(x, tensor.NewMatrix(x.Rows, d.Out))
+}
+
+// Infer computes the affine map into scratch memory without touching layer
+// state.
+func (d *Dense) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	return d.affine(x, scratch.Matrix(x.Rows, d.Out))
+}
+
+// affine fills out = x·Wᵀ + b.
+func (d *Dense) affine(x, out *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expects %d inputs, got %d", d.In, x.Cols))
 	}
-	if train {
-		d.lastX = x
-	}
-	out := tensor.NewMatrix(x.Rows, d.Out)
-	w := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.W}
-	tensor.MatMulTransB(out, x, w)
-	for i := 0; i < out.Rows; i++ {
-		tensor.AddTo(out.Row(i), d.B.W)
-	}
+	w := tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.W}
+	tensor.MatMulTransB(out, x, &w)
+	tensor.AddRowVec(out, d.B.W)
 	return out
 }
 

@@ -25,8 +25,15 @@ func NewDropout(rate float64, seed int64) *Dropout {
 	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}
 }
 
+// Infer is the identity: inverted dropout needs no inference-time scaling,
+// no state, and no buffers.
+func (d *Dropout) Infer(x *tensor.Matrix, _ *Scratch) *tensor.Matrix {
+	return x
+}
+
 // Forward zeroes a random subset during training and passes through at
-// inference.
+// inference. The training-path RNG and mask are per-layer state, which is
+// why dropout training stays single-threaded while Infer is shareable.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.Rate == 0 {
 		if train {

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"simquery/internal/tensor"
+)
+
+// Scratch owns every per-call buffer of the inference path, so trained
+// layers stay read-only during Infer and one network can serve many
+// goroutines at once. Each serving goroutine uses its own Scratch (the
+// model package pools them); a nil *Scratch is legal and falls back to
+// fresh allocations.
+//
+// Ownership rule: matrices returned by Infer are backed by the Scratch and
+// stay valid until its next Reset. Callers copy out what they keep.
+type Scratch struct {
+	arena tensor.Scratch
+}
+
+// Matrix hands out a zeroed rows×cols matrix from the arena (or a fresh
+// allocation for a nil Scratch).
+func (s *Scratch) Matrix(rows, cols int) *tensor.Matrix {
+	if s == nil {
+		return tensor.NewMatrix(rows, cols)
+	}
+	return s.arena.Take(rows, cols)
+}
+
+// Reset recycles all buffers handed out since the last Reset, invalidating
+// previously returned matrices.
+func (s *Scratch) Reset() {
+	if s != nil {
+		s.arena.Reset()
+	}
+}
+
+// Infer runs the batch through every layer in order using the caller's
+// scratch buffers.
+func (s *Sequential) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Infer(x, scratch)
+	}
+	return x
+}

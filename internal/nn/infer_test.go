@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// testNet builds a network covering every layer kind.
+func testNet(rng *rand.Rand) *Sequential {
+	return NewSequential(
+		NewConv1D(rng, 1, 2, 4, 4, 0),
+		NewReLU(),
+		NewPool1D(2, 2, MaxPool),
+		NewDense(rng, 4, 6),
+		NewTanh(),
+		NewDropout(0.3, 11),
+		NewDense(rng, 6, 3),
+		NewBias(3),
+		NewSigmoid(),
+	)
+}
+
+// TestInferMatchesForward asserts the scratch-based inference path is
+// bitwise identical to Forward(train=false), with and without a scratch.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := testNet(rng)
+	x := randBatch(rng, 5, 16)
+	want := net.Forward(x, false)
+
+	var scratch Scratch
+	for round := 0; round < 3; round++ {
+		scratch.Reset()
+		got := net.Infer(x, &scratch)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("round %d: shape %dx%d, want %dx%d", round, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i, v := range want.Data {
+			if got.Data[i] != v {
+				t.Fatalf("round %d: Infer[%d] = %v, want %v", round, i, got.Data[i], v)
+			}
+		}
+	}
+	got := net.Infer(x, nil)
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("nil scratch: Infer[%d] = %v, want %v", i, got.Data[i], v)
+		}
+	}
+}
+
+// TestInferConcurrent hammers one trained network from many goroutines with
+// per-goroutine scratches; run under -race this is the layer-level
+// concurrency regression test.
+func TestInferConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := testNet(rng)
+	x := randBatch(rng, 3, 16)
+	want := net.Forward(x, false)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch Scratch
+			for it := 0; it < 50; it++ {
+				scratch.Reset()
+				got := net.Infer(x, &scratch)
+				for i, v := range want.Data {
+					if got.Data[i] != v {
+						errs <- "concurrent Infer diverged from serial Forward"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestInferAllocFree asserts the steady-state Infer path performs no
+// allocations once the scratch arena has warmed up.
+func TestInferAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Dropout excluded: identity at inference anyway. Conv/pool/dense
+	// cover the allocating layers.
+	net := testNet(rng)
+	x := randBatch(rng, 4, 16)
+	var scratch Scratch
+	scratch.Reset()
+	net.Infer(x, &scratch) // warm up the arena
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch.Reset()
+		net.Infer(x, &scratch)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Infer allocates %.1f objects per call, want 0", allocs)
+	}
+}

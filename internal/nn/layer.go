@@ -5,15 +5,24 @@ import (
 )
 
 // Layer is one differentiable module. Forward consumes a batch (rows are
-// samples) and caches whatever Backward needs; Backward consumes the
-// gradient of the loss with respect to the layer output, accumulates
-// parameter gradients, and returns the gradient with respect to the input.
+// samples) and, with train=true, caches whatever Backward needs; Backward
+// consumes the gradient of the loss with respect to the layer output,
+// accumulates parameter gradients, and returns the gradient with respect to
+// the input.
 //
-// Layers are single-threaded: one Forward/Backward pair in flight at a time,
-// matching mini-batch SGD training loops.
+// Concurrency contract: the TRAINING path (Forward(train=true)/Backward) is
+// single-threaded — one pair in flight at a time, matching mini-batch SGD
+// loops. The INFERENCE path (Infer, and Forward(train=false), which
+// delegates to it) is pure: it reads parameters, writes only into the
+// caller-owned Scratch, and is safe to call from many goroutines
+// simultaneously on one trained network, as long as no training or
+// optimizer step runs concurrently and each goroutine owns its Scratch.
 type Layer interface {
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	Backward(grad *tensor.Matrix) *tensor.Matrix
+	// Infer is the allocation-conscious, concurrency-safe inference path:
+	// all per-call state lives in scratch (nil scratch allocates fresh).
+	Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix
 	Params() []*Param
 	// OutDim reports the per-sample output width given the per-sample input
 	// width, so networks can be assembled without running data through them.
@@ -34,6 +43,9 @@ func NewSequential(layers ...Layer) *Sequential {
 
 // Forward runs the batch through every layer in order.
 func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train {
+		return s.Infer(x, nil)
+	}
 	for _, l := range s.Layers {
 		x = l.Forward(x, train)
 	}

@@ -64,16 +64,31 @@ func (p *Pool1D) outLen(l int) int {
 
 // Forward pools each window.
 func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train {
+		return p.Infer(x, nil)
+	}
 	l := p.inLen(x.Cols)
 	outL := p.outLen(l)
-	out := tensor.NewMatrix(x.Rows, p.Channels*outL)
-	if train {
-		p.lastL = l
-		p.lastRows = x.Rows
-		if p.Op == MaxPool {
-			p.argmax = make([]int, x.Rows*p.Channels*outL)
-		}
+	p.lastL = l
+	p.lastRows = x.Rows
+	var argmax []int
+	if p.Op == MaxPool {
+		argmax = make([]int, x.Rows*p.Channels*outL)
+		p.argmax = argmax
 	}
+	return p.apply(x, tensor.NewMatrix(x.Rows, p.Channels*outL), l, argmax)
+}
+
+// Infer pools each window into scratch memory without touching layer state.
+func (p *Pool1D) Infer(x *tensor.Matrix, scratch *Scratch) *tensor.Matrix {
+	l := p.inLen(x.Cols)
+	return p.apply(x, scratch.Matrix(x.Rows, p.Channels*p.outLen(l)), l, nil)
+}
+
+// apply fills out with the pooled windows; a non-nil argmax records the
+// winning MaxPool positions for Backward.
+func (p *Pool1D) apply(x, out *tensor.Matrix, l int, argmax []int) *tensor.Matrix {
+	outL := p.outLen(l)
 	for n := 0; n < x.Rows; n++ {
 		xr := x.Row(n)
 		or := out.Row(n)
@@ -93,8 +108,8 @@ func (p *Pool1D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 						}
 					}
 					or[ci*outL+t] = xr[ci*l+best]
-					if train {
-						p.argmax[(n*p.Channels+ci)*outL+t] = best
+					if argmax != nil {
+						argmax[(n*p.Channels+ci)*outL+t] = best
 					}
 				case AvgPool:
 					var s float64

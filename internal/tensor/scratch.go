@@ -1,0 +1,65 @@
+package tensor
+
+// Scratch is an arena of reusable matrix buffers for allocation-free hot
+// paths. Take hands out a zeroed matrix backed by a recycled buffer; Reset
+// rewinds the arena so the same buffers are reused by the next call.
+//
+// Ownership rule: a matrix obtained from Take is valid until the next
+// Reset of the same Scratch. Callers that keep results across Reset must
+// copy them out first. A Scratch is NOT safe for concurrent use — each
+// goroutine owns its own (the nn package pools them per inference call).
+//
+// The zero value is ready to use. A nil *Scratch is also legal: Take then
+// falls back to a fresh allocation, so cold paths need no special-casing.
+type Scratch struct {
+	mats []*Matrix
+	next int
+}
+
+// Take returns a zeroed rows×cols matrix backed by the arena. Both the
+// matrix header and its buffer are recycled across Resets (buffers grow to
+// the high-water mark of each call position), so a steady-state caller that
+// issues the same Take sequence between Resets performs no allocations.
+func (s *Scratch) Take(rows, cols int) *Matrix {
+	if s == nil {
+		return NewMatrix(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic("tensor: invalid scratch matrix shape")
+	}
+	n := rows * cols
+	if s.next == len(s.mats) {
+		s.mats = append(s.mats, &Matrix{})
+	}
+	m := s.mats[s.next]
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	m.Rows, m.Cols = rows, cols
+	s.next++
+	return m
+}
+
+// Reset rewinds the arena: every buffer handed out since the last Reset
+// becomes eligible for reuse, and matrices previously returned by Take are
+// invalidated.
+func (s *Scratch) Reset() {
+	if s != nil {
+		s.next = 0
+	}
+}
+
+// AddRowVec adds v to every row of m in place — the broadcast bias add of
+// the inference hot path (no temporary allocation).
+func AddRowVec(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec width mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(1, v, m.Row(i))
+	}
+}

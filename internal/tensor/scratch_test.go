@@ -1,0 +1,55 @@
+package tensor
+
+import "testing"
+
+func TestScratchReuse(t *testing.T) {
+	var s Scratch
+	a := s.Take(2, 3)
+	if a.Rows != 2 || a.Cols != 3 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	a.Set(1, 2, 7)
+	b := s.Take(4, 4)
+	b.Set(0, 0, 1)
+	s.Reset()
+	a2 := s.Take(2, 3)
+	if &a2.Data[0] != &a.Data[0] {
+		t.Fatal("scratch did not reuse first buffer after Reset")
+	}
+	if a2.At(1, 2) != 0 {
+		t.Fatal("Take did not zero reused buffer")
+	}
+	// A larger request at the same position grows the buffer.
+	s.Reset()
+	big := s.Take(8, 8)
+	if len(big.Data) != 64 {
+		t.Fatalf("grown buffer len %d", len(big.Data))
+	}
+	for _, v := range big.Data {
+		if v != 0 {
+			t.Fatal("grown buffer not zeroed")
+		}
+	}
+}
+
+func TestScratchNil(t *testing.T) {
+	var s *Scratch
+	m := s.Take(3, 2)
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("nil scratch shape %dx%d", m.Rows, m.Cols)
+	}
+	s.Reset() // must not panic
+}
+
+func TestAddRowVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 2)
+	AddRowVec(m, []float64{10, 20, 30})
+	want := []float64{10, 21, 30, 10, 20, 32}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("data[%d] = %v, want %v", i, m.Data[i], v)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"simquery/internal/cluster"
+	"simquery/internal/dataset"
+)
+
+// trueCardSerial is the reference single-threaded scan.
+func trueCardSerial(ds *dataset.Dataset, q []float64, tau float64) float64 {
+	var c float64
+	for _, v := range ds.Vectors {
+		if ds.Distance(q, v) <= tau {
+			c++
+		}
+	}
+	return c
+}
+
+// TestTrueCardParallelMatchesSerial exercises the chunked parallel scan
+// (dataset above the parallel threshold) against the serial reference.
+func TestTrueCardParallelMatchesSerial(t *testing.T) {
+	ds, err := dataset.Generate(dataset.YouTube, dataset.Config{N: 5000, Clusters: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := ds.Vectors[i*37]
+		tau := ds.TauMax * float64(i+1) / 10
+		if got, want := TrueCard(ds, q, tau), trueCardSerial(ds, q, tau); got != want {
+			t.Fatalf("query %d: parallel %v != serial %v", i, got, want)
+		}
+	}
+}
+
+func TestLabelPairsMatchesTrueCard(t *testing.T) {
+	ds := testDataset(t)
+	var vecs [][]float64
+	var taus []float64
+	for i := 0; i < 12; i++ {
+		vecs = append(vecs, ds.Vectors[i*13])
+		taus = append(taus, ds.TauMax*float64(i+1)/12)
+	}
+	qs := LabelPairs(ds, vecs, taus, 4)
+	if len(qs) != len(vecs) {
+		t.Fatalf("%d labeled queries for %d pairs", len(qs), len(vecs))
+	}
+	for i, q := range qs {
+		if q.Tau != taus[i] {
+			t.Fatalf("pair %d: tau %v, want %v", i, q.Tau, taus[i])
+		}
+		if want := trueCardSerial(ds, vecs[i], taus[i]); q.Card != want {
+			t.Fatalf("pair %d: card %v, exact %v", i, q.Card, want)
+		}
+	}
+}
+
+func TestJoinSegLabelsMatchesBruteForce(t *testing.T) {
+	ds := testDataset(t)
+	seg, err := cluster.KMeans(ds.Vectors, 4, cluster.KMeansOptions{}, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := [][]float64{ds.Vectors[3], ds.Vectors[77], ds.Vectors[311]}
+	tau := ds.TauMax / 2
+	got := JoinSegLabels(ds, seg.Assignments, seg.K, vecs, tau, 2)
+	for qi, q := range vecs {
+		want := make([]float64, seg.K)
+		for vi, v := range ds.Vectors {
+			if ds.Distance(q, v) <= tau {
+				want[seg.Assignments[vi]]++
+			}
+		}
+		for s := range want {
+			if got[qi][s] != want[s] {
+				t.Fatalf("query %d segment %d: %v, want %v", qi, s, got[qi][s], want[s])
+			}
+		}
+	}
+}

@@ -207,15 +207,117 @@ func countLE(sorted []float64, tau float64) int {
 	return sort.Search(len(sorted), func(i int) bool { return sorted[i] > tau })
 }
 
-// TrueCard computes the exact cardinality of (q, τ) by brute force.
+// TrueCard computes the exact cardinality of (q, τ) by brute force,
+// scanning dataset chunks in parallel once the dataset is large enough to
+// amortize goroutine startup. Counting is exact either way.
 func TrueCard(ds *dataset.Dataset, q []float64, tau float64) float64 {
-	var c float64
-	for _, v := range ds.Vectors {
-		if ds.Distance(q, v) <= tau {
-			c++
+	n := ds.Size()
+	workers := runtime.GOMAXPROCS(0)
+	const parallelThreshold = 4096
+	if n < parallelThreshold || workers < 2 {
+		var c float64
+		for _, v := range ds.Vectors {
+			if ds.Distance(q, v) <= tau {
+				c++
+			}
 		}
+		return c
 	}
-	return c
+	counts := make([]float64, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var c float64
+			for _, v := range ds.Vectors[lo:hi] {
+				if ds.Distance(q, v) <= tau {
+					c++
+				}
+			}
+			counts[w] = c
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// LabelPairs exactly labels caller-chosen (vecs[i], taus[i]) pairs with a
+// bounded worker pool (workers ≤ 0 means GOMAXPROCS) — the batch form of
+// TrueCard for labeling real query logs.
+func LabelPairs(ds *dataset.Dataset, vecs [][]float64, taus []float64, workers int) []Query {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	packed := packIfHamming(ds)
+	out := make([]Query, len(vecs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range vecs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dists := make([]float64, ds.Size())
+			distancesTo(ds, packed, vecs[i], dists)
+			var card float64
+			for _, d := range dists {
+				if d <= taus[i] {
+					card++
+				}
+			}
+			out[i] = Query{Vec: vecs[i], Tau: taus[i], Card: card}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// JoinSegLabels computes each query's exact per-segment cardinality at τ
+// under the given point-to-segment assignment, parallel across queries —
+// the label matrix join fine-tuning consumes (workers ≤ 0 means
+// GOMAXPROCS).
+func JoinSegLabels(ds *dataset.Dataset, assignments []int, k int, vecs [][]float64, tau float64, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	packed := packIfHamming(ds)
+	out := make([][]float64, len(vecs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range vecs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dists := make([]float64, ds.Size())
+			distancesTo(ds, packed, vecs[i], dists)
+			segCards := make([]float64, k)
+			for vi, d := range dists {
+				if d <= tau {
+					segCards[assignments[vi]]++
+				}
+			}
+			out[i] = segCards
+		}(i)
+	}
+	wg.Wait()
+	return out
 }
 
 // AttachSegmentLabels fills SegCards on every query: the exact per-segment

@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Latency-ordering claim tests skip under race: instrumentation
+// overhead is not uniform across algorithms (pointer-heavy NN inference
+// pays more than sampling's flat scans), so wall-clock orderings measured
+// under race say nothing about the uninstrumented binary.
+const raceEnabled = true
