@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet fmt-check lint verify bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (and lists the offenders) if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check
+
 race:
 	$(GO) test -race ./...
 
 # verify is the pre-merge gate: static checks plus the full suite under
 # the race detector (the serving engine is concurrent; see DESIGN.md §7).
-verify: vet race
+verify: lint race
 
 bench:
 	$(GO) test -bench=. -benchmem

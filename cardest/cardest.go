@@ -263,7 +263,12 @@ type Estimator interface {
 	EstimateSearch(q []float64, tau float64) float64
 	// EstimateSearchBatch returns one estimate per (qs[i], taus[i]) pair.
 	// Learned methods amortize routing and network evaluation across the
-	// batch; results match per-query EstimateSearch exactly.
+	// batch; results match per-query EstimateSearch exactly. Methods
+	// without a native batch path (sampling, kernel, prototype) silently
+	// serialize into a per-query loop — batching then costs per-query
+	// latency times the batch size. Each serialized call is counted in the
+	// simquery_batch_serial_fallback_total telemetry metric (see
+	// ServeTelemetry) so the degradation is observable in production.
 	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
 	// EstimateJoin returns the estimated card(Q, τ, D).
 	EstimateJoin(qs [][]float64, tau float64) float64

@@ -35,6 +35,11 @@ func Save(e Estimator, path string) error {
 }
 
 func toEnvelope(e Estimator) (envelope, error) {
+	// Telemetry wrappers carry no state of their own — serialize what they
+	// wrap (Load re-wraps on the way back in).
+	if mw, ok := e.(measured); ok {
+		e = mw.inner
+	}
 	switch v := e.(type) {
 	case *GlobalLocalEstimator:
 		data, err := v.gl.MarshalBinary()
@@ -89,7 +94,7 @@ func Load(path string, d *Dataset) (Estimator, error) {
 		if err := c.UnmarshalBinary(env.Data); err != nil {
 			return nil, err
 		}
-		return c, nil
+		return measured{c}, nil
 	default:
 		return nil, fmt.Errorf("cardest: unknown model kind %q", env.Kind)
 	}

@@ -1,0 +1,84 @@
+package cardest
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"simquery/internal/telemetry"
+)
+
+// TelemetryServer is a running telemetry endpoint started by
+// ServeTelemetry. While it is open, its Registry is the process-wide
+// recorder: every estimate, training epoch, and pipeline stage records
+// into it.
+type TelemetryServer struct {
+	// Registry holds the live metrics; useful for reading values in-process
+	// (tests, periodic log lines).
+	Registry *telemetry.Registry
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the process-global expvar name ("simquery"):
+// expvar.Publish panics on duplicates, and ServeTelemetry may legitimately
+// run more than once in a process (restart after Close, tests). The
+// published Func reads whatever recorder is current at scrape time, so it
+// stays correct across restarts.
+var expvarOnce sync.Once
+
+// ServeTelemetry turns telemetry on and serves it over HTTP: it installs a
+// fresh live Registry as the process-wide recorder and starts a server on
+// addr (e.g. ":9090") exposing
+//
+//	/metrics        Prometheus text format (estimate-latency histograms,
+//	                stage spans, routing selectivity, training loss, ...)
+//	/debug/vars     expvar JSON, including a "simquery" snapshot with
+//	                count/mean/p50/p95/p99 per histogram
+//	/debug/pprof/   CPU, heap, and goroutine profiling
+//
+// The listener is bound synchronously, so a bad address fails here rather
+// than in a background goroutine. Close shuts the server down and restores
+// the no-op recorder, making instrumentation free again.
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	reg := telemetry.NewRegistry()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cardest: telemetry listen %s: %w", addr, err)
+	}
+	telemetry.SetDefault(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("simquery", expvar.Func(func() any {
+			if r, ok := telemetry.Default().(*telemetry.Registry); ok {
+				return r.ExpvarSnapshot()
+			}
+			return nil
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	ts := &TelemetryServer{Registry: reg, lis: lis, srv: srv}
+	go func() { _ = srv.Serve(lis) }()
+	return ts, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (t *TelemetryServer) Addr() string { return t.lis.Addr().String() }
+
+// Close stops the HTTP server and restores the no-op recorder. Metrics
+// recorded so far remain readable through Registry.
+func (t *TelemetryServer) Close() error {
+	telemetry.SetDefault(nil)
+	return t.srv.Close()
+}

@@ -1,0 +1,142 @@
+package cardest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"simquery/internal/telemetry"
+)
+
+// TestServeTelemetryEndToEnd trains a GL estimator with telemetry on,
+// serves estimates, and scrapes /metrics — the acceptance path of the
+// telemetry layer.
+func TestServeTelemetryEndToEnd(t *testing.T) {
+	ts, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	ds, err := GenerateProfile("imagenet", 400, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := BuildWorkload(ds, WorkloadOptions{TrainPoints: 30, TestPoints: 10, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Train(ds, train, TrainOptions{Method: "gl-cnn", Segments: 4, Epochs: 3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range test[:5] {
+		est.EstimateSearch(q.Vec, q.Tau)
+	}
+	vecs := make([][]float64, len(test))
+	taus := make([]float64, len(test))
+	for i, q := range test {
+		vecs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+	est.EstimateSearchBatch(vecs, taus)
+
+	// A no-native-batch method exercises the serial-fallback counter.
+	samp, err := Train(ds, nil, TrainOptions{Method: "sampling", Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samp.EstimateSearchBatch(vecs, taus)
+
+	resp, err := http.Get("http://" + ts.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type: %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`simquery_estimate_latency_seconds_bucket{method="GL-CNN",le="+Inf"}`,
+		`simquery_estimate_batch_seconds_count{method="GL-CNN"} 1`,
+		`simquery_stage_seconds_bucket{stage="global_route"`,
+		`simquery_stage_seconds_bucket{stage="local_eval"`,
+		`simquery_stage_seconds_bucket{stage="feature_build"`,
+		"simquery_routing_selectivity_count",
+		`simquery_batch_serial_fallback_total{method="Sampling (10%)"} 1`,
+		"simquery_train_epochs_total",
+		"simquery_labeled_queries_total 400", // (30+10) points × 10 thresholds
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Selectivity must have one observation per routed query: 5 serial +
+	// len(test) batched.
+	if snap, ok := ts.Registry.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, ""); !ok || snap.Count != uint64(5+len(test)) {
+		t.Errorf("selectivity count: ok=%v got %d want %d", ok, snap.Count, 5+len(test))
+	}
+
+	// expvar mount serves JSON including the simquery snapshot.
+	vresp, err := http.Get("http://" + ts.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("expvar decode: %v", err)
+	}
+	if _, ok := vars["simquery"]; !ok {
+		t.Error("expvar missing simquery snapshot")
+	}
+
+	// pprof index responds.
+	presp, err := http.Get("http://" + ts.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status %d", presp.StatusCode)
+	}
+}
+
+// TestServeTelemetryRestart: Close restores the no-op recorder and a second
+// ServeTelemetry works (expvar publish must not panic).
+func TestServeTelemetryRestart(t *testing.T) {
+	ts, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := telemetry.Default().(telemetry.Nop); !ok {
+		t.Fatalf("recorder after Close: %T", telemetry.Default())
+	}
+	ts2, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	telemetry.Default().Count(telemetry.MetricTrainEpochsTotal, 1)
+	if got := ts2.Registry.CounterValue(telemetry.MetricTrainEpochsTotal, ""); got != 1 {
+		t.Errorf("fresh registry counter: %d", got)
+	}
+}
+
+// TestServeTelemetryBadAddr: a bad address fails synchronously.
+func TestServeTelemetryBadAddr(t *testing.T) {
+	if _, err := ServeTelemetry("256.0.0.1:bad"); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

@@ -55,7 +55,7 @@ func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s, nil
+		return measured{s}, nil
 	case "kernel":
 		ratio := opts.SampleRatio
 		if ratio <= 0 {
@@ -65,7 +65,7 @@ func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return k, nil
+		return measured{k}, nil
 	}
 
 	if len(train) == 0 {
@@ -91,7 +91,11 @@ func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
 		for i, q := range train {
 			ps[i] = baseline.PrototypeSample{Q: q.Vec, Tau: q.Tau, Card: q.Card}
 		}
-		return baseline.NewPrototype("Prototype", ps, opts.Segments, 3, d.inner.Metric, opts.Seed+8)
+		p, err := baseline.NewPrototype("Prototype", ps, opts.Segments, 3, d.inner.Metric, opts.Seed+8)
+		if err != nil {
+			return nil, err
+		}
+		return measured{p}, nil
 	case "mlp", "qes":
 		anchors := sampleAnchors(d, 8, opts.Seed+2)
 		var (
@@ -125,7 +129,7 @@ func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
 		if err := c.Train(cs, cardnet.TrainConfig{Epochs: cfg.Epochs, Seed: opts.Seed + 5}); err != nil {
 			return nil, err
 		}
-		return c, nil
+		return measured{c}, nil
 	case "local+", "gl-mlp", "gl-cnn", "gl+":
 		variant := map[string]model.Variant{
 			"local+": model.LocalPlus,
@@ -172,15 +176,58 @@ func sampleAnchors(d *Dataset, k int, seed int64) [][]float64 {
 	return out
 }
 
+// measured wraps an Estimator so every call runs through the shared
+// instrumentation helpers in internal/estimator — per-method latency
+// histograms, estimate counters, and the serial-fallback counter. It is the
+// facade for estimators whose concrete type the rest of the package does
+// not need (sampling, kernel, prototype, CardNet); GlobalLocalEstimator and
+// basicEstimator instrument their own methods instead because callers
+// type-assert them. Save unwraps it (see toEnvelope).
+type measured struct {
+	inner Estimator
+}
+
+// Name implements Estimator.
+func (m measured) Name() string { return m.inner.Name() }
+
+// EstimateSearch implements Estimator with latency/throughput recording.
+func (m measured) EstimateSearch(q []float64, tau float64) float64 {
+	return estimator.Search(m.inner, q, tau)
+}
+
+// EstimateSearchBatch implements Estimator; a serial fallback inside the
+// wrapped estimator is counted by the shared helper.
+func (m measured) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	return estimator.SearchBatch(m.inner, qs, taus)
+}
+
+// EstimateJoin implements Estimator with join-latency recording.
+func (m measured) EstimateJoin(qs [][]float64, tau float64) float64 {
+	return estimator.Join(m.inner, qs, tau)
+}
+
+// SizeBytes implements Estimator.
+func (m measured) SizeBytes() int { return m.inner.SizeBytes() }
+
 // basicEstimator adapts BasicModel (no pooled join path without
 // fine-tuning: joins are sums of searches).
 type basicEstimator struct {
 	*model.BasicModel
 }
 
+// EstimateSearch implements Estimator with latency/throughput recording.
+func (b basicEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	return estimator.Search(b.BasicModel, q, tau)
+}
+
+// EstimateSearchBatch implements Estimator (one native forward pass).
+func (b basicEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	return estimator.SearchBatch(b.BasicModel, qs, taus)
+}
+
 // EstimateJoin sums per-query search estimates.
 func (b basicEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
-	return estimator.SumJoin{SearchEstimator: b.BasicModel}.EstimateJoin(qs, tau)
+	return estimator.Join(estimator.SumJoin{SearchEstimator: b.BasicModel}, qs, tau)
 }
 
 // GlobalLocalEstimator is the trained data-segmentation estimator with its
@@ -194,22 +241,26 @@ type GlobalLocalEstimator struct {
 // Name implements Estimator.
 func (g *GlobalLocalEstimator) Name() string { return g.gl.Name() }
 
-// EstimateSearch implements Estimator.
+// EstimateSearch implements Estimator; latency and throughput are recorded
+// per method when telemetry is enabled, and the model emits
+// global_route/local_eval stage spans plus the routing-selectivity
+// histogram.
 func (g *GlobalLocalEstimator) EstimateSearch(q []float64, tau float64) float64 {
-	return g.gl.EstimateSearch(q, tau)
+	return estimator.Search(g.gl, q, tau)
 }
 
 // EstimateSearchBatch implements Estimator: one global routing pass,
 // grouped sub-batches per local model, locals evaluated in parallel.
-// Results match per-query EstimateSearch exactly.
+// Results match per-query EstimateSearch exactly. Whole-batch latency
+// lands in simquery_estimate_batch_seconds.
 func (g *GlobalLocalEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
-	return g.gl.EstimateSearchBatch(qs, taus)
+	return estimator.SearchBatch(g.gl, qs, taus)
 }
 
 // EstimateJoin implements Estimator using mask-based routing and sum
 // pooling (Fig 6). Call FineTuneJoin first for best accuracy.
 func (g *GlobalLocalEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
-	return g.gl.EstimateJoin(qs, tau)
+	return estimator.Join(g.gl, qs, tau)
 }
 
 // SizeBytes implements Estimator.

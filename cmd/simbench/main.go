@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"simquery/cardest"
 	"simquery/internal/dataset"
 	"simquery/internal/exper"
 )
@@ -25,8 +26,18 @@ func main() {
 		scaleFlag   = flag.String("scale", "small", "small|medium|paper")
 		skipTuning  = flag.Bool("skip-tuning", false, "use default CNN config for GL+ (skips Algorithm 3)")
 		cacheDir    = flag.String("cache", "", "directory for labeled-workload caching (skips exact labeling on reruns)")
+		telAddr     = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		ts, err := cardest.ServeTelemetry(*telAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
+	}
 	if err := run(*expFlag, *datasetFlag, *scaleFlag, *skipTuning, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)

@@ -27,11 +27,21 @@ func main() {
 		seed      = flag.Int64("seed", 1, "dataset seed used at training")
 		queries   = flag.Int("queries", 10, "number of random queries to evaluate")
 		tauFrac   = flag.Float64("tau", 0.25, "threshold as a fraction of tau_max")
+		telAddr   = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
 	)
 	flag.Parse()
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "simquery: -model is required")
 		os.Exit(2)
+	}
+	if *telAddr != "" {
+		ts, err := cardest.ServeTelemetry(*telAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simquery:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
 	}
 	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac); err != nil {
 		fmt.Fprintln(os.Stderr, "simquery:", err)

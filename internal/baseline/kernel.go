@@ -106,13 +106,10 @@ func (k *Kernel) EstimateSearch(q []float64, tau float64) float64 {
 	return mass * k.scale
 }
 
-// EstimateSearchBatch estimates each pair serially (see Sampling).
+// EstimateSearchBatch estimates each pair serially (see Sampling); the
+// serialization is counted in simquery_batch_serial_fallback_total.
 func (k *Kernel) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		out[i] = k.EstimateSearch(q, taus[i])
-	}
-	return out
+	return estimator.SerialSearchBatch(k, qs, taus)
 }
 
 // EstimateJoin sums per-query estimates.

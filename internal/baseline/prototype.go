@@ -8,6 +8,7 @@ import (
 
 	"simquery/internal/cluster"
 	"simquery/internal/dist"
+	"simquery/internal/estimator"
 )
 
 // Prototype is the query-driven estimator of Anagnostopoulos &
@@ -135,13 +136,10 @@ func (p *Prototype) EstimateSearch(q []float64, tau float64) float64 {
 	return est
 }
 
-// EstimateSearchBatch estimates each pair serially (see Sampling).
+// EstimateSearchBatch estimates each pair serially (see Sampling); the
+// serialization is counted in simquery_batch_serial_fallback_total.
 func (p *Prototype) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		out[i] = p.EstimateSearch(q, taus[i])
-	}
-	return out
+	return estimator.SerialSearchBatch(p, qs, taus)
 }
 
 // EstimateJoin sums per-query estimates.

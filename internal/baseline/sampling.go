@@ -89,13 +89,10 @@ func (s *Sampling) EstimateSearch(q []float64, tau float64) float64 {
 
 // EstimateSearchBatch estimates each pair serially — the sample scan has no
 // batched form, the method exists so every Table 2 baseline satisfies the
-// batch estimator surface.
+// batch estimator surface. The serialization is counted in
+// simquery_batch_serial_fallback_total.
 func (s *Sampling) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		out[i] = s.EstimateSearch(q, taus[i])
-	}
-	return out
+	return estimator.SerialSearchBatch(s, qs, taus)
 }
 
 // EstimateJoin sums per-query estimates.

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"simquery/internal/nn"
+	"simquery/internal/telemetry"
 	"simquery/internal/tensor"
 )
 
@@ -237,10 +238,13 @@ func (c *CardNet) Train(samples []Sample, cfg TrainConfig) error {
 	opt := nn.NewAdam(cfg.LR)
 	loss := nn.NewHybridLoss(cfg.Lambda)
 	params := c.params()
+	rec := telemetry.Default()
 	idx := rng.Perm(len(samples))
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.LR * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
 		for start := 0; start < len(idx); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(idx) {
@@ -256,12 +260,18 @@ func (c *CardNet) Train(samples []Sample, cfg TrainConfig) error {
 				cards[bi] = samples[si].Card
 			}
 			pred := c.forward(qs, taus, true)
-			_, grad := loss.Compute(pred, cards)
+			lv, grad := loss.Compute(pred, cards)
+			epochLoss += lv
+			batches++
 			c.backward(grad)
 			if cfg.GradClip > 0 {
 				nn.ClipGradNorm(params, cfg.GradClip)
 			}
 			opt.Step(params)
+		}
+		if rec.Enabled() && batches > 0 {
+			rec.Observe(telemetry.MetricTrainEpochLoss, epochLoss/float64(batches))
+			rec.Count(telemetry.MetricTrainEpochsTotal, 1)
 		}
 	}
 	return nil

@@ -1,8 +1,17 @@
 // Package estimator defines the interfaces every cardinality estimator in
 // this repository implements, so the experiment harness and the public
 // facade can treat the paper's methods and the baselines uniformly
-// (Table 2 lists the thirteen tested algorithms).
+// (Table 2 lists the thirteen tested algorithms). It also hosts the shared
+// instrumentation helpers (Search, SearchBatch, SerialSearchBatch, Join)
+// that record per-method latency and throughput into the process-wide
+// telemetry recorder — one choke point instead of nine copies.
 package estimator
+
+import (
+	"time"
+
+	"simquery/internal/telemetry"
+)
 
 // SearchEstimator estimates the cardinality of a similarity search
 // (Problem 1, §2).
@@ -34,19 +43,92 @@ type BatchSearchEstimator interface {
 	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
 }
 
+// Search runs one estimate through e, recording per-method latency
+// (simquery_estimate_latency_seconds{method=...}) and throughput
+// (simquery_estimates_total) when telemetry is enabled. With the no-op
+// recorder the overhead is one atomic load and one branch — no clock read,
+// no allocation.
+func Search(e SearchEstimator, q []float64, tau float64) float64 {
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return e.EstimateSearch(q, tau)
+	}
+	start := time.Now()
+	est := e.EstimateSearch(q, tau)
+	name := e.Name()
+	rec.ObserveDurationLabeled(telemetry.MetricEstimateLatency, telemetry.LabelMethod, name, time.Since(start))
+	rec.CountLabeled(telemetry.MetricEstimatesTotal, telemetry.LabelMethod, name, 1)
+	return est
+}
+
 // SearchBatch estimates every (qs[i], taus[i]) pair, using the estimator's
 // native batched path when it has one and falling back to a serial
 // per-query loop otherwise — so callers can batch uniformly over all
 // Table 2 methods.
+//
+// The serial fallback is NOT free: it forfeits shared routing and batched
+// matrix passes, so a method without a native batch path pays per-query
+// cost times the batch size. The fallback is therefore observable — every
+// serialized call increments
+// simquery_batch_serial_fallback_total{method=...} — so a production
+// deployment can see when batching silently degrades. Whole-batch latency
+// is recorded into simquery_estimate_batch_seconds{method=...} either way.
 func SearchBatch(e SearchEstimator, qs [][]float64, taus []float64) []float64 {
-	if be, ok := e.(BatchSearchEstimator); ok {
-		return be.EstimateSearchBatch(qs, taus)
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		if be, ok := e.(BatchSearchEstimator); ok {
+			return be.EstimateSearchBatch(qs, taus)
+		}
+		return serialSearch(e, qs, taus)
 	}
+	name := e.Name()
+	start := time.Now()
+	var out []float64
+	if be, ok := e.(BatchSearchEstimator); ok {
+		out = be.EstimateSearchBatch(qs, taus)
+	} else {
+		rec.CountLabeled(telemetry.MetricBatchFallback, telemetry.LabelMethod, name, 1)
+		out = serialSearch(e, qs, taus)
+	}
+	rec.ObserveDurationLabeled(telemetry.MetricEstimateBatch, telemetry.LabelMethod, name, time.Since(start))
+	rec.CountLabeled(telemetry.MetricEstimatesTotal, telemetry.LabelMethod, name, int64(len(qs)))
+	return out
+}
+
+// serialSearch is the uninstrumented per-query loop shared by SearchBatch
+// and SerialSearchBatch.
+func serialSearch(e SearchEstimator, qs [][]float64, taus []float64) []float64 {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		out[i] = e.EstimateSearch(q, taus[i])
 	}
 	return out
+}
+
+// SerialSearchBatch is the canonical serial EstimateSearchBatch body for
+// estimators with no native batch path (sampling, kernel, prototype): it
+// loops per query and counts the call in
+// simquery_batch_serial_fallback_total{method=...} so the serialization is
+// visible even when the estimator's EstimateSearchBatch is invoked
+// directly rather than through SearchBatch.
+func SerialSearchBatch(e SearchEstimator, qs [][]float64, taus []float64) []float64 {
+	if rec := telemetry.Default(); rec.Enabled() {
+		rec.CountLabeled(telemetry.MetricBatchFallback, telemetry.LabelMethod, e.Name(), 1)
+	}
+	return serialSearch(e, qs, taus)
+}
+
+// Join runs one join estimate through e, recording per-method latency into
+// simquery_join_latency_seconds{method=...} when telemetry is enabled.
+func Join(e JoinEstimator, qs [][]float64, tau float64) float64 {
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return e.EstimateJoin(qs, tau)
+	}
+	start := time.Now()
+	est := e.EstimateJoin(qs, tau)
+	rec.ObserveDurationLabeled(telemetry.MetricJoinLatency, telemetry.LabelMethod, e.Name(), time.Since(start))
+	return est
 }
 
 // SumJoin adapts any search estimator to joins by summing per-query

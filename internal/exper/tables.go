@@ -37,11 +37,13 @@ func Table4(s *Suite) AccuracyResult {
 	return res
 }
 
-// searchQErrors evaluates a method over labeled queries.
+// searchQErrors evaluates a method over labeled queries. Estimates run
+// through estimator.Search, so a simbench run with -telemetry exposes
+// per-method latency histograms for every Table 2 method.
 func searchQErrors(m estimator.SearchEstimator, qs []workload.Query) []float64 {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		out[i] = metrics.QError(m.EstimateSearch(q.Vec, q.Tau), q.Card)
+		out[i] = metrics.QError(estimator.Search(m, q.Vec, q.Tau), q.Card)
 	}
 	return out
 }
@@ -50,7 +52,7 @@ func searchQErrors(m estimator.SearchEstimator, qs []workload.Query) []float64 {
 func searchMAPEs(m estimator.SearchEstimator, qs []workload.Query) []float64 {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		out[i] = metrics.MAPE(m.EstimateSearch(q.Vec, q.Tau), q.Card)
+		out[i] = metrics.MAPE(estimator.Search(m, q.Vec, q.Tau), q.Card)
 	}
 	return out
 }
@@ -132,7 +134,7 @@ func Table6(s *Suite, pivots int) (LatencyResult, error) {
 	for _, m := range s.SearchMethods() {
 		start := time.Now()
 		for _, q := range qs {
-			m.EstimateSearch(q.Vec, q.Tau)
+			estimator.Search(m, q.Vec, q.Tau)
 		}
 		perCall := time.Since(start) / time.Duration(len(qs))
 		start = time.Now()

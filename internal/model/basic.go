@@ -9,6 +9,7 @@ import (
 
 	"simquery/internal/dist"
 	"simquery/internal/nn"
+	"simquery/internal/telemetry"
 	"simquery/internal/tensor"
 )
 
@@ -124,13 +125,24 @@ func (m *BasicModel) forward(qs [][]float64, taus []float64, train bool) *tensor
 // infer is the pure inference path: it reads only trained parameters and
 // writes only into the caller-owned scratch, so one trained model serves
 // many goroutines (each with its own scratch). The returned matrix aliases
-// scratch memory — copy results out before releasing the scratch.
+// scratch memory — copy results out before releasing the scratch. Input
+// feature construction (x_Q stacking, τ scaling, anchor distances) runs
+// first under the feature_build span; the arena hands each call a distinct
+// region, so ordering builds before network passes changes nothing else.
 func (m *BasicModel) infer(qs [][]float64, taus []float64, s *nn.Scratch) *tensor.Matrix {
-	zq := m.E1.Infer(queryBatch(s, qs, m.Dim), s)
-	zt := m.E2.Infer(tauBatch(s, taus, m.TauScale), s)
+	sp := telemetry.StartStage(telemetry.StageFeatureBuild)
+	xq := queryBatch(s, qs, m.Dim)
+	xt := tauBatch(s, taus, m.TauScale)
+	var xd *tensor.Matrix
+	if m.E3 != nil {
+		xd = distBatch(s, qs, m.Anchors, m.Metric, m.DistScale)
+	}
+	sp.End()
+	zq := m.E1.Infer(xq, s)
+	zt := m.E2.Infer(xt, s)
 	var z *tensor.Matrix
 	if m.E3 != nil {
-		zd := m.E3.Infer(distBatch(s, qs, m.Anchors, m.Metric, m.DistScale), s)
+		zd := m.E3.Infer(xd, s)
 		z = concatCols(s, zq, zt, zd)
 	} else {
 		z = concatCols(s, zq, zt)
@@ -170,11 +182,14 @@ func (m *BasicModel) Train(samples []Sample, cfg TrainConfig) error {
 	opt := nn.NewAdam(cfg.LR)
 	loss := nn.NewHybridLoss(cfg.Lambda)
 	params := m.params()
+	rec := telemetry.Default()
 	idx := rng.Perm(len(samples))
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Linear learning-rate decay to 10% stabilizes the tail epochs.
 		opt.LR = cfg.LR * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
 		for start := 0; start < len(idx); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(idx) {
@@ -190,12 +205,18 @@ func (m *BasicModel) Train(samples []Sample, cfg TrainConfig) error {
 				cards[bi] = samples[si].Card
 			}
 			pred := m.forward(qs, taus, true)
-			_, grad := loss.Compute(pred, cards)
+			lv, grad := loss.Compute(pred, cards)
+			epochLoss += lv
+			batches++
 			m.backward(grad)
 			if cfg.GradClip > 0 {
 				nn.ClipGradNorm(params, cfg.GradClip)
 			}
 			opt.Step(params)
+		}
+		if rec.Enabled() && batches > 0 {
+			rec.Observe(telemetry.MetricTrainEpochLoss, epochLoss/float64(batches))
+			rec.Count(telemetry.MetricTrainEpochsTotal, 1)
 		}
 	}
 	return nil

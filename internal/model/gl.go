@@ -12,6 +12,7 @@ import (
 
 	"simquery/internal/cluster"
 	"simquery/internal/dist"
+	"simquery/internal/telemetry"
 )
 
 // Variant selects which member of the model family a GlobalLocal instance
@@ -452,15 +453,37 @@ func (gl *GlobalLocal) SelectedSegments(q []float64, tau float64) []bool {
 	return gl.maskFor(q, tau, gl.Global.Probs(q, tau))
 }
 
+// observeSelectivity records the fraction of local models a mask selects
+// into simquery_routing_selectivity — the paper's pruning claim as a live
+// signal. Free (one atomic load, no allocation) when telemetry is off.
+func (gl *GlobalLocal) observeSelectivity(sel []bool) {
+	rec := telemetry.Default()
+	if !rec.Enabled() || gl.Seg.K == 0 {
+		return
+	}
+	n := 0
+	for _, on := range sel {
+		if on {
+			n++
+		}
+	}
+	rec.Observe(telemetry.MetricRoutingSelectivity, float64(n)/float64(gl.Seg.K))
+}
+
 // EstimateSearch sums the selected local models' estimates (ŷ = Σ ŷ^[i]).
 func (gl *GlobalLocal) EstimateSearch(q []float64, tau float64) float64 {
+	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
 	sel := gl.SelectedSegments(q, tau)
+	sp.End()
+	gl.observeSelectivity(sel)
+	sp = telemetry.StartStage(telemetry.StageLocalEval)
 	var total float64
 	for i, on := range sel {
 		if on {
 			total += gl.Locals[i].EstimateSearch(q, tau)
 		}
 	}
+	sp.End()
 	return total
 }
 
@@ -480,7 +503,13 @@ func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []flo
 	if len(qs) == 0 {
 		return out
 	}
+	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
 	masks := gl.selectionMasks(qs, taus)
+	sp.End()
+	for _, m := range masks {
+		gl.observeSelectivity(m)
+	}
+	sp = telemetry.StartStage(telemetry.StageLocalEval)
 	groups := make([][]int, gl.Seg.K)
 	for i := range qs {
 		for j, on := range masks[i] {
@@ -512,12 +541,15 @@ func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []flo
 		}(j)
 	}
 	wg.Wait()
+	sp.End()
 	// Deterministic reduction: ascending segment order per query.
+	sp = telemetry.StartStage(telemetry.StageMerge)
 	for j, g := range groups {
 		for k, i := range g {
 			out[i] += ests[j][k]
 		}
 	}
+	sp.End()
 	return out
 }
 
@@ -532,7 +564,13 @@ func (gl *GlobalLocal) EstimateJoin(qs [][]float64, tau float64) float64 {
 	for i := range taus {
 		taus[i] = tau
 	}
+	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
 	masks := gl.selectionMasks(qs, taus)
+	sp.End()
+	for _, m := range masks {
+		gl.observeSelectivity(m)
+	}
+	sp = telemetry.StartStage(telemetry.StageLocalEval)
 	var total float64
 	for j, local := range gl.Locals {
 		var routed [][]float64
@@ -546,6 +584,7 @@ func (gl *GlobalLocal) EstimateJoin(qs [][]float64, tau float64) float64 {
 		}
 		total += local.EstimateJoinPooled(routed, tau)
 	}
+	sp.End()
 	return total
 }
 

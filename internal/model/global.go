@@ -8,6 +8,7 @@ import (
 
 	"simquery/internal/dist"
 	"simquery/internal/nn"
+	"simquery/internal/telemetry"
 	"simquery/internal/tensor"
 )
 
@@ -83,11 +84,17 @@ func (g *GlobalModel) forward(qs [][]float64, taus []float64, train bool) *tenso
 }
 
 // infer is the pure inference path for the logits (see BasicModel.infer for
-// the scratch-ownership contract).
+// the scratch-ownership contract; feature builds run first under the
+// feature_build span).
 func (g *GlobalModel) infer(qs [][]float64, taus []float64, s *nn.Scratch) *tensor.Matrix {
-	z4 := g.E4.Infer(queryBatch(s, qs, g.Dim), s)
-	z5 := g.E5.Infer(tauBatch(s, taus, g.TauScale), s)
-	z6 := g.E6.Infer(distBatch(s, qs, g.Centroids, g.Metric, g.TauScale), s)
+	sp := telemetry.StartStage(telemetry.StageFeatureBuild)
+	xq := queryBatch(s, qs, g.Dim)
+	xt := tauBatch(s, taus, g.TauScale)
+	xd := distBatch(s, qs, g.Centroids, g.Metric, g.TauScale)
+	sp.End()
+	z4 := g.E4.Infer(xq, s)
+	z5 := g.E5.Infer(xt, s)
+	z6 := g.E6.Infer(xd, s)
 	return g.G.Infer(concatCols(s, z4, z5, z6), s)
 }
 
@@ -148,10 +155,13 @@ func (g *GlobalModel) Train(samples []GlobalSample, cfg GlobalTrainConfig) error
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := nn.NewAdam(cfg.LR)
 	params := g.params()
+	rec := telemetry.Default()
 	idx := rng.Perm(len(samples))
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.LR * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var batches int
 		for start := 0; start < len(idx); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(idx) {
@@ -180,12 +190,18 @@ func (g *GlobalModel) Train(samples []GlobalSample, cfg GlobalTrainConfig) error
 				}
 			}
 			logits := g.forward(qs, taus, true)
-			_, grad := nn.WeightedBCELoss{}.Compute(logits, labels, eps)
+			lv, grad := nn.WeightedBCELoss{}.Compute(logits, labels, eps)
+			epochLoss += lv
+			batches++
 			g.backward(grad)
 			if cfg.GradClip > 0 {
 				nn.ClipGradNorm(params, cfg.GradClip)
 			}
 			opt.Step(params)
+		}
+		if rec.Enabled() && batches > 0 {
+			rec.Observe(telemetry.MetricTrainEpochLoss, epochLoss/float64(batches))
+			rec.Count(telemetry.MetricTrainEpochsTotal, 1)
 		}
 	}
 	return nil

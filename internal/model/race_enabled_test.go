@@ -1,0 +1,10 @@
+//go:build race
+
+package model
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-budget tests skip under race: the race runtime
+// deliberately bypasses sync.Pool caches (to widen interleavings), so the
+// pooled-scratch serving path allocates under race even though the
+// uninstrumented binary does not.
+const raceEnabled = true

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that holds the last value set.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value set (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat accumulates a float64 sum lock-free (CAS on the bit
+// pattern).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a lock-free fixed-bucket histogram. Bounds are ascending
+// upper bounds with Prometheus `le` semantics: an observation v lands in
+// the first bucket whose bound ≥ v, or in the implicit +Inf overflow
+// bucket. Observations are assumed non-negative (latencies, fractions,
+// losses); quantile interpolation uses 0 as the first bucket's lower edge.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The bounds slice is not copied; callers must not mutate it.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Lock-free: a linear bound scan (bucket counts
+// are small and fixed) plus three atomic updates.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Bounds returns the bucket upper bounds (shared, read-only).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Snapshot returns a point-in-time copy of the histogram state. Buckets
+// are read individually (not as one atomic unit), so a snapshot taken
+// under concurrent writes can be off by in-flight observations — fine for
+// monitoring, documented for tests.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.value(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a frozen histogram: per-bucket counts (last entry
+// is the +Inf bucket), the total count, and the sum of observations.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// inside the bucket containing the target rank. Values in the overflow
+// bucket report the largest finite bound (the histogram cannot see past
+// it). Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the mean observation (0 for an empty histogram).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// LinearBuckets returns count ascending bounds start, start+width, … .
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBuckets returns count ascending bounds start, start×factor, … .
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default histogram resolution for durations in
+// seconds: 1µs … ~16s, doubling — sub-millisecond estimates (the paper's
+// efficiency claim) land mid-range with headroom on both sides.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 2, 25) }
+
+// FractionBuckets is the resolution for values in [0, 1] (routing
+// selectivity): 0.05-wide linear buckets.
+func FractionBuckets() []float64 { return LinearBuckets(0.05, 0.05, 20) }

@@ -1,0 +1,355 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metricKind discriminates the instrument a family holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one metric family: a name, help text, at most one label key,
+// and one instrument per label value (empty label value = the unlabeled
+// series).
+type family struct {
+	name     string
+	help     string
+	labelKey string
+	kind     metricKind
+	buckets  []float64
+	series   sync.Map // labelVal(string) -> *Counter | *Gauge | *Histogram
+}
+
+// instrument returns the series for labelVal, creating it on first use.
+// Steady state is a single lock-free map load.
+func (f *family) instrument(labelVal string) any {
+	if v, ok := f.series.Load(labelVal); ok {
+		return v
+	}
+	var fresh any
+	switch f.kind {
+	case kindCounter:
+		fresh = &Counter{}
+	case kindGauge:
+		fresh = &Gauge{}
+	default:
+		fresh = NewHistogram(f.buckets)
+	}
+	v, _ := f.series.LoadOrStore(labelVal, fresh)
+	return v
+}
+
+// Registry is the live Recorder: a set of metric families updated with
+// lock-free atomics and rendered in Prometheus text format (it also
+// implements http.Handler for a /metrics endpoint). All methods are safe
+// for concurrent use. Families for the standard simquery metrics are
+// pre-registered with help text and buckets; unknown families are created
+// on first use with defaults (histograms get LatencyBuckets).
+type Registry struct {
+	families sync.Map // name(string) -> *family
+	start    time.Time
+}
+
+// NewRegistry builds a Registry with the standard simquery families
+// registered.
+func NewRegistry() *Registry {
+	r := &Registry{start: time.Now()}
+	r.RegisterHistogram(MetricEstimateLatency, "Latency of single-query cardinality estimates.", LabelMethod, LatencyBuckets())
+	r.RegisterHistogram(MetricEstimateBatch, "Latency of one batched estimate call (whole batch).", LabelMethod, LatencyBuckets())
+	r.RegisterCounter(MetricEstimatesTotal, "Estimates served (batched calls add the batch size).", LabelMethod)
+	r.RegisterCounter(MetricBatchFallback, "Batched estimate calls that serialized per query (no native batch path).", LabelMethod)
+	r.RegisterHistogram(MetricStageSeconds, "Time per pipeline stage (see DESIGN.md §8 span taxonomy).", LabelStage, LatencyBuckets())
+	r.RegisterHistogram(MetricRoutingSelectivity, "Fraction of local models selected per query by global routing.", "", FractionBuckets())
+	r.RegisterHistogram(MetricJoinLatency, "Latency of join cardinality estimates.", LabelMethod, LatencyBuckets())
+	r.RegisterHistogram(MetricTrainEpochLoss, "Mean mini-batch loss per finished training epoch.", "", ExponentialBuckets(0.01, 2, 20))
+	r.RegisterCounter(MetricTrainEpochsTotal, "Finished training epochs.", "")
+	r.RegisterCounter(MetricLabeledQueriesTotal, "Exactly-labeled queries (ground-truth construction).", "")
+	return r
+}
+
+// register adds a family if absent and returns it.
+func (r *Registry) register(name, help, labelKey string, kind metricKind, buckets []float64) *family {
+	if v, ok := r.families.Load(name); ok {
+		return v.(*family)
+	}
+	f := &family{name: name, help: help, labelKey: labelKey, kind: kind, buckets: buckets}
+	v, _ := r.families.LoadOrStore(name, f)
+	return v.(*family)
+}
+
+// RegisterCounter declares a counter family (labelKey "" for unlabeled).
+func (r *Registry) RegisterCounter(name, help, labelKey string) {
+	r.register(name, help, labelKey, kindCounter, nil)
+}
+
+// RegisterGauge declares a gauge family.
+func (r *Registry) RegisterGauge(name, help, labelKey string) {
+	r.register(name, help, labelKey, kindGauge, nil)
+}
+
+// RegisterHistogram declares a histogram family with the given bucket
+// upper bounds.
+func (r *Registry) RegisterHistogram(name, help, labelKey string, buckets []float64) {
+	r.register(name, help, labelKey, kindHistogram, buckets)
+}
+
+// lookup returns the family, auto-registering unknown names so recording
+// never drops data.
+func (r *Registry) lookup(name, labelKey string, kind metricKind) *family {
+	if v, ok := r.families.Load(name); ok {
+		return v.(*family)
+	}
+	var buckets []float64
+	if kind == kindHistogram {
+		buckets = LatencyBuckets()
+	}
+	return r.register(name, "", labelKey, kind, buckets)
+}
+
+// Enabled implements Recorder.
+func (r *Registry) Enabled() bool { return true }
+
+// Count implements Recorder.
+func (r *Registry) Count(name string, delta int64) { r.CountLabeled(name, "", "", delta) }
+
+// CountLabeled implements Recorder.
+func (r *Registry) CountLabeled(name, labelKey, labelVal string, delta int64) {
+	if c, ok := r.lookup(name, labelKey, kindCounter).instrument(labelVal).(*Counter); ok {
+		c.Add(delta)
+	}
+}
+
+// SetGauge implements Recorder.
+func (r *Registry) SetGauge(name string, v float64) { r.SetGaugeLabeled(name, "", "", v) }
+
+// SetGaugeLabeled implements Recorder.
+func (r *Registry) SetGaugeLabeled(name, labelKey, labelVal string, v float64) {
+	if g, ok := r.lookup(name, labelKey, kindGauge).instrument(labelVal).(*Gauge); ok {
+		g.Set(v)
+	}
+}
+
+// Observe implements Recorder.
+func (r *Registry) Observe(name string, v float64) { r.ObserveLabeled(name, "", "", v) }
+
+// ObserveLabeled implements Recorder.
+func (r *Registry) ObserveLabeled(name, labelKey, labelVal string, v float64) {
+	if h, ok := r.lookup(name, labelKey, kindHistogram).instrument(labelVal).(*Histogram); ok {
+		h.Observe(v)
+	}
+}
+
+// ObserveDuration implements Recorder.
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.ObserveLabeled(name, "", "", d.Seconds())
+}
+
+// ObserveDurationLabeled implements Recorder.
+func (r *Registry) ObserveDurationLabeled(name, labelKey, labelVal string, d time.Duration) {
+	r.ObserveLabeled(name, labelKey, labelVal, d.Seconds())
+}
+
+// CounterValue reads a counter series (0 if absent).
+func (r *Registry) CounterValue(name, labelVal string) int64 {
+	if v, ok := r.families.Load(name); ok {
+		if s, ok := v.(*family).series.Load(labelVal); ok {
+			if c, ok := s.(*Counter); ok {
+				return c.Value()
+			}
+		}
+	}
+	return 0
+}
+
+// GaugeValue reads a gauge series (0 if absent).
+func (r *Registry) GaugeValue(name, labelVal string) float64 {
+	if v, ok := r.families.Load(name); ok {
+		if s, ok := v.(*family).series.Load(labelVal); ok {
+			if g, ok := s.(*Gauge); ok {
+				return g.Value()
+			}
+		}
+	}
+	return 0
+}
+
+// HistogramSnapshotOf reads a histogram series; ok is false if the series
+// does not exist (or the name is not a histogram).
+func (r *Registry) HistogramSnapshotOf(name, labelVal string) (HistogramSnapshot, bool) {
+	if v, ok := r.families.Load(name); ok {
+		if s, ok := v.(*family).series.Load(labelVal); ok {
+			if h, ok := s.(*Histogram); ok {
+				return h.Snapshot(), true
+			}
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// seriesName renders name{key="val"} (or just name when unlabeled), with
+// optional extra le pair for histogram buckets.
+func seriesName(name, labelKey, labelVal, le string) string {
+	var pairs []string
+	if labelKey != "" && labelVal != "" {
+		pairs = append(pairs, labelKey+`="`+escapeLabel(labelVal)+`"`)
+	}
+	if le != "" {
+		pairs = append(pairs, `le="`+le+`"`)
+	}
+	if len(pairs) == 0 {
+		return name
+	}
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// formatFloat renders a float in the shortest round-trip form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families and series in sorted order so output
+// is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var names []string
+	r.families.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	for _, name := range names {
+		v, _ := r.families.Load(name)
+		f := v.(*family)
+		var labels []string
+		f.series.Range(func(k, _ any) bool {
+			labels = append(labels, k.(string))
+			return true
+		})
+		if len(labels) == 0 {
+			continue // declared but never recorded
+		}
+		sort.Strings(labels)
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		kind := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+			return err
+		}
+		for _, lv := range labels {
+			s, _ := f.series.Load(lv)
+			if err := writeSeries(w, f, lv, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series of a family.
+func writeSeries(w io.Writer, f *family, labelVal string, s any) error {
+	switch inst := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, f.labelKey, labelVal, ""), inst.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, f.labelKey, labelVal, ""), formatFloat(inst.Value()))
+		return err
+	case *Histogram:
+		snap := inst.Snapshot()
+		var cum uint64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", f.labelKey, labelVal, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", f.labelKey, labelVal, ""), formatFloat(snap.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", f.labelKey, labelVal, ""), snap.Count)
+		return err
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler: the /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}
+
+// ExpvarSnapshot returns a JSON-friendly view of every series: counters
+// and gauges as values, histograms as {count, sum, mean, p50, p95, p99}.
+// Published under the "simquery" expvar by cardest.ServeTelemetry.
+func (r *Registry) ExpvarSnapshot() map[string]any {
+	out := map[string]any{
+		"uptime_seconds": time.Since(r.start).Seconds(),
+	}
+	r.families.Range(func(_, fv any) bool {
+		f := fv.(*family)
+		f.series.Range(func(lv, sv any) bool {
+			key := f.name
+			if l := lv.(string); l != "" {
+				key += "{" + f.labelKey + "=" + l + "}"
+			}
+			switch inst := sv.(type) {
+			case *Counter:
+				out[key] = inst.Value()
+			case *Gauge:
+				out[key] = inst.Value()
+			case *Histogram:
+				snap := inst.Snapshot()
+				out[key] = map[string]any{
+					"count": snap.Count,
+					"sum":   snap.Sum,
+					"mean":  snap.Mean(),
+					"p50":   snap.Quantile(0.50),
+					"p95":   snap.Quantile(0.95),
+					"p99":   snap.Quantile(0.99),
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}

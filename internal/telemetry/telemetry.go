@@ -1,0 +1,224 @@
+// Package telemetry is the stdlib-only observability substrate for the
+// serving and training paths: atomic counters, gauges, and lock-free
+// fixed-bucket histograms with p50/p95/p99 snapshots, a lightweight span
+// API for per-stage timings, and a registry that renders everything in
+// Prometheus text format (plus an expvar snapshot).
+//
+// The design goal is that instrumentation is free when telemetry is off:
+// every hot path records through the Recorder interface, whose default
+// implementation is a no-op that performs zero allocations and no clock
+// reads. Installing a live *Registry (cardest.ServeTelemetry does this)
+// turns the same call sites into lock-free atomic updates.
+//
+// Metric naming follows Prometheus conventions: a family name like
+// simquery_stage_seconds, one optional label per family (low cardinality:
+// method names, stage names), histograms in base units (seconds,
+// fractions). The full taxonomy lives in DESIGN.md §8.
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Metric families recorded by the instrumented paths. Families are
+// registered with help text and buckets by NewRegistry; the constants keep
+// call sites and tests in one vocabulary.
+const (
+	// MetricEstimateLatency is the per-call latency of single-query
+	// estimates, labeled by method (Table 2 naming).
+	MetricEstimateLatency = "simquery_estimate_latency_seconds"
+	// MetricEstimateBatch is the per-call latency of one batched estimate
+	// call (the whole batch, not per query), labeled by method.
+	MetricEstimateBatch = "simquery_estimate_batch_seconds"
+	// MetricEstimatesTotal counts estimates served, labeled by method;
+	// batched calls add the batch size.
+	MetricEstimatesTotal = "simquery_estimates_total"
+	// MetricBatchFallback counts batched estimate calls that silently
+	// serialized into a per-query loop because the method has no native
+	// batch path, labeled by method.
+	MetricBatchFallback = "simquery_batch_serial_fallback_total"
+	// MetricStageSeconds is the span histogram: time per pipeline stage,
+	// labeled by stage (see the Stage* constants).
+	MetricStageSeconds = "simquery_stage_seconds"
+	// MetricRoutingSelectivity is the fraction of local models the global
+	// model selects per query — the paper's pruning claim as a live signal.
+	MetricRoutingSelectivity = "simquery_routing_selectivity"
+	// MetricJoinLatency is the per-call latency of join estimates, labeled
+	// by method.
+	MetricJoinLatency = "simquery_join_latency_seconds"
+	// MetricTrainEpochLoss observes the mean mini-batch loss of each
+	// finished training epoch (local, global, and CardNet loops).
+	MetricTrainEpochLoss = "simquery_train_epoch_loss"
+	// MetricTrainEpochsTotal counts finished training epochs.
+	MetricTrainEpochsTotal = "simquery_train_epochs_total"
+	// MetricLabeledQueriesTotal counts exactly-labeled queries (training
+	// data construction throughput).
+	MetricLabeledQueriesTotal = "simquery_labeled_queries_total"
+)
+
+// Span taxonomy: the stage label values of MetricStageSeconds. The serving
+// pipeline decomposes as feature build → global routing → local sub-batch
+// eval → merge; labeling stages cover ground-truth construction.
+const (
+	StageFeatureBuild  = "feature_build"
+	StageGlobalRoute   = "global_route"
+	StageLocalEval     = "local_eval"
+	StageMerge         = "merge"
+	StageLabelWorkload = "label_workload"
+	StageLabelQueries  = "label_queries"
+	StageLabelSegments = "label_segments"
+)
+
+// LabelMethod and LabelStage are the label keys used by the standard
+// families.
+const (
+	LabelMethod = "method"
+	LabelStage  = "stage"
+)
+
+// Recorder is the instrumentation surface the hot paths record through.
+// Implementations must be safe for concurrent use. The Labeled variants
+// attach one label (key, value) to the series; families use at most one
+// label key, and callers must pass the same key for a given family.
+//
+// Enabled reports whether recording does anything; hot paths use it to
+// skip clock reads and derived-value computation entirely when telemetry
+// is off.
+type Recorder interface {
+	Enabled() bool
+	Count(name string, delta int64)
+	CountLabeled(name, labelKey, labelVal string, delta int64)
+	SetGauge(name string, v float64)
+	SetGaugeLabeled(name, labelKey, labelVal string, v float64)
+	Observe(name string, v float64)
+	ObserveLabeled(name, labelKey, labelVal string, v float64)
+	ObserveDuration(name string, d time.Duration)
+	ObserveDurationLabeled(name, labelKey, labelVal string, d time.Duration)
+}
+
+// Nop is the default Recorder: every method is an empty body and Enabled
+// is false. It allocates nothing and reads no clocks.
+type Nop struct{}
+
+// Enabled implements Recorder.
+func (Nop) Enabled() bool { return false }
+
+// Count implements Recorder.
+func (Nop) Count(string, int64) {}
+
+// CountLabeled implements Recorder.
+func (Nop) CountLabeled(string, string, string, int64) {}
+
+// SetGauge implements Recorder.
+func (Nop) SetGauge(string, float64) {}
+
+// SetGaugeLabeled implements Recorder.
+func (Nop) SetGaugeLabeled(string, string, string, float64) {}
+
+// Observe implements Recorder.
+func (Nop) Observe(string, float64) {}
+
+// ObserveLabeled implements Recorder.
+func (Nop) ObserveLabeled(string, string, string, float64) {}
+
+// ObserveDuration implements Recorder.
+func (Nop) ObserveDuration(string, time.Duration) {}
+
+// ObserveDurationLabeled implements Recorder.
+func (Nop) ObserveDurationLabeled(string, string, string, time.Duration) {}
+
+// defaultRec holds the process-wide Recorder. A nil pointer (the initial
+// state) or a stored nil Recorder both mean Nop.
+var defaultRec atomic.Pointer[Recorder]
+
+// Default returns the process-wide Recorder (Nop until SetDefault installs
+// a live one). The load is a single atomic pointer read, so hot paths call
+// it per operation.
+func Default() Recorder {
+	if p := defaultRec.Load(); p != nil && *p != nil {
+		return *p
+	}
+	return Nop{}
+}
+
+// SetDefault installs rec as the process-wide Recorder; nil restores the
+// no-op default. Safe to call concurrently with recording — in-flight
+// operations finish against the recorder they loaded.
+func SetDefault(rec Recorder) {
+	if rec == nil {
+		defaultRec.Store(nil)
+		return
+	}
+	defaultRec.Store(&rec)
+}
+
+// Span measures one stage of a pipeline. The zero Span is a valid no-op,
+// so disabled telemetry costs one atomic load and one interface call per
+// span — no clock read, no allocation.
+type Span struct {
+	rec   Recorder
+	stage string
+	start time.Time
+}
+
+// StartStage opens a span against the process-wide recorder. Use this from
+// hot paths that carry no context.Context:
+//
+//	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
+//	... stage work ...
+//	sp.End()
+func StartStage(stage string) Span {
+	rec := Default()
+	if !rec.Enabled() {
+		return Span{}
+	}
+	return Span{rec: rec, stage: stage, start: time.Now()}
+}
+
+// End records the span's elapsed time into MetricStageSeconds under its
+// stage label. End on a zero Span is a no-op.
+func (s Span) End() {
+	if s.rec == nil {
+		return
+	}
+	s.rec.ObserveDurationLabeled(MetricStageSeconds, LabelStage, s.stage, time.Since(s.start))
+}
+
+// ctxKey is the context key type for a per-request Recorder.
+type ctxKey struct{}
+
+// NewContext returns a context carrying rec; StartSpan and FromContext
+// prefer it over the process default.
+func NewContext(ctx context.Context, rec Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, rec)
+}
+
+// FromContext returns the Recorder carried by ctx, falling back to
+// Default().
+func FromContext(ctx context.Context) Recorder {
+	if ctx != nil {
+		if rec, ok := ctx.Value(ctxKey{}).(Recorder); ok && rec != nil {
+			return rec
+		}
+	}
+	return Default()
+}
+
+// StartSpan opens a span against the context's recorder (see StartStage
+// for the context-free form):
+//
+//	ctx, sp := telemetry.StartSpan(ctx, "global_route")
+//	defer sp.End()
+//
+// The returned context is the input context (spans are leaf measurements,
+// not a propagated trace tree); it is returned to keep call sites shaped
+// like conventional tracing APIs.
+func StartSpan(ctx context.Context, stage string) (context.Context, Span) {
+	rec := FromContext(ctx)
+	if !rec.Enabled() {
+		return ctx, Span{}
+	}
+	return ctx, Span{rec: rec, stage: stage, start: time.Now()}
+}

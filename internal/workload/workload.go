@@ -18,6 +18,7 @@ import (
 	"simquery/internal/cluster"
 	"simquery/internal/dataset"
 	"simquery/internal/dist"
+	"simquery/internal/telemetry"
 )
 
 // Query is one labeled similarity-search query: a vector, a threshold, the
@@ -98,6 +99,8 @@ func BuildSearch(ds *dataset.Dataset, cfg SearchConfig) (*SearchWorkload, error)
 	}
 
 	packed := packIfHamming(ds)
+	sp := telemetry.StartStage(telemetry.StageLabelWorkload)
+	defer sp.End()
 	w := &SearchWorkload{}
 	w.Train = labelPoints(ds, packed, trainIdx, trainSels, cfg.Workers)
 	w.Test = labelPoints(ds, packed, testIdx, testSels, cfg.Workers)
@@ -155,6 +158,7 @@ func geometricSelectivities(rng *rand.Rand, t int, max float64) []float64 {
 // parallel. Each worker computes one distance array per query point and
 // derives all of its thresholds from it.
 func labelPoints(ds *dataset.Dataset, packed []dist.BitVector, idx []int, sels [][]float64, workers int) []Query {
+	sp := telemetry.StartStage(telemetry.StageLabelQueries)
 	out := make([]Query, 0, len(idx)*len(sels[0]))
 	results := make([][]Query, len(idx))
 	var wg sync.WaitGroup
@@ -172,6 +176,8 @@ func labelPoints(ds *dataset.Dataset, packed []dist.BitVector, idx []int, sels [
 	for _, qs := range results {
 		out = append(out, qs...)
 	}
+	sp.End()
+	telemetry.Default().Count(telemetry.MetricLabeledQueriesTotal, int64(len(out)))
 	return out
 }
 
@@ -262,6 +268,11 @@ func LabelPairs(ds *dataset.Dataset, vecs [][]float64, taus []float64, workers i
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sp := telemetry.StartStage(telemetry.StageLabelQueries)
+	defer func() {
+		sp.End()
+		telemetry.Default().Count(telemetry.MetricLabeledQueriesTotal, int64(len(vecs)))
+	}()
 	packed := packIfHamming(ds)
 	out := make([]Query, len(vecs))
 	var wg sync.WaitGroup
@@ -295,6 +306,8 @@ func JoinSegLabels(ds *dataset.Dataset, assignments []int, k int, vecs [][]float
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sp := telemetry.StartStage(telemetry.StageLabelSegments)
+	defer sp.End()
 	packed := packIfHamming(ds)
 	out := make([][]float64, len(vecs))
 	var wg sync.WaitGroup
@@ -326,6 +339,8 @@ func AttachSegmentLabels(ds *dataset.Dataset, seg *cluster.Segmentation, queries
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sp := telemetry.StartStage(telemetry.StageLabelSegments)
+	defer sp.End()
 	packed := packIfHamming(ds)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
