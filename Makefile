@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check lint verify bench
+.PHONY: build test race vet fmt-check lint verify bench bench-full kernel-smoke
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,22 @@ lint: vet fmt-check
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: static checks plus the full suite under
-# the race detector (the serving engine is concurrent; see DESIGN.md §7).
-verify: lint race
+# kernel-smoke runs the GEMM/pool property and concurrency tests under the
+# race detector — the fast gate for kernel-layer changes (DESIGN.md §9).
+kernel-smoke:
+	$(GO) vet ./...
+	$(GO) test -run TestKernel -race ./internal/tensor/ ./internal/model/
 
+# verify is the pre-merge gate: static checks, the kernel smoke, plus the
+# full suite under the race detector (the serving engine is concurrent; see
+# DESIGN.md §7).
+verify: lint kernel-smoke race
+
+# bench regenerates the tracked kernel + end-to-end baseline (short
+# benchtime; commits as BENCH_kernels.json).
 bench:
+	$(GO) run ./cmd/simbench -kernels -bench-out BENCH_kernels.json
+
+# bench-full runs every top-level experiment benchmark (minutes).
+bench-full:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"simquery/internal/dataset"
+	"simquery/internal/exper"
+	"simquery/internal/tensor"
+)
+
+// kernelBenchResult is one row of BENCH_kernels.json.
+type kernelBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MFLOPS      float64 `json:"mflops,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Workers     int     `json:"workers"`
+}
+
+// kernelBenchFile is the schema of BENCH_kernels.json. Results are
+// regenerated with `make bench`; CHANGES.md tracks the trajectory across
+// PRs.
+type kernelBenchFile struct {
+	GoVersion  string              `json:"go_version"`
+	GOARCH     string              `json:"goarch"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Workers    int                 `json:"workers"`
+	Benchtime  string              `json:"benchtime"`
+	Results    []kernelBenchResult `json:"results"`
+}
+
+// kernelBenchtime keeps `make bench` fast while staying statistically
+// steady for millisecond-scale kernels.
+const kernelBenchtime = "300ms"
+
+// runKernels runs the tracked kernel + end-to-end benchmark suite and
+// writes the JSON baseline to outPath.
+func runKernels(outPath string, workers int) error {
+	testing.Init()
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		if err := f.Value.Set(kernelBenchtime); err != nil {
+			return err
+		}
+	}
+	file := kernelBenchFile{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Benchtime:  kernelBenchtime,
+	}
+
+	gemm := func(name string, dim, poolWorkers int, fn func(out, x, y *tensor.Matrix)) {
+		tensor.SetPoolSize(poolWorkers)
+		rng := rand.New(rand.NewSource(1))
+		x := randMat(rng, dim, dim)
+		y := randMat(rng, dim, dim)
+		out := tensor.NewMatrix(dim, dim)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(out, x, y)
+			}
+		})
+		flops := 2 * float64(dim) * float64(dim) * float64(dim)
+		res := kernelBenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			MFLOPS:      flops / float64(r.NsPerOp()) * 1e3,
+			AllocsPerOp: r.AllocsPerOp(),
+			Workers:     poolWorkers,
+		}
+		file.Results = append(file.Results, res)
+		fmt.Printf("%-28s %12.0f ns/op %10.1f MFLOPS %6d allocs/op\n",
+			name, res.NsPerOp, res.MFLOPS, res.AllocsPerOp)
+	}
+
+	fmt.Printf("kernel benchmarks (benchtime %s, pool %d workers)\n", kernelBenchtime, workers)
+	for _, dim := range []int{256, 512} {
+		gemm(fmt.Sprintf("gemm_naive_%d", dim), dim, 1, tensor.NaiveMatMul)
+		gemm(fmt.Sprintf("gemm_tiled_%d", dim), dim, 1, tensor.MatMul)
+		if workers > 1 {
+			gemm(fmt.Sprintf("gemm_tiled_pool_%d", dim), dim, workers, tensor.MatMul)
+		}
+	}
+	gemm("gemm_transb_naive_256", 256, 1, tensor.NaiveMatMulTransB)
+	gemm("gemm_transb_tiled_256", 256, 1, tensor.MatMulTransB)
+	gemm("gemm_transa_naive_256", 256, 1, tensor.NaiveMatMulTransA)
+	gemm("gemm_transa_tiled_256", 256, 1, tensor.MatMulTransA)
+	tensor.SetPoolSize(workers)
+
+	// Vector kernels at the dense-layer width scale.
+	vec := func(name string, fn func() float64) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += fn()
+			}
+			_ = sink
+		})
+		res := kernelBenchResult{
+			Name: name, Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(), Workers: 1,
+		}
+		file.Results = append(file.Results, res)
+		fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op\n", name, res.NsPerOp, "", res.AllocsPerOp)
+	}
+	rng := rand.New(rand.NewSource(2))
+	vx := make([]float64, 1024)
+	vy := make([]float64, 1024)
+	for i := range vx {
+		vx[i] = rng.NormFloat64()
+		vy[i] = rng.NormFloat64()
+	}
+	vec("dot_naive_1024", func() float64 { return tensor.NaiveDot(vx, vy) })
+	vec("dot_unrolled_1024", func() float64 { return tensor.Dot(vx, vy) })
+
+	if err := runEndToEnd(&file, workers); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", outPath, len(file.Results))
+	return nil
+}
+
+// runEndToEnd benchmarks the serving path — single and batched GL+
+// estimates over a small trained suite — so kernel-level wins are tracked
+// against what they actually buy end to end.
+func runEndToEnd(file *kernelBenchFile, workers int) error {
+	fmt.Println("... training small GL+ suite for end-to-end benchmarks")
+	params := exper.Params{
+		N: 2000, Clusters: 12, TrainPoints: 60, TestPoints: 24,
+		Thresholds: 6, Segments: 6, QuerySegs: 6, Epochs: 6,
+		JoinSets: 0, Seed: 7,
+	}
+	env, err := exper.NewEnvWithParams(dataset.ImageNET, exper.Small, params)
+	if err != nil {
+		return err
+	}
+	suite, err := exper.BuildSuite(env, exper.SuiteOptions{SkipTuning: true})
+	if err != nil {
+		return err
+	}
+	qs := env.W.Test
+	vecs := make([][]float64, len(qs))
+	taus := make([]float64, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			suite.GLPlus.EstimateSearch(q.Vec, q.Tau)
+		}
+	})
+	res := kernelBenchResult{
+		Name: "estimate_search_serial", Iterations: r.N,
+		NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), Workers: 1,
+	}
+	file.Results = append(file.Results, res)
+	fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op\n", res.Name, res.NsPerOp, "", res.AllocsPerOp)
+
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			suite.GLPlus.EstimateSearchBatch(vecs, taus)
+		}
+	})
+	perEst := float64(r.NsPerOp()) / float64(len(vecs))
+	res = kernelBenchResult{
+		Name: "estimate_search_batch_per_query", Iterations: r.N,
+		NsPerOp: perEst, AllocsPerOp: r.AllocsPerOp() / int64(len(vecs)), Workers: workers,
+	}
+	file.Results = append(file.Results, res)
+	fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op  (batch of %d)\n",
+		res.Name, res.NsPerOp, "", res.AllocsPerOp, len(vecs))
+	return nil
+}
+
+// randMat fills a matrix with standard normals.
+func randMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

@@ -5,6 +5,9 @@
 //
 // Experiments: table4 table5 table6 table7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 ablation all. Scales: small medium paper.
+//
+// With -kernels it instead runs the tracked kernel + end-to-end benchmark
+// suite and writes BENCH_kernels.json (see `make bench`).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"simquery/cardest"
 	"simquery/internal/dataset"
 	"simquery/internal/exper"
+	"simquery/internal/tensor"
 )
 
 func main() {
@@ -27,8 +31,19 @@ func main() {
 		skipTuning  = flag.Bool("skip-tuning", false, "use default CNN config for GL+ (skips Algorithm 3)")
 		cacheDir    = flag.String("cache", "", "directory for labeled-workload caching (skips exact labeling on reruns)")
 		telAddr     = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
+		kernels     = flag.Bool("kernels", false, "run the kernel benchmark suite and write -bench-out instead of experiments")
+		benchOut    = flag.String("bench-out", "BENCH_kernels.json", "output file for -kernels results")
+		workers     = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
 	)
 	flag.Parse()
+	effWorkers := tensor.SetPoolSize(*workers)
+	if *kernels {
+		if err := runKernels(*benchOut, effWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *telAddr != "" {
 		ts, err := cardest.ServeTelemetry(*telAddr)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"simquery/cardest"
 	"simquery/internal/metrics"
+	"simquery/internal/tensor"
 )
 
 func main() {
@@ -28,8 +29,10 @@ func main() {
 		queries   = flag.Int("queries", 10, "number of random queries to evaluate")
 		tauFrac   = flag.Float64("tau", 0.25, "threshold as a fraction of tau_max")
 		telAddr   = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
+		workers   = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
 	)
 	flag.Parse()
+	tensor.SetPoolSize(*workers)
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "simquery: -model is required")
 		os.Exit(2)

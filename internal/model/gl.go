@@ -13,6 +13,7 @@ import (
 	"simquery/internal/cluster"
 	"simquery/internal/dist"
 	"simquery/internal/telemetry"
+	"simquery/internal/tensor"
 )
 
 // Variant selects which member of the model family a GlobalLocal instance
@@ -490,11 +491,13 @@ func (gl *GlobalLocal) EstimateSearch(q []float64, tau float64) float64 {
 // EstimateSearchBatch estimates many (q, τ) pairs at once: the global model
 // routes the whole batch in one forward pass, queries are grouped by
 // selected local model (the same grouping the join path uses), each local
-// evaluates its sub-batch, and locals run in parallel under the configured
-// worker bound. Per-query results are bitwise identical to EstimateSearch:
-// the per-row network math is batch-size-invariant, and the final reduction
-// sums local contributions in ascending segment order, matching the serial
-// loop (float addition is not associative).
+// evaluates its sub-batch, and locals run in parallel on the shared tensor
+// pool — the same worker set the GEMM kernels dispatch to, so serving has
+// one parallelism budget (cfg.Workers still bounds the training fan-outs).
+// Per-query results are bitwise identical to EstimateSearch: the per-row
+// network math is batch-size-invariant, and the final reduction sums local
+// contributions in ascending segment order, matching the serial loop (float
+// addition is not associative).
 func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
 	if len(qs) != len(taus) {
 		panic(fmt.Sprintf("model: batch size mismatch: %d queries, %d thresholds", len(qs), len(taus)))
@@ -519,28 +522,23 @@ func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []flo
 		}
 	}
 	ests := make([][]float64, gl.Seg.K)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, gl.cfg.Workers)
+	idxs := make([]int, 0, gl.Seg.K)
 	for j := range groups {
-		if len(groups[j]) == 0 {
-			continue
+		if len(groups[j]) > 0 {
+			idxs = append(idxs, j)
 		}
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			g := groups[j]
-			gqs := make([][]float64, len(g))
-			gts := make([]float64, len(g))
-			for k, i := range g {
-				gqs[k] = qs[i]
-				gts[k] = taus[i]
-			}
-			ests[j] = gl.Locals[j].EstimateSearchBatch(gqs, gts)
-		}(j)
 	}
-	wg.Wait()
+	tensor.DefaultPool().Do(len(idxs), func(t int) {
+		j := idxs[t]
+		g := groups[j]
+		gqs := make([][]float64, len(g))
+		gts := make([]float64, len(g))
+		for k, i := range g {
+			gqs[k] = qs[i]
+			gts[k] = taus[i]
+		}
+		ests[j] = gl.Locals[j].EstimateSearchBatch(gqs, gts)
+	})
 	sp.End()
 	// Deterministic reduction: ascending segment order per query.
 	sp = telemetry.StartStage(telemetry.StageMerge)

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"sync"
+	"testing"
+
+	"simquery/internal/tensor"
+)
+
+// TestKernelSharedPoolBatchCallers hammers the shared tensor pool from many
+// concurrent EstimateSearchBatch callers with the pool forced to multiple
+// workers, asserting results stay bitwise identical to the serial baseline.
+// It runs in the `go test -run TestKernel -race` verify smoke: batched
+// serving and GEMM row blocks draw from the same pool, so this exercises
+// nested Do (a pool task whose local model dispatches kernels) under race
+// detection.
+func TestKernelSharedPoolBatchCallers(t *testing.T) {
+	defer tensor.SetPoolSize(0)
+	tensor.SetPoolSize(4)
+	gl := trainedGL(t, GLPlus)
+	qs, taus := testBatch(t)
+	want := make([]float64, len(qs))
+	for i := range qs {
+		want[i] = gl.EstimateSearch(qs[i], taus[i])
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 5; it++ {
+				got := gl.EstimateSearchBatch(qs, taus)
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- "pooled batch estimate diverged from serial baseline"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -47,6 +47,20 @@ func NewConv1D(rng *rand.Rand, inCh, outCh, kernel, stride, padding int) *Conv1D
 	return c
 }
 
+// clipWindow returns the tap range [lo, hi) of a kernel window starting at
+// base (possibly negative, from padding) that lands inside an input of
+// length l, so inner loops run branch-free over contiguous slices.
+func clipWindow(base, kernel, l int) (lo, hi int) {
+	lo, hi = 0, kernel
+	if base < 0 {
+		lo = -base
+	}
+	if base+hi > l {
+		hi = l - base
+	}
+	return lo, hi
+}
+
 // outLen reports the number of output positions for input length l.
 func (c *Conv1D) outLen(l int) int {
 	n := (l+2*c.Padding-c.Kernel)/c.Stride + 1
@@ -92,15 +106,15 @@ func (c *Conv1D) apply(x, out *tensor.Matrix, l int) *tensor.Matrix {
 			for t := 0; t < outL; t++ {
 				sum := c.B.W[co]
 				base := t*c.Stride - c.Padding
-				for ci := 0; ci < c.InChannels; ci++ {
-					wofs := (co*c.InChannels + ci) * c.Kernel
-					xofs := ci * l
-					for k := 0; k < c.Kernel; k++ {
-						pos := base + k
-						if pos < 0 || pos >= l {
-							continue
-						}
-						sum += c.W.W[wofs+k] * xr[xofs+pos]
+				// Clip the window to the valid input range once, then
+				// reduce each channel with one contiguous Dot instead of a
+				// bounds check per tap.
+				lo, hi := clipWindow(base, c.Kernel, l)
+				if lo < hi {
+					for ci := 0; ci < c.InChannels; ci++ {
+						wofs := (co*c.InChannels + ci) * c.Kernel
+						xofs := ci*l + base
+						sum += tensor.Dot(c.W.W[wofs+lo:wofs+hi], xr[xofs+lo:xofs+hi])
 					}
 				}
 				or[co*outL+t] = sum
@@ -130,17 +144,15 @@ func (c *Conv1D) Backward(grad *tensor.Matrix) *tensor.Matrix {
 				}
 				c.B.Grad[co] += g
 				base := t*c.Stride - c.Padding
+				lo, hi := clipWindow(base, c.Kernel, l)
+				if lo >= hi {
+					continue
+				}
 				for ci := 0; ci < c.InChannels; ci++ {
 					wofs := (co*c.InChannels + ci) * c.Kernel
-					xofs := ci * l
-					for k := 0; k < c.Kernel; k++ {
-						pos := base + k
-						if pos < 0 || pos >= l {
-							continue
-						}
-						c.W.Grad[wofs+k] += g * xr[xofs+pos]
-						dxr[xofs+pos] += g * c.W.W[wofs+k]
-					}
+					xofs := ci*l + base
+					tensor.Axpy(g, xr[xofs+lo:xofs+hi], c.W.Grad[wofs+lo:wofs+hi])
+					tensor.Axpy(g, c.W.W[wofs+lo:wofs+hi], dxr[xofs+lo:xofs+hi])
 				}
 			}
 		}

@@ -80,18 +80,19 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic("nn: dense Backward before Forward(train=true)")
 	}
 	x := d.lastX
-	// dW = gradᵀ · x  (Out×In)
+	// dW = gradᵀ · x  (Out×In). grad flows through ReLU gates upstream, so
+	// it carries exact zeros — the sparse-skip kernel pays off here.
 	dW := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: make([]float64, d.Out*d.In)}
-	tensor.MatMulTransA(dW, grad, x)
+	tensor.MatMulTransASparse(dW, grad, x)
 	tensor.AddTo(d.W.Grad, dW.Data)
 	// dB = column sums of grad
 	for i := 0; i < grad.Rows; i++ {
 		tensor.AddTo(d.B.Grad, grad.Row(i))
 	}
-	// dX = grad · W (N×In)
+	// dX = grad · W (N×In), same ReLU sparsity in grad.
 	dx := tensor.NewMatrix(grad.Rows, d.In)
 	w := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: d.W.W}
-	tensor.MatMul(dx, grad, w)
+	tensor.MatMulSparseA(dx, grad, w)
 	return dx
 }
 

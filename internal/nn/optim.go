@@ -2,6 +2,8 @@ package nn
 
 import (
 	"math"
+
+	"simquery/internal/tensor"
 )
 
 // Optimizer updates parameters from their accumulated gradients. Step also
@@ -32,10 +34,10 @@ func (s *SGD) Step(params []*Param) {
 			v = make([]float64, len(p.W))
 			s.velocity[p] = v
 		}
-		for i := range p.W {
-			v[i] = s.Momentum*v[i] - s.LR*p.Grad[i]
-			p.W[i] += v[i]
-		}
+		// v = momentum·v − lr·grad; w += v — as unrolled vector kernels.
+		tensor.Scale(s.Momentum, v)
+		tensor.Axpy(-s.LR, p.Grad, v)
+		tensor.AddTo(p.W, v)
 		p.project()
 		p.ZeroGrad()
 	}
@@ -98,17 +100,13 @@ func (a *Adam) Step(params []*Param) {
 func ClipGradNorm(params []*Param, maxNorm float64) float64 {
 	var sq float64
 	for _, p := range params {
-		for _, g := range p.Grad {
-			sq += g * g
-		}
+		sq += tensor.Dot(p.Grad, p.Grad)
 	}
 	norm := math.Sqrt(sq)
 	if maxNorm > 0 && norm > maxNorm {
 		scale := maxNorm / norm
 		for _, p := range params {
-			for i := range p.Grad {
-				p.Grad[i] *= scale
-			}
+			tensor.Scale(scale, p.Grad)
 		}
 	}
 	return norm

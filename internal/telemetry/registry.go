@@ -76,6 +76,9 @@ func NewRegistry() *Registry {
 	r.RegisterHistogram(MetricTrainEpochLoss, "Mean mini-batch loss per finished training epoch.", "", ExponentialBuckets(0.01, 2, 20))
 	r.RegisterCounter(MetricTrainEpochsTotal, "Finished training epochs.", "")
 	r.RegisterCounter(MetricLabeledQueriesTotal, "Exactly-labeled queries (ground-truth construction).", "")
+	r.RegisterGauge(MetricPoolWorkers, "Configured worker count of the tensor kernel pool.", "")
+	r.RegisterGauge(MetricPoolUtilization, "Fraction of tensor-pool workers inside a parallel region.", "")
+	r.RegisterCounter(MetricPoolDispatchTotal, "Parallel dispatches onto the tensor kernel pool.", "")
 	return r
 }
 

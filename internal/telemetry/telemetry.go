@@ -56,6 +56,15 @@ const (
 	// MetricLabeledQueriesTotal counts exactly-labeled queries (training
 	// data construction throughput).
 	MetricLabeledQueriesTotal = "simquery_labeled_queries_total"
+	// MetricPoolWorkers is the configured worker count of the tensor
+	// kernel pool.
+	MetricPoolWorkers = "simquery_tensor_pool_workers"
+	// MetricPoolUtilization is the fraction of tensor-pool workers
+	// currently inside a parallel region.
+	MetricPoolUtilization = "simquery_tensor_pool_utilization"
+	// MetricPoolDispatchTotal counts parallel dispatches onto the tensor
+	// pool (inline/serial kernel runs are not counted).
+	MetricPoolDispatchTotal = "simquery_tensor_pool_dispatch_total"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving

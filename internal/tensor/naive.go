@@ -1,0 +1,129 @@
+package tensor
+
+import "fmt"
+
+// Naive reference kernels and explicit sparse entry points.
+//
+// NaiveMatMul/NaiveMatMulTransA/NaiveMatMulTransB are the seed's scalar
+// triple-loop kernels, retained verbatim (minus the per-element zero-skip,
+// which moved to the Sparse variants below). They are the correctness
+// oracle for the tiled kernels — property tests compare every tiled shape
+// against them at 1e-9 max-abs-diff — and the baseline the kernel
+// benchmarks (cmd/simbench -kernels) report speedups against. They are not
+// called on any hot path.
+//
+// The seed kernels also carried an `if av == 0 { continue }` branch inside
+// MatMul and MatMulTransA. On dense data that is a mispredicted branch per
+// element for nothing, so the dense kernels drop it; the cases where it
+// genuinely pays — gradient matrices gated to exact zeros by ReLU during
+// backprop — now opt in explicitly through MatMulSparseA and
+// MatMulTransASparse (nn.Dense.Backward does).
+
+// NaiveMatMul computes out = a × b with the plain scalar triple loop.
+func NaiveMatMul(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// NaiveMatMulTransB computes out = a × bᵀ with per-element scalar dots.
+func NaiveMatMulTransB(out, a, b *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			out.Data[i*out.Cols+j] = NaiveDot(arow, brow)
+		}
+	}
+}
+
+// NaiveMatMulTransA computes out = aᵀ × b with the plain scalar triple
+// loop.
+func NaiveMatMulTransA(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTA shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// NaiveDot is the single-accumulator inner product (the seed Dot).
+func NaiveDot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// MatMulSparseA computes out = a × b, skipping exact zeros of a — the
+// seed's sparse-skip kernel as an explicit entry point. Worth it only when
+// a is substantially zero (e.g. gradients gated by ReLU in backprop); on
+// dense operands use MatMul, which drops the per-element branch and tiles.
+func MatMulSparseA(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			Axpy(av, brow, orow)
+		}
+	}
+}
+
+// MatMulTransASparse computes out = aᵀ × b, skipping exact zeros of a (see
+// MatMulSparseA).
+func MatMulTransASparse(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulTA shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, brow, out.Data[i*out.Cols:(i+1)*out.Cols])
+		}
+	}
+}

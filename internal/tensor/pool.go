@@ -1,0 +1,182 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+
+	"simquery/internal/telemetry"
+)
+
+// Pool is a persistent worker pool for data-parallel kernels. It is the
+// single parallelism budget of the serving engine: GEMM row blocks
+// (gemmDispatch) and the model layer's batched per-segment evaluation both
+// draw from the same pool, so concurrent callers share one set of workers
+// instead of stacking ad-hoc goroutine fan-outs.
+//
+// The scheduling discipline is caller-participation: Do offers the job to
+// idle workers without ever blocking, then the calling goroutine claims
+// tasks itself until none remain. Two properties follow:
+//
+//   - No deadlock under nesting. A Do issued from inside a pool task (a
+//     batched estimate whose local-model GEMMs cross the parallel
+//     threshold) always completes, because the caller alone can drain the
+//     whole job; busy workers just mean less help.
+//   - Graceful saturation. When every worker is occupied, additional Do
+//     callers degrade to inline execution at zero coordination cost.
+//
+// Workers that pick up a job each run their share of tasks; per-goroutine
+// scratch arenas are reused through the existing sync.Pool-based Scratch
+// pools of the nn/model layers (each participating goroutine checks one
+// out per task batch), so the pool adds no second arena-pooling scheme.
+type Pool struct {
+	workers int
+	jobs    chan *job
+	active  atomic.Int64 // participants currently inside a parallel region
+}
+
+// job is one parallel-for: tasks [0, n) claimed by atomic increment. fin
+// closes when the last claimed task finishes, which may be before stale
+// offers are drained from the jobs channel — late workers see next ≥ n and
+// return immediately.
+type job struct {
+	fn   func(task int)
+	n    int64
+	next atomic.Int64
+	done atomic.Int64
+	fin  chan struct{}
+}
+
+// NewPool starts a pool with the given worker count (minimum 1). A pool of
+// one worker runs everything inline on the caller — no goroutines are
+// spawned. workers-1 background goroutines serve larger pools; the
+// submitting caller is always the final participant.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, jobs: make(chan *job, workers)}
+	for w := 0; w < workers-1; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool's configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the background workers after they drain outstanding jobs.
+// It must not race with Do on the same pool; intended for tests and for
+// pools being replaced at startup.
+func (p *Pool) Close() { close(p.jobs) }
+
+// worker is the background loop: claim tasks from whatever job arrives.
+func (p *Pool) worker() {
+	for j := range p.jobs {
+		p.participate(j)
+	}
+}
+
+// participate claims and runs tasks of j until none remain, maintaining
+// the utilization gauge when telemetry is live.
+func (p *Pool) participate(j *job) {
+	rec := telemetry.Default()
+	enabled := rec.Enabled()
+	if enabled {
+		rec.SetGauge(telemetry.MetricPoolUtilization, float64(p.active.Add(1))/float64(p.workers))
+	}
+	for {
+		t := j.next.Add(1) - 1
+		if t >= j.n {
+			break
+		}
+		j.fn(int(t))
+		if j.done.Add(1) == j.n {
+			close(j.fin)
+		}
+	}
+	if enabled {
+		rec.SetGauge(telemetry.MetricPoolUtilization, float64(p.active.Add(-1))/float64(p.workers))
+	}
+}
+
+// Do runs fn(0) … fn(n-1), in parallel across the pool when it has more
+// than one worker. Tasks may run in any order and concurrently; fn must be
+// safe for that. Do returns when every task has finished. A nil pool, a
+// single-worker pool, or n ≤ 1 runs inline with no allocation.
+func (p *Pool) Do(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p == nil || p.workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	rec := telemetry.Default()
+	if rec.Enabled() {
+		rec.Count(telemetry.MetricPoolDispatchTotal, 1)
+		rec.SetGauge(telemetry.MetricPoolWorkers, float64(p.workers))
+	}
+	j := &job{fn: fn, n: int64(n), fin: make(chan struct{})}
+	// Offer the job to idle workers; never block — a full channel means the
+	// pool is saturated and the caller simply does more of the work itself.
+	offers := min(p.workers-1, n-1)
+offer:
+	for o := 0; o < offers; o++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break offer
+		}
+	}
+	p.participate(j)
+	<-j.fin
+}
+
+// defPool is the lazily created package-level pool.
+var defPool atomic.Pointer[Pool]
+
+// DefaultPool returns the package-level pool, creating it on first use
+// with EnvWorkers() workers.
+func DefaultPool() *Pool {
+	if p := defPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(EnvWorkers())
+	if defPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	p.Close()
+	return defPool.Load()
+}
+
+// SetPoolSize replaces the package-level pool with one of n workers (n ≤ 0
+// resolves through EnvWorkers) and returns the effective size. Intended
+// for process startup (the cmd -workers flags call it before serving); the
+// previous pool is abandoned, not closed, so callers racing with the swap
+// finish safely on it.
+func SetPoolSize(n int) int {
+	if n <= 0 {
+		n = EnvWorkers()
+	}
+	p := NewPool(n)
+	defPool.Store(p)
+	return p.workers
+}
+
+// PoolSize reports the package-level pool's worker count.
+func PoolSize() int { return DefaultPool().Workers() }
+
+// EnvWorkers resolves the default worker count: SIMQUERY_WORKERS when set
+// to a positive integer, else GOMAXPROCS.
+func EnvWorkers() int {
+	if s := os.Getenv("SIMQUERY_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}

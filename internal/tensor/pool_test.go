@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"simquery/internal/telemetry"
+)
+
+// TestKernelPoolDo checks every task runs exactly once across worker
+// counts, task counts, and the inline fast paths.
+func TestKernelPoolDo(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			counts := make([]atomic.Int64, max(n, 1))
+			p.Do(n, func(task int) {
+				counts[task].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestKernelPoolNestedDo verifies Do issued from inside a pool task
+// completes (caller participation makes nesting deadlock-free).
+func TestKernelPoolNestedDo(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.Do(8, func(outer int) {
+		p.Do(8, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested Do ran %d inner tasks, want 64", got)
+	}
+}
+
+// TestKernelPoolConcurrentDo hammers one pool from many goroutines (run
+// with -race).
+func TestKernelPoolConcurrentDo(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				p.Do(10, func(task int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 16*50*10 {
+		t.Fatalf("ran %d tasks, want %d", got, 16*50*10)
+	}
+}
+
+// TestKernelPoolTelemetry checks the dispatch counter and worker gauge
+// record through a live registry.
+func TestKernelPoolTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	p := NewPool(4)
+	defer p.Close()
+	p.Do(8, func(int) {})
+	if got := reg.CounterValue(telemetry.MetricPoolDispatchTotal, ""); got != 1 {
+		t.Errorf("dispatch counter = %d, want 1", got)
+	}
+	if got := reg.GaugeValue(telemetry.MetricPoolWorkers, ""); got != 4 {
+		t.Errorf("worker gauge = %v, want 4", got)
+	}
+	// Utilization is a fraction; trailing workers may still be publishing
+	// their decrement when Do returns, so only the range is asserted.
+	if got := reg.GaugeValue(telemetry.MetricPoolUtilization, ""); got < 0 || got > 1 {
+		t.Errorf("utilization gauge = %v, want within [0,1]", got)
+	}
+	// Inline paths (n==1, single-worker pools) never count a dispatch.
+	p.Do(1, func(int) {})
+	p1 := NewPool(1)
+	defer p1.Close()
+	p1.Do(8, func(int) {})
+	if got := reg.CounterValue(telemetry.MetricPoolDispatchTotal, ""); got != 1 {
+		t.Errorf("dispatch counter after inline runs = %d, want 1", got)
+	}
+}
+
+// TestKernelPoolSizing covers SetPoolSize/PoolSize/EnvWorkers resolution.
+func TestKernelPoolSizing(t *testing.T) {
+	defer SetPoolSize(0)
+	if got := SetPoolSize(3); got != 3 {
+		t.Fatalf("SetPoolSize(3) = %d", got)
+	}
+	if got := PoolSize(); got != 3 {
+		t.Fatalf("PoolSize() = %d, want 3", got)
+	}
+	t.Setenv("SIMQUERY_WORKERS", "5")
+	if got := EnvWorkers(); got != 5 {
+		t.Fatalf("EnvWorkers with SIMQUERY_WORKERS=5 = %d", got)
+	}
+	if got := SetPoolSize(0); got != 5 {
+		t.Fatalf("SetPoolSize(0) under SIMQUERY_WORKERS=5 = %d", got)
+	}
+	t.Setenv("SIMQUERY_WORKERS", "banana")
+	if got := EnvWorkers(); got < 1 {
+		t.Fatalf("EnvWorkers with junk env = %d", got)
+	}
+}

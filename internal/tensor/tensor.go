@@ -64,74 +64,26 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// MatMul computes out = a × b. out must be a.Rows × b.Cols and distinct
-// from a and b.
-func MatMul(out, a, b *Matrix) {
-	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
-	}
-	out.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransB computes out = a × bᵀ. out must be a.Rows × b.Rows.
-func MatMulTransB(out, a, b *Matrix) {
-	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulTB shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			out.Data[i*out.Cols+j] = Dot(arow, brow)
-		}
-	}
-}
-
-// MatMulTransA computes out = aᵀ × b. out must be a.Cols × b.Cols.
-func MatMulTransA(out, a, b *Matrix) {
-	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulTA shape mismatch (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
-	}
-	out.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-}
-
-// Dot returns the inner product of equal-length vectors.
+// Dot returns the inner product of equal-length vectors. Four independent
+// accumulators keep the FP add chains pipelined; the summation order is
+// deterministic but differs from a single-accumulator loop (see NaiveDot
+// and the tolerance contract in DESIGN.md §9).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -141,28 +93,65 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }
 
 // AddTo computes dst += src element-wise.
 func AddTo(dst, src []float64) {
-	Axpy(1, src, dst)
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("tensor: addto length mismatch %d vs %d", len(src), len(dst)))
+	}
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] += src[i]
+	}
 }
 
-// Sum returns the sum of the elements of x.
+// Sum returns the sum of the elements of x (four-accumulator order; see
+// Dot).
 func Sum(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i]
 	}
 	return s
 }
