@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check lint verify bench bench-full kernel-smoke
+.PHONY: build test race vet fmt-check lint verify bench bench-full kernel-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,17 @@ kernel-smoke:
 	$(GO) vet ./...
 	$(GO) test -run TestKernel -race ./internal/tensor/ ./internal/model/
 
-# verify is the pre-merge gate: static checks, the kernel smoke, plus the
-# full suite under the race detector (the serving engine is concurrent; see
-# DESIGN.md §7).
-verify: lint kernel-smoke race
+# chaos runs the fault-injection suite — panic isolation, degraded
+# fallback, load shedding, deadline, crash-safe checkpoints — under the
+# race detector, twice, so recovery paths that leak state across runs are
+# caught (DESIGN.md §10).
+chaos:
+	$(GO) test -run TestChaos -race -count=2 ./...
+
+# verify is the pre-merge gate: static checks, the kernel smoke, the chaos
+# suite, plus the full suite under the race detector (the serving engine is
+# concurrent; see DESIGN.md §7).
+verify: lint kernel-smoke chaos race
 
 # bench regenerates the tracked kernel + end-to-end baseline (short
 # benchtime; commits as BENCH_kernels.json).

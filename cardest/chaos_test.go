@@ -1,0 +1,439 @@
+package cardest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simquery/internal/faultinject"
+	"simquery/internal/faulttol"
+	"simquery/internal/telemetry"
+)
+
+// liveRegistry installs a fresh live telemetry registry for the duration of
+// the test so counter assertions see exactly this test's increments.
+func liveRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	t.Cleanup(func() { telemetry.SetDefault(nil) })
+	return reg
+}
+
+// hardenedFixture trains a gl-cnn primary and a sampling fallback and wraps
+// them per opts. The sampling baseline is the paper's always-available
+// degradation target.
+func hardenedFixture(t *testing.T, opts ServeOptions) (*RobustEstimator, Estimator, fixture) {
+	t.Helper()
+	f := getFixture(t)
+	primary, err := Train(f.ds, f.train, TrainOptions{Method: "gl-cnn", Segments: 5, Epochs: 6, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.5, Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Fallback = fallback
+	return Harden(primary, opts), fallback, f
+}
+
+// TestChaosNaNDegradesToFallback proves the numeric-health guard: an
+// injected NaN on the primary's output is answered by the sampling fallback
+// and counted in simquery_degraded_estimates_total, instead of leaking NaN
+// to the query optimizer.
+func TestChaosNaNDegradesToFallback(t *testing.T) {
+	defer faultinject.Reset()
+	reg := liveRegistry(t)
+	r, fallback, f := hardenedFixture(t, ServeOptions{})
+	q := f.test[0]
+
+	faultinject.Output.Set(&faultinject.Plan{NaNOn: 1})
+	got, err := r.EstimateSearchCtx(context.Background(), q.Vec, q.Tau)
+	if err != nil {
+		t.Fatalf("EstimateSearchCtx with injected NaN: %v", err)
+	}
+	if want := fallback.EstimateSearch(q.Vec, q.Tau); got != want {
+		t.Fatalf("degraded estimate = %g, fallback answers %g", got, want)
+	}
+	if n := reg.CounterValue(telemetry.MetricDegradedEstimates, ""); n != 1 {
+		t.Fatalf("degraded_estimates = %d, want 1", n)
+	}
+
+	// Batch path: one poisoned entry in a healthy batch is replaced per
+	// query — the rest of the batch keeps the primary's answers.
+	faultinject.Output.Set(&faultinject.Plan{NaNOn: 2})
+	qs := make([][]float64, 4)
+	taus := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		qs[i] = f.test[i].Vec
+		taus[i] = f.test[i].Tau
+	}
+	out, err := r.EstimateSearchBatchCtx(context.Background(), qs, taus)
+	if err != nil {
+		t.Fatalf("EstimateSearchBatchCtx with injected NaN: %v", err)
+	}
+	clean := r.Primary().EstimateSearchBatch(qs, taus)
+	for i, v := range out {
+		want := clean[i]
+		if i == 1 { // the poisoned entry
+			want = fallback.EstimateSearch(qs[i], taus[i])
+		}
+		if v != want {
+			t.Fatalf("batch entry %d = %g, want %g", i, v, want)
+		}
+	}
+	if n := reg.CounterValue(telemetry.MetricDegradedEstimates, ""); n != 2 {
+		t.Fatalf("degraded_estimates after batch = %d, want 2", n)
+	}
+
+	// Without a fallback the NaN is an error, never a silent wrong answer.
+	faultinject.Output.Set(&faultinject.Plan{NaNOn: 1})
+	bare := Harden(r.Primary(), ServeOptions{})
+	if _, err := bare.EstimateSearchCtx(context.Background(), q.Vec, q.Tau); !errors.Is(err, faulttol.ErrNonFinite) {
+		t.Fatalf("no-fallback NaN: err = %v, want ErrNonFinite", err)
+	}
+}
+
+// TestChaosPanicDegradesToFallback proves the degradation ladder end to
+// end: a panic injected inside one local model is recovered as a
+// *SegmentError by the model layer, and the serving wrapper answers from
+// the sampling fallback, counting the degraded estimate.
+func TestChaosPanicDegradesToFallback(t *testing.T) {
+	defer faultinject.Reset()
+	reg := liveRegistry(t)
+	r, fallback, f := hardenedFixture(t, ServeOptions{})
+	q := f.test[0]
+
+	faultinject.LocalEval.Set(&faultinject.Plan{PanicOn: 1, Repeat: true})
+	got, err := r.EstimateSearchCtx(context.Background(), q.Vec, q.Tau)
+	if err != nil {
+		t.Fatalf("EstimateSearchCtx with panicking local model: %v", err)
+	}
+	if want := fallback.EstimateSearch(q.Vec, q.Tau); got != want {
+		t.Fatalf("degraded estimate = %g, fallback answers %g", got, want)
+	}
+	if n := reg.CounterValue(telemetry.MetricDegradedEstimates, ""); n != 1 {
+		t.Fatalf("degraded_estimates = %d, want 1", n)
+	}
+	if n := reg.CounterValue(telemetry.MetricRecoveredPanics, ""); n < 1 {
+		t.Fatalf("recovered_panics = %d, want >= 1", n)
+	}
+
+	// Whole-batch degradation on a primary fault.
+	qs := [][]float64{f.test[0].Vec, f.test[1].Vec}
+	taus := []float64{f.test[0].Tau, f.test[1].Tau}
+	out, err := r.EstimateSearchBatchCtx(context.Background(), qs, taus)
+	if err != nil {
+		t.Fatalf("batch with panicking local model: %v", err)
+	}
+	want := fallback.EstimateSearchBatch(qs, taus)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("batch entry %d = %g, fallback answers %g", i, out[i], want[i])
+		}
+	}
+	if n := reg.CounterValue(telemetry.MetricDegradedEstimates, ""); n != 3 {
+		t.Fatalf("degraded_estimates after batch = %d, want 3 (1 + batch of 2)", n)
+	}
+
+	// Without a fallback the caller gets the typed segment error.
+	bare := Harden(r.Primary(), ServeOptions{})
+	if _, err := bare.EstimateSearchCtx(context.Background(), q.Vec, q.Tau); err == nil {
+		t.Fatal("no-fallback panic: want error, got nil")
+	}
+}
+
+// blockingEstimator parks EstimateSearch on a channel so overload and
+// deadline behavior can be tested without sleeps: started signals the call
+// is in flight, release unblocks it.
+type blockingEstimator struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingEstimator) Name() string { return "blocking" }
+func (b *blockingEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	b.started <- struct{}{}
+	<-b.release
+	return 1
+}
+func (b *blockingEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	return make([]float64, len(qs))
+}
+func (b *blockingEstimator) EstimateJoin(qs [][]float64, tau float64) float64 { return 0 }
+func (b *blockingEstimator) SizeBytes() int                                   { return 0 }
+
+// TestChaosOverloadShedsFastFail proves admission control: with
+// MaxInFlight=1 and one request parked inside the primary, the next request
+// is rejected immediately with ErrOverloaded — no queueing, no model work —
+// and counted in simquery_shed_requests_total.
+func TestChaosOverloadShedsFastFail(t *testing.T) {
+	reg := liveRegistry(t)
+	blk := &blockingEstimator{started: make(chan struct{}), release: make(chan struct{})}
+	r := Harden(blk, ServeOptions{MaxInFlight: 1})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5)
+		first <- err
+	}()
+	<-blk.started // the slot is now held
+
+	if _, err := r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second request: err = %v, want ErrOverloaded", err)
+	}
+	if n := reg.CounterValue(telemetry.MetricShedRequests, ""); n != 1 {
+		t.Fatalf("shed_requests = %d, want 1", n)
+	}
+
+	close(blk.release)
+	if err := <-first; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	// The slot was released; the gate admits again.
+	go func() { <-blk.started }()
+	if _, err := r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5); err != nil {
+		t.Fatalf("request after release: %v", err)
+	}
+}
+
+// TestChaosDeadlineExceeded proves the per-request deadline: a primary that
+// outlives the configured deadline yields context.DeadlineExceeded, and —
+// deliberately — no fallback attempt (a timed-out request has no budget
+// left), so the degraded counter stays untouched.
+func TestChaosDeadlineExceeded(t *testing.T) {
+	reg := liveRegistry(t)
+	blk := &blockingEstimator{started: make(chan struct{}), release: make(chan struct{})}
+	f := getFixture(t)
+	fallback, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Harden(blk, ServeOptions{Deadline: 20 * time.Millisecond, Fallback: fallback})
+
+	go func() {
+		<-blk.started
+		time.Sleep(60 * time.Millisecond) // hold past the deadline
+		close(blk.release)
+	}()
+	_, err = r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if n := reg.CounterValue(telemetry.MetricDegradedEstimates, ""); n != 0 {
+		t.Fatalf("degraded_estimates = %d, want 0 (no fallback on timeout)", n)
+	}
+
+	// A caller-supplied deadline is respected too and not overridden.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.EstimateSearchCtx(ctx, []float64{1}, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestChaosCheckpointCorruptionRejected proves Load never trusts a damaged
+// checkpoint: empty, truncated, bit-flipped, junk, and version-skewed files
+// are all rejected with the typed errors (carrying the path), never decoded
+// into a silently wrong model.
+func TestChaosCheckpointCorruptionRejected(t *testing.T) {
+	f := getFixture(t)
+	est, err := Train(f.ds, f.train, TrainOptions{Method: "qes", Epochs: 5, Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "model.bin")
+	if err := Save(est, good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorruptModel},
+		{"tiny", []byte{1, 2, 3}, ErrCorruptModel},
+		{"truncated", raw[:len(raw)-9], ErrCorruptModel},
+		{"junk", []byte(strings.Repeat("not a model ", 20)), ErrCorruptModel},
+		{"bitflip", func() []byte {
+			b := append([]byte(nil), raw...)
+			b[len(b)/2] ^= 0x40
+			return b
+		}(), ErrCorruptModel},
+		{"version", func() []byte {
+			b := append([]byte(nil), raw...)
+			b[len(b)-12] = 0x7f // version field of the trailer
+			return b
+		}(), ErrBadVersion},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name+".bin")
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path, f.ds)
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Fatalf("%s: error does not name the file: %v", tc.name, err)
+		}
+	}
+
+	// The intact checkpoint still loads.
+	if _, err := Load(good, f.ds); err != nil {
+		t.Fatalf("intact checkpoint: %v", err)
+	}
+}
+
+// TestChaosSaveKillLeavesNoPartialFile proves crash-safe persistence: a
+// crash injected at the commit point (after fsync, before rename) leaves no
+// file at the target path, no stray temp file, and — when overwriting — the
+// previous checkpoint intact and loadable.
+func TestChaosSaveKillLeavesNoPartialFile(t *testing.T) {
+	defer faultinject.Reset()
+	f := getFixture(t)
+	est, err := Train(f.ds, f.train, TrainOptions{Method: "qes", Epochs: 5, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+
+	crashSave := func() (crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*faultinject.InjectedPanic); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		_ = Save(est, path)
+		return false
+	}
+
+	// Crash on first-ever save: target must not exist, temp must be gone.
+	faultinject.SaveCommit.Set(&faultinject.Plan{PanicOn: 1})
+	if !crashSave() {
+		t.Fatal("injected crash at commit point did not fire")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("crashed save left a file at the target path (stat err = %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+
+	// A clean save succeeds and loads.
+	faultinject.Reset()
+	if err := Save(est, path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash while overwriting: the old checkpoint survives byte-for-byte.
+	faultinject.SaveCommit.Set(&faultinject.Plan{PanicOn: 1})
+	if !crashSave() {
+		t.Fatal("injected crash on overwrite did not fire")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("old checkpoint lost after crashed overwrite: %v", err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("old checkpoint modified by a crashed overwrite")
+	}
+	assertNoTempFiles(t, dir)
+	faultinject.Reset()
+	if _, err := Load(path, f.ds); err != nil {
+		t.Fatalf("old checkpoint unreadable after crashed overwrite: %v", err)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stray temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestChaosTelemetryCloseScrapeRace closes the telemetry server while
+// scrapers hammer /metrics and estimators record concurrently — the
+// shutdown must be race-free (this test exists to run under -race).
+func TestChaosTelemetryCloseScrapeRace(t *testing.T) {
+	ts, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/metrics", ts.Addr())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					return // server closed under us — expected
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}()
+	}
+	// Writers racing the recorder swap in Close.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				telemetry.Default().Count(telemetry.MetricDegradedEstimates, 1)
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := ts.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	// Metrics recorded before Close remain readable.
+	if ts.Registry.CounterValue(telemetry.MetricDegradedEstimates, "") == 0 {
+		t.Fatal("no counts recorded before Close")
+	}
+}

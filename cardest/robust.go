@@ -1,0 +1,338 @@
+package cardest
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"simquery/internal/faultinject"
+	"simquery/internal/faulttol"
+	"simquery/internal/telemetry"
+)
+
+// ErrOverloaded is returned by the hardened estimate paths when the
+// admission gate's in-flight limit is reached; the request was rejected
+// before any model work (load shedding, counted in
+// simquery_shed_requests_total).
+var ErrOverloaded = faulttol.ErrOverloaded
+
+// ContextEstimator is implemented by estimators whose estimate paths
+// cooperate with a request context (cancellation checks between
+// sub-batches) and isolate per-segment panics. GlobalLocalEstimator
+// implements it; RobustEstimator prefers it when present and otherwise
+// falls back to panic-captured plain calls with context checks at the
+// boundaries.
+type ContextEstimator interface {
+	EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (float64, error)
+	EstimateSearchBatchCtx(ctx context.Context, qs [][]float64, taus []float64) ([]float64, error)
+}
+
+// ServeOptions configures Harden. The zero value is a transparent wrapper:
+// no deadline, no admission limit, no fallback — but still panic-isolated
+// and NaN-guarded.
+type ServeOptions struct {
+	// Deadline bounds each request that arrives without its own context
+	// deadline (0 = none).
+	Deadline time.Duration
+	// MaxInFlight bounds concurrent estimates; excess requests fail fast
+	// with ErrOverloaded (0 = unlimited).
+	MaxInFlight int
+	// Fallback, when set, answers requests whose primary estimate panics
+	// or comes back non-finite — the paper's cheap always-available
+	// baselines (sampling is the canonical choice) as a degradation
+	// ladder. Each degraded answer is counted in
+	// simquery_degraded_estimates_total.
+	Fallback Estimator
+}
+
+// RobustEstimator is the fault-tolerant serving wrapper produced by
+// Harden: admission control, per-request deadlines, panic isolation,
+// numeric-health guards, and automatic degradation to a fallback
+// estimator. All methods are safe for concurrent use (the wrapped
+// estimators already are; the gate is atomic).
+//
+// The no-fault overhead per request is O(1): one atomic add/sub for the
+// gate, one branch for the fault-injection guard, and two float
+// classifications per output value.
+type RobustEstimator struct {
+	primary  Estimator
+	fallback Estimator
+	gate     *faulttol.Gate
+	deadline time.Duration
+}
+
+// Harden wraps a trained estimator in the fault-tolerant serving path.
+func Harden(e Estimator, opts ServeOptions) *RobustEstimator {
+	return &RobustEstimator{
+		primary:  e,
+		fallback: opts.Fallback,
+		gate:     faulttol.NewGate(opts.MaxInFlight),
+		deadline: opts.Deadline,
+	}
+}
+
+// RobustEstimator also satisfies the plain Estimator interface so it can
+// slot in anywhere a trained estimator is expected (Save unwraps it). The
+// plain methods run the hardened path under context.Background(); having
+// no error channel, they answer 0 (zero-filled for batches) when a request
+// is shed or faults with no fallback registered — prefer the Ctx variants
+// in serving code that wants the typed errors.
+var _ Estimator = (*RobustEstimator)(nil)
+
+// Name reports the primary estimator's method name.
+func (r *RobustEstimator) Name() string { return r.primary.Name() }
+
+// EstimateSearch implements Estimator via EstimateSearchCtx (see the
+// interface note above for error handling).
+func (r *RobustEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	v, _ := r.EstimateSearchCtx(context.Background(), q, tau)
+	return v
+}
+
+// EstimateSearchBatch implements Estimator via EstimateSearchBatchCtx.
+func (r *RobustEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out, err := r.EstimateSearchBatchCtx(context.Background(), qs, taus)
+	if err != nil {
+		return make([]float64, len(qs))
+	}
+	return out
+}
+
+// EstimateJoin implements Estimator via EstimateJoinCtx.
+func (r *RobustEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
+	v, _ := r.EstimateJoinCtx(context.Background(), qs, tau)
+	return v
+}
+
+// SizeBytes reports the primary estimator's footprint (the fallback, when
+// set, is accounted by its own SizeBytes).
+func (r *RobustEstimator) SizeBytes() int { return r.primary.SizeBytes() }
+
+// Primary returns the wrapped estimator.
+func (r *RobustEstimator) Primary() Estimator { return r.primary }
+
+// admit claims an admission slot and applies the configured deadline,
+// returning the possibly-derived context, a cleanup function, and
+// ErrOverloaded on shed. The cleanup must be called iff err is nil.
+func (r *RobustEstimator) admit(ctx context.Context) (context.Context, func(), error) {
+	if !r.gate.TryAcquire() {
+		telemetry.Default().Count(telemetry.MetricShedRequests, 1)
+		return ctx, nil, ErrOverloaded
+	}
+	cancel := context.CancelFunc(nil)
+	if r.deadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, r.deadline)
+		}
+	}
+	return ctx, func() {
+		if cancel != nil {
+			cancel()
+		}
+		r.gate.Release()
+	}, nil
+}
+
+// ctxFailure reports whether err is a cancellation/deadline error — those
+// are returned to the caller as-is, with no fallback attempt (a timed-out
+// request has no budget left for a second estimator).
+func ctxFailure(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// EstimateSearchCtx answers one search estimate through the hardened path:
+// shed when over the in-flight limit, bounded by the per-request deadline,
+// panic-isolated, NaN/Inf-guarded, and degraded to the fallback estimator
+// when the primary faults.
+func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (float64, error) {
+	ctx, done, err := r.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	v, err := r.searchPrimary(ctx, q, tau)
+	if err == nil {
+		if faultinject.Armed() {
+			v = faultinject.Output.Value(v)
+		}
+		err = faulttol.CheckFinite(v)
+	}
+	if err == nil {
+		return v, nil
+	}
+	if ctxFailure(err) || r.fallback == nil {
+		return 0, err
+	}
+	return r.degradeSearch(q, tau, err)
+}
+
+// searchPrimary runs the primary's single estimate, via its cooperative
+// context path when it has one.
+func (r *RobustEstimator) searchPrimary(ctx context.Context, q []float64, tau float64) (float64, error) {
+	if ce, ok := r.primary.(ContextEstimator); ok {
+		return ce.EstimateSearchCtx(ctx, q, tau)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var v float64
+	err := faulttol.Capture(func() error {
+		v = r.primary.EstimateSearch(q, tau)
+		return nil
+	})
+	if err == nil {
+		err = ctx.Err() // best-effort deadline for non-cooperative estimators
+	}
+	return v, err
+}
+
+// degradeSearch answers one estimate from the fallback after primErr. The
+// fallback is panic-captured and NaN-guarded too; if it also faults, the
+// primary's error is returned.
+func (r *RobustEstimator) degradeSearch(q []float64, tau float64, primErr error) (float64, error) {
+	var v float64
+	err := faulttol.Capture(func() error {
+		v = r.fallback.EstimateSearch(q, tau)
+		return nil
+	})
+	if err != nil || !faulttol.Finite(v) {
+		return 0, primErr
+	}
+	telemetry.Default().Count(telemetry.MetricDegradedEstimates, 1)
+	return v, nil
+}
+
+// EstimateSearchBatchCtx answers a batch of search estimates through the
+// hardened path. A primary fault (panic, routing failure) degrades the
+// whole batch to the fallback; individual non-finite outputs in an
+// otherwise healthy batch are replaced per query. Counted degraded
+// estimates equal the number of fallback-served queries.
+func (r *RobustEstimator) EstimateSearchBatchCtx(ctx context.Context, qs [][]float64, taus []float64) ([]float64, error) {
+	ctx, done, err := r.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	out, err := r.searchBatchPrimary(ctx, qs, taus)
+	if err != nil {
+		if ctxFailure(err) || r.fallback == nil {
+			return nil, err
+		}
+		return r.degradeBatch(qs, taus, err)
+	}
+	if faultinject.Armed() {
+		for i := range out {
+			out[i] = faultinject.Output.Value(out[i])
+		}
+	}
+	// Numeric-health guard per query: replace non-finite entries from the
+	// fallback instead of discarding the healthy majority of the batch.
+	for i, v := range out {
+		if faulttol.Finite(v) {
+			continue
+		}
+		if r.fallback == nil {
+			return nil, faulttol.ErrNonFinite
+		}
+		fv, ferr := r.degradeSearch(qs[i], taus[i], faulttol.ErrNonFinite)
+		if ferr != nil {
+			return nil, ferr
+		}
+		out[i] = fv
+	}
+	return out, nil
+}
+
+// searchBatchPrimary runs the primary's batched estimate, via its
+// cooperative context path when it has one.
+func (r *RobustEstimator) searchBatchPrimary(ctx context.Context, qs [][]float64, taus []float64) ([]float64, error) {
+	if ce, ok := r.primary.(ContextEstimator); ok {
+		return ce.EstimateSearchBatchCtx(ctx, qs, taus)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []float64
+	err := faulttol.Capture(func() error {
+		out = r.primary.EstimateSearchBatch(qs, taus)
+		return nil
+	})
+	if err == nil {
+		err = ctx.Err()
+	}
+	return out, err
+}
+
+// degradeBatch answers the whole batch from the fallback after primErr.
+func (r *RobustEstimator) degradeBatch(qs [][]float64, taus []float64, primErr error) ([]float64, error) {
+	var out []float64
+	err := faulttol.Capture(func() error {
+		out = r.fallback.EstimateSearchBatch(qs, taus)
+		return nil
+	})
+	if err != nil || len(out) != len(qs) {
+		return nil, primErr
+	}
+	for _, v := range out {
+		if !faulttol.Finite(v) {
+			return nil, primErr
+		}
+	}
+	telemetry.Default().Count(telemetry.MetricDegradedEstimates, int64(len(qs)))
+	return out, nil
+}
+
+// EstimateJoinCtx answers one join estimate through the hardened path.
+func (r *RobustEstimator) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau float64) (float64, error) {
+	ctx, done, err := r.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	v, err := r.joinPrimary(ctx, qs, tau)
+	if err == nil {
+		if faultinject.Armed() {
+			v = faultinject.Output.Value(v)
+		}
+		err = faulttol.CheckFinite(v)
+	}
+	if err == nil {
+		return v, nil
+	}
+	if ctxFailure(err) || r.fallback == nil {
+		return 0, err
+	}
+	var fv float64
+	ferr := faulttol.Capture(func() error {
+		fv = r.fallback.EstimateJoin(qs, tau)
+		return nil
+	})
+	if ferr != nil || !faulttol.Finite(fv) {
+		return 0, err
+	}
+	telemetry.Default().Count(telemetry.MetricDegradedEstimates, 1)
+	return fv, nil
+}
+
+// joinPrimary runs the primary's join estimate, via its cooperative
+// context path when it has one.
+func (r *RobustEstimator) joinPrimary(ctx context.Context, qs [][]float64, tau float64) (float64, error) {
+	type ctxJoiner interface {
+		EstimateJoinCtx(ctx context.Context, qs [][]float64, tau float64) (float64, error)
+	}
+	if cj, ok := r.primary.(ctxJoiner); ok {
+		return cj.EstimateJoinCtx(ctx, qs, tau)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var v float64
+	err := faulttol.Capture(func() error {
+		v = r.primary.EstimateJoin(qs, tau)
+		return nil
+	})
+	if err == nil {
+		err = ctx.Err()
+	}
+	return v, err
+}

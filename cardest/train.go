@@ -1,6 +1,7 @@
 package cardest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -261,6 +262,28 @@ func (g *GlobalLocalEstimator) EstimateSearchBatch(qs [][]float64, taus []float6
 // pooling (Fig 6). Call FineTuneJoin first for best accuracy.
 func (g *GlobalLocalEstimator) EstimateJoin(qs [][]float64, tau float64) float64 {
 	return estimator.Join(g.gl, qs, tau)
+}
+
+// EstimateSearchCtx implements ContextEstimator: EstimateSearch with
+// cooperative cancellation (checked between local-model evaluations) and
+// per-segment panic isolation — a crashing local model returns an error
+// naming the segment instead of taking the process down. Successful
+// results match EstimateSearch exactly.
+func (g *GlobalLocalEstimator) EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (float64, error) {
+	return g.gl.EstimateSearchCtx(ctx, q, tau)
+}
+
+// EstimateSearchBatchCtx implements ContextEstimator: EstimateSearchBatch
+// with cancellation checks between pooled sub-batches and per-segment
+// panic isolation. Successful results match EstimateSearchBatch exactly.
+func (g *GlobalLocalEstimator) EstimateSearchBatchCtx(ctx context.Context, qs [][]float64, taus []float64) ([]float64, error) {
+	return g.gl.EstimateSearchBatchCtx(ctx, qs, taus)
+}
+
+// EstimateJoinCtx is EstimateJoin with cooperative cancellation and
+// per-segment panic isolation.
+func (g *GlobalLocalEstimator) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau float64) (float64, error) {
+	return g.gl.EstimateJoinCtx(ctx, qs, tau)
 }
 
 // SizeBytes implements Estimator.

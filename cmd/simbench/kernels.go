@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -8,7 +9,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"simquery/cardest"
 	"simquery/internal/dataset"
 	"simquery/internal/exper"
 	"simquery/internal/tensor"
@@ -42,7 +45,7 @@ const kernelBenchtime = "300ms"
 
 // runKernels runs the tracked kernel + end-to-end benchmark suite and
 // writes the JSON baseline to outPath.
-func runKernels(outPath string, workers int) error {
+func runKernels(outPath string, workers int, deadline time.Duration, maxInflight int) error {
 	testing.Init()
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		if err := f.Value.Set(kernelBenchtime); err != nil {
@@ -124,7 +127,7 @@ func runKernels(outPath string, workers int) error {
 	vec("dot_naive_1024", func() float64 { return tensor.NaiveDot(vx, vy) })
 	vec("dot_unrolled_1024", func() float64 { return tensor.Dot(vx, vy) })
 
-	if err := runEndToEnd(&file, workers); err != nil {
+	if err := runEndToEnd(&file, workers, deadline, maxInflight); err != nil {
 		return err
 	}
 
@@ -143,7 +146,7 @@ func runKernels(outPath string, workers int) error {
 // runEndToEnd benchmarks the serving path — single and batched GL+
 // estimates over a small trained suite — so kernel-level wins are tracked
 // against what they actually buy end to end.
-func runEndToEnd(file *kernelBenchFile, workers int) error {
+func runEndToEnd(file *kernelBenchFile, workers int, deadline time.Duration, maxInflight int) error {
 	fmt.Println("... training small GL+ suite for end-to-end benchmarks")
 	params := exper.Params{
 		N: 2000, Clusters: 12, TrainPoints: 60, TestPoints: 24,
@@ -194,6 +197,29 @@ func runEndToEnd(file *kernelBenchFile, workers int) error {
 	file.Results = append(file.Results, res)
 	fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op  (batch of %d)\n",
 		res.Name, res.NsPerOp, "", res.AllocsPerOp, len(vecs))
+
+	// Opt-in row: the fault-tolerant serving path, so the wrapper's O(1)
+	// admission/guard overhead stays measured. Only emitted when -deadline
+	// or -max-inflight is set, keeping the default baseline rows stable.
+	if deadline > 0 || maxInflight > 0 {
+		robust := cardest.Harden(suite.GLPlus, cardest.ServeOptions{Deadline: deadline, MaxInFlight: maxInflight})
+		ctx := context.Background()
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				if _, err := robust.EstimateSearchCtx(ctx, q.Vec, q.Tau); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res = kernelBenchResult{
+			Name: "estimate_search_hardened", Iterations: r.N,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), Workers: 1,
+		}
+		file.Results = append(file.Results, res)
+		fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op\n", res.Name, res.NsPerOp, "", res.AllocsPerOp)
+	}
 	return nil
 }
 

@@ -34,11 +34,17 @@ func main() {
 		kernels     = flag.Bool("kernels", false, "run the kernel benchmark suite and write -bench-out instead of experiments")
 		benchOut    = flag.String("bench-out", "BENCH_kernels.json", "output file for -kernels results")
 		workers     = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
+		deadline    = flag.Duration("deadline", 0, "with -kernels: per-request deadline for the extra hardened-path benchmark row (0 = row omitted)")
+		maxInfl     = flag.Int("max-inflight", 0, "with -kernels: admission limit for the extra hardened-path benchmark row (0 = unlimited)")
 	)
 	flag.Parse()
-	effWorkers := tensor.SetPoolSize(*workers)
+	effWorkers, err := tensor.SetPoolSize(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(2)
+	}
 	if *kernels {
-		if err := runKernels(*benchOut, effWorkers); err != nil {
+		if err := runKernels(*benchOut, effWorkers, *deadline, *maxInfl); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
 		}

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"simquery/cardest"
 	"simquery/internal/metrics"
@@ -30,9 +32,14 @@ func main() {
 		tauFrac   = flag.Float64("tau", 0.25, "threshold as a fraction of tau_max")
 		telAddr   = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
 		workers   = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
+		deadline  = flag.Duration("deadline", 0, "per-query estimate deadline (0 = none); enables the hardened serving path")
+		maxInfl   = flag.Int("max-inflight", 0, "max concurrent estimates before shedding with an overload error (0 = unlimited)")
 	)
 	flag.Parse()
-	tensor.SetPoolSize(*workers)
+	if _, err := tensor.SetPoolSize(*workers); err != nil {
+		fmt.Fprintln(os.Stderr, "simquery:", err)
+		os.Exit(2)
+	}
 	if *modelPath == "" {
 		fmt.Fprintln(os.Stderr, "simquery: -model is required")
 		os.Exit(2)
@@ -46,13 +53,13 @@ func main() {
 		defer ts.Close()
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
 	}
-	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac); err != nil {
+	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac, *deadline, *maxInfl); err != nil {
 		fmt.Fprintln(os.Stderr, "simquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64) error {
+func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64, deadline time.Duration, maxInflight int) error {
 	ds, err := cardest.GenerateProfile(profile, n, clusters, seed)
 	if err != nil {
 		return err
@@ -61,6 +68,19 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 	if err != nil {
 		return err
 	}
+	// Serve through the fault-tolerant wrapper: panic isolation and NaN
+	// guards always, deadline/admission limits as configured, and the
+	// sampling baseline (rebuilt from the dataset — it is never serialized)
+	// as the degraded fallback.
+	fallback, err := cardest.Train(ds, nil, cardest.TrainOptions{Method: "sampling", Seed: seed + 300})
+	if err != nil {
+		return err
+	}
+	robust := cardest.Harden(est, cardest.ServeOptions{
+		Deadline:    deadline,
+		MaxInFlight: maxInflight,
+		Fallback:    fallback,
+	})
 	idx, err := cardest.NewExactIndex(ds, 16, seed+100)
 	if err != nil {
 		return err
@@ -73,7 +93,11 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 	for i := 0; i < queries; i++ {
 		qi := rng.Intn(ds.Size())
 		q := ds.Vectors()[qi]
-		got := est.EstimateSearch(q, tau)
+		got, err := robust.EstimateSearchCtx(context.Background(), q, tau)
+		if err != nil {
+			fmt.Fprintf(tw, "#%d\t%.4f\terror: %v\t\t\n", qi, tau, err)
+			continue
+		}
 		exact := float64(idx.Count(q, tau))
 		qe := metrics.QError(got, exact)
 		qerrs = append(qerrs, qe)
@@ -81,6 +105,9 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if len(qerrs) == 0 {
+		return fmt.Errorf("no query completed (shed or timed out)")
 	}
 	fmt.Printf("model: %s  summary: %s\n", est.Name(), metrics.Summarize(qerrs))
 	return nil

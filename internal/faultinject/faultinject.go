@@ -1,0 +1,194 @@
+// Package faultinject provides deterministic, seed-driven fault-injection
+// hooks for the chaos test suite. Production code places named injection
+// points on the paths whose recovery behavior must be provable (pool tasks,
+// local-model evaluation, checkpoint commit, estimator outputs); the chaos
+// tests arm a point with a Plan and assert that the serving layer degrades
+// instead of crashing.
+//
+// Hooks are free when disarmed: every call site guards with
+//
+//	if faultinject.Armed() { faultinject.LocalEval.Fire() }
+//
+// and Armed is a single atomic load, so the no-fault hot path pays one
+// predictable branch and nothing else. Plans are deterministic — trigger on
+// the exact Nth call, optionally repeating — or seed-driven probabilistic
+// (a splitmix64 hash of (seed, call#) compared against a probability), so a
+// chaos run replays identically from its seed.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// armed counts the points with an active plan; Armed() is the global
+// fast-path guard every hook checks first.
+var armed atomic.Int64
+
+// Armed reports whether any injection point has an active plan. One atomic
+// load — hot paths call it inline.
+func Armed() bool { return armed.Load() > 0 }
+
+// Plan describes the faults a point injects. Call numbers are 1-based and
+// count per point since the plan was set. The zero Plan injects nothing.
+type Plan struct {
+	// PanicOn panics with an *InjectedPanic on the Nth call (0 = never).
+	PanicOn int64
+	// NaNOn makes Value return NaN on the Nth call (0 = never); only
+	// meaningful for value hooks.
+	NaNOn int64
+	// SlowOn sleeps SlowFor on the Nth call (0 = never).
+	SlowOn  int64
+	SlowFor time.Duration
+	// Repeat re-triggers each fault on every call at or after its trigger
+	// number, instead of exactly once.
+	Repeat bool
+	// Prob, when > 0, makes every fault with a nonzero trigger fire
+	// probabilistically instead: call n fires iff hash(Seed, n) < Prob.
+	// Deterministic — the same seed replays the same faults.
+	Prob float64
+	Seed int64
+}
+
+// InjectedPanic is the value an armed point panics with, so recovery code
+// and tests can tell injected faults from real ones.
+type InjectedPanic struct {
+	Point string
+	Call  int64
+}
+
+// Error makes the panic value readable when it escapes to a crash report.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (call %d)", p.Point, p.Call)
+}
+
+// Point is one named injection site.
+type Point struct {
+	name  string
+	plan  atomic.Pointer[Plan]
+	calls atomic.Int64
+}
+
+// The standard injection points. Each lives on exactly one production path:
+//
+//	PoolTask   — inside every tensor.Pool task, before the task body.
+//	LocalEval  — before each local-model evaluation on the hardened
+//	             GlobalLocal paths (serial and per-sub-batch).
+//	Output     — value hook on estimator outputs in the hardened serving
+//	             wrapper (NaN injection).
+//	SaveCommit — in cardest.Save between the temp-file fsync and the
+//	             rename that publishes the checkpoint (kill testing).
+var (
+	PoolTask   = NewPoint("tensor.pool.task")
+	LocalEval  = NewPoint("model.local_eval")
+	Output     = NewPoint("estimate.output")
+	SaveCommit = NewPoint("cardest.save.commit")
+)
+
+// registry backs Reset; guarded by a mutex because points are registered at
+// init and from tests only.
+var (
+	regMu    sync.Mutex
+	registry []*Point
+)
+
+// NewPoint declares a named injection point (package-level var in the
+// package that owns the path).
+func NewPoint(name string) *Point {
+	p := &Point{name: name}
+	regMu.Lock()
+	registry = append(registry, p)
+	regMu.Unlock()
+	return p
+}
+
+// Name returns the point's name.
+func (p *Point) Name() string { return p.name }
+
+// Set arms the point with plan (nil disarms it) and resets its call
+// counter.
+func (p *Point) Set(plan *Plan) {
+	p.calls.Store(0)
+	if old := p.plan.Swap(plan); old != nil {
+		armed.Add(-1)
+	}
+	if plan != nil {
+		armed.Add(1)
+	}
+}
+
+// Calls reports how many times the point fired since its plan was set.
+func (p *Point) Calls() int64 { return p.calls.Load() }
+
+// Reset disarms every point and zeroes call counters — deferred by every
+// chaos test so injection never leaks across tests.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		p.Set(nil)
+	}
+}
+
+// triggers reports whether a fault with trigger number on fires at call n
+// under plan.
+func (plan *Plan) triggers(on, n int64) bool {
+	if on == 0 {
+		return false
+	}
+	if plan.Prob > 0 {
+		return splitmix64(uint64(plan.Seed)^uint64(n)) < plan.Prob
+	}
+	if plan.Repeat {
+		return n >= on
+	}
+	return n == on
+}
+
+// splitmix64 maps x to a uniform float64 in [0, 1).
+func splitmix64(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Fire executes the point's side-effect faults (sleep, then panic) for this
+// call. A disarmed point returns immediately.
+func (p *Point) Fire() {
+	plan := p.plan.Load()
+	if plan == nil {
+		return
+	}
+	n := p.calls.Add(1)
+	if plan.triggers(plan.SlowOn, n) {
+		time.Sleep(plan.SlowFor)
+	}
+	if plan.triggers(plan.PanicOn, n) {
+		panic(&InjectedPanic{Point: p.name, Call: n})
+	}
+}
+
+// Value runs the point as a value hook: side-effect faults first, then NaN
+// substitution. Disarmed points return v unchanged.
+func (p *Point) Value(v float64) float64 {
+	plan := p.plan.Load()
+	if plan == nil {
+		return v
+	}
+	n := p.calls.Add(1)
+	if plan.triggers(plan.SlowOn, n) {
+		time.Sleep(plan.SlowFor)
+	}
+	if plan.triggers(plan.PanicOn, n) {
+		panic(&InjectedPanic{Point: p.name, Call: n})
+	}
+	if plan.triggers(plan.NaNOn, n) {
+		return math.NaN()
+	}
+	return v
+}

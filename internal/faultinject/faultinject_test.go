@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	defer Reset()
+	if Armed() {
+		t.Fatal("Armed with no plans set")
+	}
+	p := NewPoint("test.inert")
+	p.Fire() // must not panic
+	if v := p.Value(3.5); v != 3.5 {
+		t.Fatalf("Value passthrough = %g", v)
+	}
+	if p.Calls() != 0 {
+		t.Fatal("disarmed point counted calls")
+	}
+}
+
+func TestPanicOnNthCall(t *testing.T) {
+	defer Reset()
+	p := NewPoint("test.nth")
+	p.Set(&Plan{PanicOn: 3})
+	if !Armed() {
+		t.Fatal("Armed() false with a plan set")
+	}
+	for i := 1; i <= 2; i++ {
+		p.Fire()
+	}
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(*InjectedPanic)
+			if !ok {
+				t.Fatalf("panic value = %T, want *InjectedPanic", r)
+			}
+			if ip.Point != "test.nth" || ip.Call != 3 {
+				t.Fatalf("injected = %+v", ip)
+			}
+			if ip.Error() == "" {
+				t.Fatal("empty Error()")
+			}
+		}()
+		p.Fire()
+		t.Fatal("third call did not panic")
+	}()
+	// Without Repeat the fault fires exactly once.
+	p.Fire()
+	if p.Calls() != 4 {
+		t.Fatalf("Calls = %d", p.Calls())
+	}
+}
+
+func TestRepeatRetriggers(t *testing.T) {
+	defer Reset()
+	p := NewPoint("test.repeat")
+	p.Set(&Plan{NaNOn: 2, Repeat: true})
+	if v := p.Value(1); v != 1 {
+		t.Fatalf("call 1 = %g", v)
+	}
+	for i := 0; i < 3; i++ {
+		if v := p.Value(1); !math.IsNaN(v) {
+			t.Fatalf("repeat call returned %g, want NaN", v)
+		}
+	}
+}
+
+func TestProbabilisticIsDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		p := NewPoint("test.prob")
+		defer p.Set(nil)
+		p.Set(&Plan{NaNOn: 1, Prob: 0.3, Seed: 7})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = math.IsNaN(p.Value(0))
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs between identical seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.3 over %d calls fired %d times", len(a), fired)
+	}
+}
+
+func TestSlowInjection(t *testing.T) {
+	defer Reset()
+	p := NewPoint("test.slow")
+	p.Set(&Plan{SlowOn: 1, SlowFor: 30 * time.Millisecond})
+	start := time.Now()
+	p.Fire()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow call returned after %v", d)
+	}
+}
+
+func TestSetResetRearm(t *testing.T) {
+	defer Reset()
+	p := NewPoint("test.rearm")
+	p.Set(&Plan{PanicOn: 1})
+	p.Set(&Plan{NaNOn: 1}) // replacing a plan must not leak the armed count
+	if !Armed() {
+		t.Fatal("Armed() false after replacing a plan")
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() true after Reset")
+	}
+	p.Fire() // disarmed: no panic
+	if p.Calls() != 0 {
+		t.Fatal("Reset did not zero the call counter")
+	}
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"simquery/internal/faultinject"
+	"simquery/internal/faulttol"
+	"simquery/internal/tensor"
+)
+
+// TestChaosLocalPanicIsolatedSerial proves the per-local-model recovery
+// contract on the serial hardened path: an injected panic inside one
+// segment model surfaces as a *SegmentError naming the segment (wrapping
+// the recovered panic), and after disarming the same query estimates
+// cleanly with a result identical to the plain path.
+func TestChaosLocalPanicIsolatedSerial(t *testing.T) {
+	defer faultinject.Reset()
+	gl := trainedGL(t, GLCNN)
+	f := getFixture(t)
+	q := f.w.Test[0]
+
+	faultinject.LocalEval.Set(&faultinject.Plan{PanicOn: 1})
+	_, err := gl.EstimateSearchCtx(context.Background(), q.Vec, q.Tau)
+	if err == nil {
+		t.Fatal("EstimateSearchCtx with injected local panic returned nil error")
+	}
+	var se *SegmentError
+	if !errors.As(err, &se) {
+		t.Fatalf("error = %T (%v), want *SegmentError", err, err)
+	}
+	if se.Seg < 0 || se.Seg >= gl.Seg.K {
+		t.Fatalf("SegmentError names segment %d, want one of 0..%d", se.Seg, gl.Seg.K-1)
+	}
+	var pe *faulttol.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("SegmentError does not wrap *faulttol.PanicError: %v", err)
+	}
+	if _, ok := pe.Value.(*faultinject.InjectedPanic); !ok {
+		t.Fatalf("recovered panic value = %T, want *faultinject.InjectedPanic", pe.Value)
+	}
+
+	// Disarmed, the hardened path answers and matches the plain hot path.
+	faultinject.Reset()
+	got, err := gl.EstimateSearchCtx(context.Background(), q.Vec, q.Tau)
+	if err != nil {
+		t.Fatalf("EstimateSearchCtx after reset: %v", err)
+	}
+	if want := gl.EstimateSearch(q.Vec, q.Tau); got != want {
+		t.Fatalf("hardened path = %g, plain path = %g — must be bitwise identical", got, want)
+	}
+}
+
+// TestChaosLocalPanicIsolatedBatch proves the acceptance criterion for the
+// batched path: an injected panic in one local model fails the batch with a
+// *SegmentError while the process survives and other tensor.Pool callers
+// keep serving throughout.
+func TestChaosLocalPanicIsolatedBatch(t *testing.T) {
+	defer faultinject.Reset()
+	gl := trainedGL(t, GLCNN)
+	f := getFixture(t)
+	qs := make([][]float64, len(f.w.Test))
+	taus := make([]float64, len(f.w.Test))
+	for i, q := range f.w.Test {
+		qs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+
+	// Unrelated pool traffic that must keep completing while a local model
+	// panics: the pool's recovery contract confines the fault to the job
+	// that raised it.
+	stop := make(chan struct{})
+	var bystanderJobs atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tensor.DefaultPool().Do(8, func(int) {})
+				bystanderJobs.Add(1)
+			}
+		}()
+	}
+
+	for bystanderJobs.Load() == 0 {
+		runtime.Gosched() // bystanders are up before the fault
+	}
+	faultinject.LocalEval.Set(&faultinject.Plan{PanicOn: 1})
+	_, err := gl.EstimateSearchBatchCtx(context.Background(), qs, taus)
+	if err == nil {
+		close(stop)
+		t.Fatal("EstimateSearchBatchCtx with injected local panic returned nil error")
+	}
+	var se *SegmentError
+	if !errors.As(err, &se) {
+		close(stop)
+		t.Fatalf("batch error = %T (%v), want *SegmentError", err, err)
+	}
+	// The pool keeps serving the bystanders after the fault.
+	for c := bystanderJobs.Load(); bystanderJobs.Load() == c; {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+
+	// The batch path recovers fully once disarmed and matches the plain
+	// batch result.
+	faultinject.Reset()
+	got, err := gl.EstimateSearchBatchCtx(context.Background(), qs, taus)
+	if err != nil {
+		t.Fatalf("EstimateSearchBatchCtx after reset: %v", err)
+	}
+	want := gl.EstimateSearchBatch(qs, taus)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: hardened batch = %g, plain batch = %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChaosCtxCancellation checks cooperative cancellation: an
+// already-cancelled context stops both hardened paths before any model
+// work, returning the context's own error (never a degraded estimate).
+func TestChaosCtxCancellation(t *testing.T) {
+	gl := trainedGL(t, GLCNN)
+	f := getFixture(t)
+	q := f.w.Test[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := gl.EstimateSearchCtx(ctx, q.Vec, q.Tau); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateSearchCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := gl.EstimateSearchBatchCtx(ctx, [][]float64{q.Vec}, []float64{q.Tau}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateSearchBatchCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := gl.EstimateJoinCtx(ctx, [][]float64{q.Vec}, q.Tau); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateJoinCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -79,6 +79,9 @@ func NewRegistry() *Registry {
 	r.RegisterGauge(MetricPoolWorkers, "Configured worker count of the tensor kernel pool.", "")
 	r.RegisterGauge(MetricPoolUtilization, "Fraction of tensor-pool workers inside a parallel region.", "")
 	r.RegisterCounter(MetricPoolDispatchTotal, "Parallel dispatches onto the tensor kernel pool.", "")
+	r.RegisterCounter(MetricRecoveredPanics, "Panics converted into errors by the fault-tolerant serving paths.", "")
+	r.RegisterCounter(MetricDegradedEstimates, "Estimates answered by the fallback estimator after a primary fault.", "")
+	r.RegisterCounter(MetricShedRequests, "Estimate requests rejected by the admission gate (in-flight limit).", "")
 	return r
 }
 

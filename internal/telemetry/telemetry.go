@@ -65,6 +65,18 @@ const (
 	// MetricPoolDispatchTotal counts parallel dispatches onto the tensor
 	// pool (inline/serial kernel runs are not counted).
 	MetricPoolDispatchTotal = "simquery_tensor_pool_dispatch_total"
+	// MetricRecoveredPanics counts panics converted into errors by the
+	// fault-tolerant serving paths (pool workers, local-model isolation,
+	// the hardened estimate wrapper). Each panic is counted once, at first
+	// capture.
+	MetricRecoveredPanics = "simquery_recovered_panics_total"
+	// MetricDegradedEstimates counts estimates answered by the registered
+	// fallback estimator after the primary panicked or produced a
+	// non-finite value; batched degradations add the batch size.
+	MetricDegradedEstimates = "simquery_degraded_estimates_total"
+	// MetricShedRequests counts estimate requests rejected by the
+	// admission gate because the in-flight limit was reached.
+	MetricShedRequests = "simquery_shed_requests_total"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving

@@ -282,12 +282,18 @@ func benchGEMM(b *testing.B, dim int, workers int, fn func(out, x, y *Matrix)) {
 	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e6, "MFLOPS")
 }
 
+// defaultWorkers is EnvWorkers for benchmarks, which have no error channel.
+func defaultWorkers() int {
+	n, _ := EnvWorkers()
+	return n
+}
+
 func BenchmarkGEMMNaive256(b *testing.B)       { benchGEMM(b, 256, 1, NaiveMatMul) }
 func BenchmarkGEMMTiled256(b *testing.B)       { benchGEMM(b, 256, 1, MatMul) }
-func BenchmarkGEMMTiledPool256(b *testing.B)   { benchGEMM(b, 256, EnvWorkers(), MatMul) }
+func BenchmarkGEMMTiledPool256(b *testing.B)   { benchGEMM(b, 256, defaultWorkers(), MatMul) }
 func BenchmarkGEMMNaive512(b *testing.B)       { benchGEMM(b, 512, 1, NaiveMatMul) }
 func BenchmarkGEMMTiled512(b *testing.B)       { benchGEMM(b, 512, 1, MatMul) }
-func BenchmarkGEMMTiledPool512(b *testing.B)   { benchGEMM(b, 512, EnvWorkers(), MatMul) }
+func BenchmarkGEMMTiledPool512(b *testing.B)   { benchGEMM(b, 512, defaultWorkers(), MatMul) }
 func BenchmarkGEMMTransBNaive256(b *testing.B) { benchGEMM(b, 256, 1, NaiveMatMulTransB) }
 func BenchmarkGEMMTransBTiled256(b *testing.B) { benchGEMM(b, 256, 1, MatMulTransB) }
 func BenchmarkGEMMTransANaive256(b *testing.B) { benchGEMM(b, 256, 1, NaiveMatMulTransA) }

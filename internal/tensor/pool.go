@@ -1,11 +1,15 @@
 package tensor
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
+	"simquery/internal/faultinject"
+	"simquery/internal/faulttol"
 	"simquery/internal/telemetry"
 )
 
@@ -39,13 +43,18 @@ type Pool struct {
 // job is one parallel-for: tasks [0, n) claimed by atomic increment. fin
 // closes when the last claimed task finishes, which may be before stale
 // offers are drained from the jobs channel — late workers see next ≥ n and
-// return immediately.
+// return immediately. pan holds the first task panic, recovered so that a
+// crashing task can neither kill a background worker goroutine (which
+// would take the process down) nor leave fin unclosed (which would
+// deadlock Do); Do re-raises it on the calling goroutine once every task
+// has finished.
 type job struct {
 	fn   func(task int)
 	n    int64
 	next atomic.Int64
 	done atomic.Int64
 	fin  chan struct{}
+	pan  atomic.Pointer[faulttol.PanicError]
 }
 
 // NewPool starts a pool with the given worker count (minimum 1). A pool of
@@ -91,20 +100,41 @@ func (p *Pool) participate(j *job) {
 		if t >= j.n {
 			break
 		}
-		j.fn(int(t))
-		if j.done.Add(1) == j.n {
-			close(j.fin)
-		}
+		p.runTask(j, int(t))
 	}
 	if enabled {
 		rec.SetGauge(telemetry.MetricPoolUtilization, float64(p.active.Add(-1))/float64(p.workers))
 	}
 }
 
+// runTask executes one task of j, recovering a panic so the worker
+// goroutine survives and the job still completes. The first panic is kept
+// (as a *faulttol.PanicError with the stack from the panic site) and
+// re-raised by Do on the calling goroutine; later panics from concurrent
+// tasks are recovered and dropped.
+func (p *Pool) runTask(j *job, t int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.pan.CompareAndSwap(nil, faulttol.Recovered(r))
+		}
+		if j.done.Add(1) == j.n {
+			close(j.fin)
+		}
+	}()
+	if faultinject.Armed() {
+		faultinject.PoolTask.Fire()
+	}
+	j.fn(t)
+}
+
 // Do runs fn(0) … fn(n-1), in parallel across the pool when it has more
 // than one worker. Tasks may run in any order and concurrently; fn must be
 // safe for that. Do returns when every task has finished. A nil pool, a
 // single-worker pool, or n ≤ 1 runs inline with no allocation.
+//
+// If a task panics, the panic is re-raised on the calling goroutine (as a
+// *faulttol.PanicError) after all other tasks finish — background workers
+// and concurrent Do callers are never taken down by one bad task.
 func (p *Pool) Do(n int, fn func(task int)) {
 	if n <= 0 {
 		return
@@ -134,18 +164,25 @@ offer:
 	}
 	p.participate(j)
 	<-j.fin
+	if pe := j.pan.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // defPool is the lazily created package-level pool.
 var defPool atomic.Pointer[Pool]
 
 // DefaultPool returns the package-level pool, creating it on first use
-// with EnvWorkers() workers.
+// with EnvWorkers() workers. The lazy default cannot refuse a bad
+// SIMQUERY_WORKERS value (there is no error channel here), so it falls
+// back to GOMAXPROCS; serving binaries call SetPoolSize at startup, which
+// does reject garbage with a clear error.
 func DefaultPool() *Pool {
 	if p := defPool.Load(); p != nil {
 		return p
 	}
-	p := NewPool(EnvWorkers())
+	n, _ := EnvWorkers()
+	p := NewPool(n)
 	if defPool.CompareAndSwap(nil, p) {
 		return p
 	}
@@ -154,29 +191,48 @@ func DefaultPool() *Pool {
 }
 
 // SetPoolSize replaces the package-level pool with one of n workers (n ≤ 0
-// resolves through EnvWorkers) and returns the effective size. Intended
-// for process startup (the cmd -workers flags call it before serving); the
-// previous pool is abandoned, not closed, so callers racing with the swap
-// finish safely on it.
-func SetPoolSize(n int) int {
+// resolves through EnvWorkers) and returns the effective size. An invalid
+// SIMQUERY_WORKERS value is an error — the pool is left unchanged rather
+// than silently misconfigured. Intended for process startup (the cmd
+// -workers flags call it before serving); the previous pool is abandoned,
+// not closed, so callers racing with the swap finish safely on it.
+func SetPoolSize(n int) (int, error) {
 	if n <= 0 {
-		n = EnvWorkers()
+		var err error
+		if n, err = EnvWorkers(); err != nil {
+			return 0, err
+		}
 	}
 	p := NewPool(n)
 	defPool.Store(p)
-	return p.workers
+	return p.workers, nil
 }
 
 // PoolSize reports the package-level pool's worker count.
 func PoolSize() int { return DefaultPool().Workers() }
 
-// EnvWorkers resolves the default worker count: SIMQUERY_WORKERS when set
-// to a positive integer, else GOMAXPROCS.
-func EnvWorkers() int {
-	if s := os.Getenv("SIMQUERY_WORKERS"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
+// ParseWorkers validates a worker-count setting: a positive decimal
+// integer.
+func ParseWorkers(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("tensor: invalid worker count %q: want a positive integer", s)
 	}
-	return runtime.GOMAXPROCS(0)
+	return n, nil
+}
+
+// EnvWorkers resolves the default worker count: SIMQUERY_WORKERS when set,
+// else GOMAXPROCS. A non-positive or garbage SIMQUERY_WORKERS returns
+// GOMAXPROCS together with a descriptive error so callers with an error
+// channel (SetPoolSize, the CLI startup paths) can reject it instead of
+// silently misconfiguring the pool.
+func EnvWorkers() (int, error) {
+	if s := os.Getenv("SIMQUERY_WORKERS"); s != "" {
+		n, err := ParseWorkers(s)
+		if err != nil {
+			return runtime.GOMAXPROCS(0), fmt.Errorf("SIMQUERY_WORKERS: %w", err)
+		}
+		return n, nil
+	}
+	return runtime.GOMAXPROCS(0), nil
 }

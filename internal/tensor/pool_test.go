@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -96,24 +97,45 @@ func TestKernelPoolTelemetry(t *testing.T) {
 	}
 }
 
-// TestKernelPoolSizing covers SetPoolSize/PoolSize/EnvWorkers resolution.
+// TestKernelPoolSizing covers SetPoolSize/PoolSize/EnvWorkers resolution,
+// including the strict rejection of invalid SIMQUERY_WORKERS values.
 func TestKernelPoolSizing(t *testing.T) {
-	defer SetPoolSize(0)
-	if got := SetPoolSize(3); got != 3 {
-		t.Fatalf("SetPoolSize(3) = %d", got)
+	defer SetPoolSize(runtime.GOMAXPROCS(0))
+	if got, err := SetPoolSize(3); err != nil || got != 3 {
+		t.Fatalf("SetPoolSize(3) = %d, %v", got, err)
 	}
 	if got := PoolSize(); got != 3 {
 		t.Fatalf("PoolSize() = %d, want 3", got)
 	}
 	t.Setenv("SIMQUERY_WORKERS", "5")
-	if got := EnvWorkers(); got != 5 {
-		t.Fatalf("EnvWorkers with SIMQUERY_WORKERS=5 = %d", got)
+	if got, err := EnvWorkers(); err != nil || got != 5 {
+		t.Fatalf("EnvWorkers with SIMQUERY_WORKERS=5 = %d, %v", got, err)
 	}
-	if got := SetPoolSize(0); got != 5 {
-		t.Fatalf("SetPoolSize(0) under SIMQUERY_WORKERS=5 = %d", got)
+	if got, err := SetPoolSize(0); err != nil || got != 5 {
+		t.Fatalf("SetPoolSize(0) under SIMQUERY_WORKERS=5 = %d, %v", got, err)
 	}
-	t.Setenv("SIMQUERY_WORKERS", "banana")
-	if got := EnvWorkers(); got < 1 {
-		t.Fatalf("EnvWorkers with junk env = %d", got)
+	for _, junk := range []string{"banana", "0", "-3", "2.5", ""} {
+		t.Setenv("SIMQUERY_WORKERS", junk)
+		if junk == "" {
+			// Unset/empty is not an error: GOMAXPROCS default.
+			if got, err := EnvWorkers(); err != nil || got < 1 {
+				t.Fatalf("EnvWorkers with empty env = %d, %v", got, err)
+			}
+			continue
+		}
+		got, err := EnvWorkers()
+		if err == nil {
+			t.Fatalf("EnvWorkers with SIMQUERY_WORKERS=%q: want error", junk)
+		}
+		if got < 1 {
+			t.Fatalf("EnvWorkers fallback with SIMQUERY_WORKERS=%q = %d, want ≥ 1", junk, got)
+		}
+		before := PoolSize()
+		if _, err := SetPoolSize(0); err == nil {
+			t.Fatalf("SetPoolSize(0) with SIMQUERY_WORKERS=%q: want error", junk)
+		}
+		if PoolSize() != before {
+			t.Fatalf("SetPoolSize with invalid env replaced the pool (size %d -> %d)", before, PoolSize())
+		}
 	}
 }
