@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check lint verify bench bench-full kernel-smoke chaos
+.PHONY: build test race vet fmt-check lint verify bench bench-full kernel-smoke chaos fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,31 @@ kernel-smoke:
 chaos:
 	$(GO) test -run TestChaos -race -count=2 ./...
 
+# fuzz-smoke gives each native fuzz target a short budget — enough to
+# replay the corpus and shake loose shallow parser/decoder crashes on every
+# merge; long sessions stay manual (go test -fuzz=... -fuzztime=10m).
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./cardest/
+	$(GO) test -run='^$$' -fuzz=FuzzParseWorkers -fuzztime=$(FUZZTIME) ./internal/tensor/
+
+# cover prints per-package coverage and fails if total statement coverage
+# drops below the recorded baseline (set just under the measured total;
+# raise it when coverage improves, never lower it to make a PR pass).
+COVER_BASELINE ?= 80.0
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \
+	ok=$$(awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN{print (t+0 >= b+0) ? 1 : 0}'); \
+	if [ "$$ok" != "1" ]; then \
+		echo "coverage $$total% is below baseline $(COVER_BASELINE)%"; exit 1; \
+	fi
+
 # verify is the pre-merge gate: static checks, the kernel smoke, the chaos
-# suite, plus the full suite under the race detector (the serving engine is
-# concurrent; see DESIGN.md §7).
-verify: lint kernel-smoke chaos race
+# suite, the fuzz corpus smoke, plus the full suite under the race detector
+# (the serving engine is concurrent; see DESIGN.md §7).
+verify: lint kernel-smoke chaos fuzz-smoke race
 
 # bench regenerates the tracked kernel + end-to-end baseline (short
 # benchtime; commits as BENCH_kernels.json).

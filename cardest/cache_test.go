@@ -1,0 +1,392 @@
+package cardest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simquery/internal/estcache"
+	"simquery/internal/faultinject"
+)
+
+// countingEstimator wraps an Estimator and counts the calls that reach it,
+// so tests can observe exactly when the cache fell through to the model.
+type countingEstimator struct {
+	Estimator
+	searches atomic.Int64
+	batched  atomic.Int64
+}
+
+func (c *countingEstimator) EstimateSearch(q []float64, tau float64) float64 {
+	c.searches.Add(1)
+	return c.Estimator.EstimateSearch(q, tau)
+}
+
+func (c *countingEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	c.batched.Add(int64(len(qs)))
+	return c.Estimator.EstimateSearchBatch(qs, taus)
+}
+
+func newTestCache(t *testing.T, f fixture, entries, anchors int) *estcache.Cache {
+	t.Helper()
+	c, err := NewEstimateCache(entries, anchors, f.ds.TauMax(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewEstimateCacheValidation(t *testing.T) {
+	if _, err := NewEstimateCache(128, 8, 0, 0); err == nil {
+		t.Fatal("expected error on non-positive tauMax")
+	}
+	c, err := NewEstimateCache(128, 1, 10, 0) // k<2 defaults to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Anchors()); got != 8 {
+		t.Fatalf("default anchors %d want 8", got)
+	}
+	if a := c.Anchors(); a[len(a)-1] != 10 {
+		t.Fatalf("top anchor %v want tauMax", a[len(a)-1])
+	}
+}
+
+func TestCachedRobustServesAndDedupes(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 401})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingEstimator{Estimator: base}
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(counting, ServeOptions{Cache: cache})
+	if robust.Cache() != cache {
+		t.Fatal("Cache accessor")
+	}
+
+	q := f.test[0].Vec
+	tau := f.ds.TauMax() / 2
+	ctx := context.Background()
+	v1, err := robust.EstimateSearchCtx(ctx, q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fills := counting.batched.Load() + counting.searches.Load()
+	if fills == 0 {
+		t.Fatal("miss did not reach the estimator")
+	}
+	v2, err := robust.EstimateSearchCtx(ctx, q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("cached answer changed: %v vs %v", v1, v2)
+	}
+	if got := counting.batched.Load() + counting.searches.Load(); got != fills {
+		t.Fatalf("repeated query reached the estimator (%d calls, was %d)", got, fills)
+	}
+	st := cache.Stats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The plain (non-Ctx) facade goes through the same cache.
+	if v3 := robust.EstimateSearch(q, tau); v3 != v1 {
+		t.Fatalf("plain facade: %v want %v", v3, v1)
+	}
+	if got := counting.batched.Load() + counting.searches.Load(); got != fills {
+		t.Fatal("plain facade bypassed the cache")
+	}
+}
+
+func TestCachedRobustOutOfBandBypasses(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 402})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingEstimator{Estimator: base}
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(counting, ServeOptions{Cache: cache})
+	q := f.test[1].Vec
+	// Below the lowest anchor (tauMax/8): every call must reach the model.
+	tau := f.ds.TauMax() / 100
+	for i := 0; i < 3; i++ {
+		if _, err := robust.EstimateSearchCtx(context.Background(), q, tau); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counting.searches.Load(); got != 3 {
+		t.Fatalf("out-of-band calls reaching model: %d want 3", got)
+	}
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("out-of-band lookups touched the cache: %+v", st)
+	}
+}
+
+// TestCacheStaleGenerationNeverServed is the reload-safety acceptance
+// test: estimates cached before a model Save/Load are never served after
+// it.
+func TestCacheStaleGenerationNeverServed(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 403})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingEstimator{Estimator: base}
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(counting, ServeOptions{Cache: cache})
+	ctx := context.Background()
+	q := f.test[2].Vec
+	tau := f.ds.TauMax() / 3
+
+	if _, err := robust.EstimateSearchCtx(ctx, q, tau); err != nil {
+		t.Fatal(err)
+	}
+	callsAfterFill := counting.batched.Load() + counting.searches.Load()
+	if _, err := robust.EstimateSearchCtx(ctx, q, tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.batched.Load() + counting.searches.Load(); got != callsAfterFill {
+		t.Fatal("expected a cache hit before the reload")
+	}
+
+	// Model lifecycle event: save + reload bumps the generation.
+	path := filepath.Join(t.TempDir(), "m.model")
+	if err := Save(base, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, f.ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same (q, τ) must now re-reach the estimator: the pre-reload entry
+	// is stale.
+	if _, err := robust.EstimateSearchCtx(ctx, q, tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.batched.Load() + counting.searches.Load(); got == callsAfterFill {
+		t.Fatal("stale-generation estimate served after model reload")
+	}
+	// And hits resume under the new generation.
+	calls := counting.batched.Load() + counting.searches.Load()
+	if _, err := robust.EstimateSearchCtx(ctx, q, tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := counting.batched.Load() + counting.searches.Load(); got != calls {
+		t.Fatal("expected a cache hit after refill under the new generation")
+	}
+}
+
+func TestModelGenerationBumps(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 4, Seed: 404})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gen.model")
+	before := ModelGeneration()
+	if err := Save(base, path); err != nil {
+		t.Fatal(err)
+	}
+	afterSave := ModelGeneration()
+	if afterSave <= before {
+		t.Fatalf("Save did not bump generation: %d -> %d", before, afterSave)
+	}
+	if _, err := Load(path, f.ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := ModelGeneration(); got <= afterSave {
+		t.Fatalf("Load did not bump generation: %d -> %d", afterSave, got)
+	}
+}
+
+// TestCachedEstimatesMonotoneAndConsistent checks the serving-level
+// monotonicity acceptance: interpolated cached answers are non-decreasing
+// in τ and repeated identical queries answer identically.
+func TestCachedEstimatesMonotoneAndConsistent(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "qes", Epochs: 6, Seed: 405})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(base, ServeOptions{Cache: cache})
+	ctx := context.Background()
+	anchors := cache.Anchors()
+	lo, hi := anchors[0], anchors[len(anchors)-1]
+	for qi := 0; qi < 4; qi++ {
+		q := f.test[qi].Vec
+		prev := math.Inf(-1)
+		for i := 0; i <= 120; i++ {
+			tau := lo + (hi-lo)*float64(i)/120
+			if tau > hi {
+				tau = hi
+			}
+			v, err := robust.EstimateSearchCtx(ctx, q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("query %d: cached estimate decreased at tau=%v: %v < %v", qi, tau, v, prev)
+			}
+			prev = v
+			again, err := robust.EstimateSearchCtx(ctx, q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != v {
+				t.Fatalf("query %d: repeated estimate differs: %v vs %v", qi, v, again)
+			}
+		}
+	}
+}
+
+// TestCacheFaultyFillNotCached checks that injected non-finite outputs
+// never populate the cache: the request degrades to the fallback and the
+// next healthy request re-fills.
+func TestCacheFaultyFillNotCached(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 406})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := Train(f.ds, nil, TrainOptions{Method: "sampling", Seed: 407})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(base, ServeOptions{Cache: cache, Fallback: fallback})
+	q := f.test[3].Vec
+	tau := f.ds.TauMax() / 2
+
+	faultinject.Output.Set(&faultinject.Plan{NaNOn: 1, Repeat: true})
+	defer faultinject.Reset()
+	v, err := robust.EstimateSearchCtx(context.Background(), q, tau)
+	if err != nil {
+		t.Fatalf("degraded request failed: %v", err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("non-finite estimate served: %v", v)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("faulty fill populated the cache")
+	}
+	faultinject.Reset()
+
+	// Healthy again: the fill succeeds and hits resume.
+	v2, err := robust.EstimateSearchCtx(context.Background(), q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("healthy fill did not populate the cache")
+	}
+	v3, err := robust.EstimateSearchCtx(context.Background(), q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v3 {
+		t.Fatalf("post-recovery answers differ: %v vs %v", v2, v3)
+	}
+}
+
+// TestCacheMetricsExported scrapes a live /metrics endpoint and checks the
+// cache counter families are exported with the recorded values.
+func TestCacheMetricsExported(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 4, Seed: 408})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	cache := newTestCache(t, f, 256, 8)
+	robust := Harden(base, ServeOptions{Cache: cache})
+	q := f.test[4].Vec
+	tau := f.ds.TauMax() / 2
+	for i := 0; i < 5; i++ {
+		if _, err := robust.EstimateSearchCtx(context.Background(), q, tau); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", ts.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"simquery_estcache_hits_total 4",
+		"simquery_estcache_misses_total 1",
+		"simquery_estcache_hit_rate 0.8",
+		"simquery_estcache_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q; got:\n%s", want, text)
+		}
+	}
+}
+
+// TestCacheConcurrentRobust hammers the cached hardened path from many
+// goroutines (run under -race by make verify): identical misses must
+// singleflight and every answer must be finite and consistent.
+func TestCacheConcurrentRobust(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 409})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingEstimator{Estimator: base}
+	cache := newTestCache(t, f, 64, 4)
+	robust := Harden(counting, ServeOptions{Cache: cache, Deadline: 5 * time.Second})
+	ctx := context.Background()
+	qs := make([][]float64, 8)
+	for i := range qs {
+		qs[i] = f.test[i].Vec
+	}
+	tau := f.ds.TauMax() / 2
+	errc := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				v, err := robust.EstimateSearchCtx(ctx, qs[(g+i)%len(qs)], tau)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					errc <- fmt.Errorf("non-finite estimate %v", v)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 16 goroutines × 50 calls = 800 requests over 8 unique queries: the
+	// model must have been consulted far fewer times than once per request.
+	reached := counting.batched.Load() + counting.searches.Load()
+	if reached > 200 {
+		t.Fatalf("cache barely deduplicated: %d model calls for 800 requests", reached)
+	}
+}

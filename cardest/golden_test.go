@@ -1,0 +1,137 @@
+package cardest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden regression tests: fixed-seed end-to-end estimates for every
+// Table-2 estimator on the small synthetic dataset. Any numeric drift —
+// an accidental change to init, shuffling, a kernel, or the serving
+// path — fails loudly with a per-case diff. Refresh intentionally with:
+//
+//	go test ./cardest/ -run TestGoldenEstimates -update-golden
+//
+// and review the resulting testdata/golden_small.json diff like code.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden estimate files instead of comparing")
+
+const goldenRelTol = 1e-9
+
+// goldenCase is one (query, τ) probe; queries are indices into the
+// fixture's test workload so the file stays small and readable.
+type goldenCase struct {
+	Query    int     `json:"query"`
+	Tau      float64 `json:"tau"`
+	Estimate float64 `json:"estimate"`
+}
+
+type goldenFile struct {
+	Comment    string                  `json:"_comment"`
+	Estimators map[string][]goldenCase `json:"estimators"`
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden_small.json")
+}
+
+// goldenProbe computes the current estimates for the fixed probe grid.
+func goldenProbe(t *testing.T) map[string][]goldenCase {
+	t.Helper()
+	f := table2Estimators(t)
+	tauMax := f.ds.TauMax()
+	queryIdx := []int{0, 7, 14}
+	taus := []float64{tauMax * 0.25, tauMax * 0.5, tauMax * 0.75, tauMax}
+	out := make(map[string][]goldenCase, len(table2Methods))
+	for _, name := range table2Methods {
+		e := f.ests[name]
+		cases := make([]goldenCase, 0, len(queryIdx)*len(taus))
+		for _, qi := range queryIdx {
+			q := f.test[qi].Vec
+			for _, tau := range taus {
+				cases = append(cases, goldenCase{
+					Query:    qi,
+					Tau:      tau,
+					Estimate: e.EstimateSearch(q, tau),
+				})
+			}
+		}
+		out[name] = cases
+	}
+	return out
+}
+
+func TestGoldenEstimates(t *testing.T) {
+	got := goldenProbe(t)
+	path := goldenPath(t)
+
+	if *updateGolden {
+		gf := goldenFile{
+			Comment: "Fixed-seed end-to-end estimates for all Table-2 estimators on the " +
+				"small synthetic fixture. Regenerate with: go test ./cardest/ -run TestGoldenEstimates -update-golden",
+			Estimators: got,
+		}
+		data, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d estimators)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (%v); generate it with -update-golden", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+
+	var drift []string
+	for _, name := range table2Methods {
+		wc, ok := want.Estimators[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: missing from golden file", name))
+			continue
+		}
+		gc := got[name]
+		if len(wc) != len(gc) {
+			drift = append(drift, fmt.Sprintf("%s: case count changed: golden %d, current %d", name, len(wc), len(gc)))
+			continue
+		}
+		for i := range wc {
+			w, g := wc[i], gc[i]
+			if w.Query != g.Query || math.Abs(w.Tau-g.Tau) > goldenRelTol*math.Abs(w.Tau) {
+				drift = append(drift, fmt.Sprintf("%s[%d]: probe grid changed (query %d tau %v vs query %d tau %v)",
+					name, i, w.Query, w.Tau, g.Query, g.Tau))
+				continue
+			}
+			diff := math.Abs(w.Estimate - g.Estimate)
+			scale := math.Max(math.Abs(w.Estimate), 1)
+			if diff > goldenRelTol*scale {
+				drift = append(drift, fmt.Sprintf("%s: query=%d tau=%.6g: golden %.12g, current %.12g (rel %.3g)",
+					name, w.Query, w.Tau, w.Estimate, g.Estimate, diff/scale))
+			}
+		}
+	}
+	if len(drift) > 0 {
+		t.Errorf("NUMERIC DRIFT against %s — %d case(s) changed.\n"+
+			"If intentional (model/kernel change), regenerate with -update-golden and review the diff:",
+			path, len(drift))
+		for _, d := range drift {
+			t.Errorf("  %s", d)
+		}
+	}
+}

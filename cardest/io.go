@@ -112,6 +112,9 @@ func Save(e Estimator, path string) error {
 		_ = d.Sync()
 		_ = d.Close()
 	}
+	// A committed checkpoint is a model-lifecycle event: invalidate
+	// generation-stamped estimate caches (DESIGN.md §11).
+	bumpModelGeneration()
 	return nil
 }
 
@@ -194,6 +197,9 @@ func Load(path string, d *Dataset) (Estimator, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return nil, fmt.Errorf("%w: %s: decode: %v", ErrCorruptModel, path, err)
 	}
+	// The restored model may differ from whatever produced currently cached
+	// estimates: bump the generation so stale entries are never served.
+	bumpModelGeneration()
 	switch env.Kind {
 	case "globallocal":
 		gl := &model.GlobalLocal{}

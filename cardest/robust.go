@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"simquery/internal/estcache"
 	"simquery/internal/faultinject"
 	"simquery/internal/faulttol"
 	"simquery/internal/telemetry"
@@ -43,6 +44,18 @@ type ServeOptions struct {
 	// ladder. Each degraded answer is counted in
 	// simquery_degraded_estimates_total.
 	Fallback Estimator
+	// Cache, when set, answers repeated and near-repeated single-query
+	// estimates from τ-anchored entries by monotone interpolation
+	// (internal/estcache; build one with NewEstimateCache). Hits are served
+	// before admission — a cached answer costs no model work, so it is not
+	// shed and not deadline-bounded. Misses with in-band τ fill the entry
+	// through the primary's batch path under singleflight; out-of-band τ
+	// bypasses the cache entirely. Only healthy primary estimates are
+	// cached: fill errors, panics, and non-finite anchor values fall back
+	// to the uncached hardened path, so degraded answers never populate
+	// the cache. The cache is stamped with ModelGeneration on every
+	// lookup, so Save/Load invalidate it wholesale.
+	Cache *estcache.Cache
 }
 
 // RobustEstimator is the fault-tolerant serving wrapper produced by
@@ -59,6 +72,7 @@ type RobustEstimator struct {
 	fallback Estimator
 	gate     *faulttol.Gate
 	deadline time.Duration
+	cache    *estcache.Cache
 }
 
 // Harden wraps a trained estimator in the fault-tolerant serving path.
@@ -68,8 +82,12 @@ func Harden(e Estimator, opts ServeOptions) *RobustEstimator {
 		fallback: opts.Fallback,
 		gate:     faulttol.NewGate(opts.MaxInFlight),
 		deadline: opts.Deadline,
+		cache:    opts.Cache,
 	}
 }
+
+// Cache returns the attached estimate cache (nil when caching is off).
+func (r *RobustEstimator) Cache() *estcache.Cache { return r.cache }
 
 // RobustEstimator also satisfies the plain Estimator interface so it can
 // slot in anywhere a trained estimator is expected (Save unwraps it). The
@@ -141,10 +159,29 @@ func ctxFailure(err error) bool {
 }
 
 // EstimateSearchCtx answers one search estimate through the hardened path:
-// shed when over the in-flight limit, bounded by the per-request deadline,
-// panic-isolated, NaN/Inf-guarded, and degraded to the fallback estimator
-// when the primary faults.
+// cache-served when a fresh entry covers (q, τ), shed when over the
+// in-flight limit, bounded by the per-request deadline, panic-isolated,
+// NaN/Inf-guarded, and degraded to the fallback estimator when the primary
+// faults.
 func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (float64, error) {
+	if r.cache != nil && r.cache.InBand(tau) {
+		r.cache.SetGeneration(ModelGeneration())
+		v, err := r.cache.GetOrFill(q, tau, func(anchors []float64) ([]float64, error) {
+			return r.fillAnchors(ctx, q, anchors)
+		})
+		if err == nil {
+			return v, nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			return 0, err
+		}
+		if ctxFailure(err) && ctx.Err() != nil {
+			return 0, err
+		}
+		// The fill faulted (panic, non-finite anchor, or a singleflight
+		// peer's context died while ours is live): serve this request
+		// through the uncached hardened path, leaving the cache unfilled.
+	}
 	ctx, done, err := r.admit(ctx)
 	if err != nil {
 		return 0, err
@@ -164,6 +201,37 @@ func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, ta
 		return 0, err
 	}
 	return r.degradeSearch(q, tau, err)
+}
+
+// fillAnchors computes one healthy estimate per cache anchor for q through
+// the admitted, panic-isolated primary batch path. Any fault — shed,
+// deadline, panic, or a non-finite anchor value — is an error, so degraded
+// or unhealthy values never populate the cache.
+func (r *RobustEstimator) fillAnchors(ctx context.Context, q []float64, anchors []float64) ([]float64, error) {
+	ctx, done, err := r.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	qs := make([][]float64, len(anchors))
+	for i := range qs {
+		qs[i] = q
+	}
+	out, err := r.searchBatchPrimary(ctx, qs, anchors)
+	if err != nil {
+		return nil, err
+	}
+	if faultinject.Armed() {
+		for i := range out {
+			out[i] = faultinject.Output.Value(out[i])
+		}
+	}
+	for _, v := range out {
+		if !faulttol.Finite(v) {
+			return nil, faulttol.ErrNonFinite
+		}
+	}
+	return out, nil
 }
 
 // searchPrimary runs the primary's single estimate, via its cooperative

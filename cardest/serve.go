@@ -7,9 +7,45 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"simquery/internal/estcache"
 	"simquery/internal/telemetry"
 )
+
+// modelGen counts model (re)loads process-wide: Save and Load bump it on
+// success. The hardened serving path stamps its estimate cache with the
+// current generation on every lookup, so swapping in a new model makes
+// every cached estimate from the old one a miss — stale generations are
+// never served (DESIGN.md §11).
+var modelGen atomic.Uint64
+
+// ModelGeneration returns the process-wide model generation: the number of
+// successful Save/Load calls so far.
+func ModelGeneration() uint64 { return modelGen.Load() }
+
+// bumpModelGeneration advances the generation; called by Save and Load.
+func bumpModelGeneration() { modelGen.Add(1) }
+
+// NewEstimateCache builds an estimate cache with k τ anchors spaced
+// uniformly over (0, tauMax] — the serving default when no training
+// workload is at hand to place anchors by τ quantiles (see TauAnchors).
+// entries bounds the cached query count; ttl of 0 disables expiry.
+// Queries with τ below tauMax/k or above tauMax bypass the cache.
+func NewEstimateCache(entries, k int, tauMax float64, ttl time.Duration) (*estcache.Cache, error) {
+	if k < 2 {
+		k = 8
+	}
+	if tauMax <= 0 {
+		return nil, fmt.Errorf("cardest: tauMax must be positive, got %v", tauMax)
+	}
+	anchors := make([]float64, k)
+	for i := range anchors {
+		anchors[i] = tauMax * float64(i+1) / float64(k)
+	}
+	return estcache.New(estcache.Config{Entries: entries, Anchors: anchors, TTL: ttl})
+}
 
 // TelemetryServer is a running telemetry endpoint started by
 // ServeTelemetry. While it is open, its Registry is the process-wide
@@ -36,7 +72,9 @@ var expvarOnce sync.Once
 // addr (e.g. ":9090") exposing
 //
 //	/metrics        Prometheus text format (estimate-latency histograms,
-//	                stage spans, routing selectivity, training loss, ...)
+//	                stage spans, routing selectivity, training loss,
+//	                estimate-cache hit/miss/interp/evict counters and the
+//	                hit-rate gauge, ...)
 //	/debug/vars     expvar JSON, including a "simquery" snapshot with
 //	                count/mean/p50/p95/p99 per histogram
 //	/debug/pprof/   CPU, heap, and goroutine profiling

@@ -1,0 +1,66 @@
+package cardest
+
+import (
+	"sync"
+	"testing"
+)
+
+// table2Methods is the paper's Table 2 estimator lineup, in render order.
+var table2Methods = []string{
+	"gl+", "local+", "gl-cnn", "gl-mlp", "qes", "mlp", "cardnet", "sampling", "kernel",
+}
+
+// table2Fixture bundles the Table-2 suite's private dataset, workload, and
+// the nine trained estimators. It deliberately does NOT reuse getFixture:
+// other tests Insert into that shared dataset, which would make golden
+// values depend on test execution order.
+type table2Fixture struct {
+	ds    *Dataset
+	train []Query
+	test  []Query
+	ests  map[string]Estimator
+}
+
+var (
+	table2Once sync.Once
+	table2     table2Fixture
+	table2Err  error
+)
+
+// table2Estimators trains all nine Table-2 estimators once per test run on
+// a private fixed-seed fixture, so the golden and property suites reuse
+// one deterministic set of models.
+func table2Estimators(t *testing.T) table2Fixture {
+	t.Helper()
+	table2Once.Do(func() {
+		ds, err := GenerateProfile("imagenet", 1500, 10, 181)
+		if err != nil {
+			table2Err = err
+			return
+		}
+		train, test, err := BuildWorkload(ds, WorkloadOptions{TrainPoints: 60, TestPoints: 15, ThresholdsPerPoint: 5, Seed: 182})
+		if err != nil {
+			table2Err = err
+			return
+		}
+		ests := make(map[string]Estimator, len(table2Methods))
+		for i, method := range table2Methods {
+			est, err := Train(ds, train, TrainOptions{
+				Method:   method,
+				Segments: 4,
+				Epochs:   5,
+				Seed:     900 + int64(i),
+			})
+			if err != nil {
+				table2Err = err
+				return
+			}
+			ests[method] = est
+		}
+		table2 = table2Fixture{ds: ds, train: train, test: test, ests: ests}
+	})
+	if table2Err != nil {
+		t.Fatal(table2Err)
+	}
+	return table2
+}

@@ -168,6 +168,40 @@ func Train(d *Dataset, train []Query, opts TrainOptions) (Estimator, error) {
 	}
 }
 
+// TauAnchors picks k cache-anchor thresholds at evenly spaced quantiles of
+// the workload's τ distribution (deduplicated, strictly increasing) — the
+// data-driven alternative to NewEstimateCache's uniform spacing: anchors
+// land where queries actually are, so interpolation spans are short in the
+// dense part of the τ range. Returns nil when the workload has fewer than
+// two distinct positive thresholds.
+func TauAnchors(queries []Query, k int) []float64 {
+	if k < 2 {
+		k = 8
+	}
+	taus := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		if q.Tau > 0 {
+			taus = append(taus, q.Tau)
+		}
+	}
+	sort.Float64s(taus)
+	out := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		idx := i * (len(taus) - 1) / (k - 1)
+		if idx < 0 || idx >= len(taus) {
+			break
+		}
+		t := taus[idx]
+		if len(out) == 0 || t > out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
 func sampleAnchors(d *Dataset, k int, seed int64) [][]float64 {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([][]float64, k)

@@ -25,6 +25,8 @@ type kernelBenchResult struct {
 	MFLOPS      float64 `json:"mflops,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Workers     int     `json:"workers"`
+	HitRate     float64 `json:"hit_rate,omitempty"`
+	Speedup     float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // kernelBenchFile is the schema of BENCH_kernels.json. Results are
@@ -45,7 +47,7 @@ const kernelBenchtime = "300ms"
 
 // runKernels runs the tracked kernel + end-to-end benchmark suite and
 // writes the JSON baseline to outPath.
-func runKernels(outPath string, workers int, deadline time.Duration, maxInflight int) error {
+func runKernels(outPath string, workers int, deadline time.Duration, maxInflight, cacheEntries, cacheAnchors int) error {
 	testing.Init()
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		if err := f.Value.Set(kernelBenchtime); err != nil {
@@ -127,7 +129,7 @@ func runKernels(outPath string, workers int, deadline time.Duration, maxInflight
 	vec("dot_naive_1024", func() float64 { return tensor.NaiveDot(vx, vy) })
 	vec("dot_unrolled_1024", func() float64 { return tensor.Dot(vx, vy) })
 
-	if err := runEndToEnd(&file, workers, deadline, maxInflight); err != nil {
+	if err := runEndToEnd(&file, workers, deadline, maxInflight, cacheEntries, cacheAnchors); err != nil {
 		return err
 	}
 
@@ -146,7 +148,7 @@ func runKernels(outPath string, workers int, deadline time.Duration, maxInflight
 // runEndToEnd benchmarks the serving path — single and batched GL+
 // estimates over a small trained suite — so kernel-level wins are tracked
 // against what they actually buy end to end.
-func runEndToEnd(file *kernelBenchFile, workers int, deadline time.Duration, maxInflight int) error {
+func runEndToEnd(file *kernelBenchFile, workers int, deadline time.Duration, maxInflight, cacheEntries, cacheAnchors int) error {
 	fmt.Println("... training small GL+ suite for end-to-end benchmarks")
 	params := exper.Params{
 		N: 2000, Clusters: 12, TrainPoints: 60, TestPoints: 24,
@@ -219,6 +221,57 @@ func runEndToEnd(file *kernelBenchFile, workers int, deadline time.Duration, max
 		}
 		file.Results = append(file.Results, res)
 		fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op\n", res.Name, res.NsPerOp, "", res.AllocsPerOp)
+	}
+
+	// Opt-in row: the estimate cache on a repeated-query workload (the
+	// test queries cycled, thresholds clamped into the anchor band so the
+	// row measures cache hits, not out-of-band fall-through). Reports the
+	// measured hit rate and the speedup against estimate_search_serial.
+	if cacheEntries > 0 {
+		serialNs := 0.0
+		for _, r := range file.Results {
+			if r.Name == "estimate_search_serial" {
+				serialNs = r.NsPerOp
+			}
+		}
+		cache, err := cardest.NewEstimateCache(cacheEntries, cacheAnchors, env.DS.TauMax, 0)
+		if err != nil {
+			return err
+		}
+		robust := cardest.Harden(suite.GLPlus, cardest.ServeOptions{Cache: cache})
+		anchors := cache.Anchors()
+		lo, hi := anchors[0], anchors[len(anchors)-1]
+		ctaus := make([]float64, len(qs))
+		for i, q := range qs {
+			ctaus[i] = q.Tau
+			if ctaus[i] < lo {
+				ctaus[i] = lo
+			} else if ctaus[i] > hi {
+				ctaus[i] = hi
+			}
+		}
+		ctx := context.Background()
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := i % len(qs)
+				if _, err := robust.EstimateSearchCtx(ctx, qs[j].Vec, ctaus[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st := cache.Stats()
+		res = kernelBenchResult{
+			Name: "estimate_search_cached", Iterations: r.N,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), Workers: 1,
+			HitRate: st.HitRate(),
+		}
+		if serialNs > 0 {
+			res.Speedup = serialNs / res.NsPerOp
+		}
+		file.Results = append(file.Results, res)
+		fmt.Printf("%-28s %12.0f ns/op %17s %6d allocs/op  (hit rate %.1f%%, %.1fx vs serial)\n",
+			res.Name, res.NsPerOp, "", res.AllocsPerOp, 100*res.HitRate, res.Speedup)
 	}
 	return nil
 }

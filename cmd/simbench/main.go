@@ -36,6 +36,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
 		deadline    = flag.Duration("deadline", 0, "with -kernels: per-request deadline for the extra hardened-path benchmark row (0 = row omitted)")
 		maxInfl     = flag.Int("max-inflight", 0, "with -kernels: admission limit for the extra hardened-path benchmark row (0 = unlimited)")
+		cacheEnt    = flag.Int("cache-entries", 0, "with -kernels: estimate-cache capacity for the extra cached benchmark row (0 = row omitted)")
+		cacheAnch   = flag.Int("cache-anchors", 8, "with -kernels: τ anchors per cache entry for the cached benchmark row")
 	)
 	flag.Parse()
 	effWorkers, err := tensor.SetPoolSize(*workers)
@@ -44,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *kernels {
-		if err := runKernels(*benchOut, effWorkers, *deadline, *maxInfl); err != nil {
+		if err := runKernels(*benchOut, effWorkers, *deadline, *maxInfl, *cacheEnt, *cacheAnch); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
 		}

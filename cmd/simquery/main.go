@@ -34,6 +34,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
 		deadline  = flag.Duration("deadline", 0, "per-query estimate deadline (0 = none); enables the hardened serving path")
 		maxInfl   = flag.Int("max-inflight", 0, "max concurrent estimates before shedding with an overload error (0 = unlimited)")
+		cacheEnt  = flag.Int("cache-entries", 0, "estimate cache capacity in fingerprints (0 disables the cache)")
+		cacheAnch = flag.Int("cache-anchors", 8, "τ anchors per cache entry (unseen thresholds interpolate between them)")
 	)
 	flag.Parse()
 	if _, err := tensor.SetPoolSize(*workers); err != nil {
@@ -53,13 +55,13 @@ func main() {
 		defer ts.Close()
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
 	}
-	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac, *deadline, *maxInfl); err != nil {
+	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac, *deadline, *maxInfl, *cacheEnt, *cacheAnch); err != nil {
 		fmt.Fprintln(os.Stderr, "simquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64, deadline time.Duration, maxInflight int) error {
+func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64, deadline time.Duration, maxInflight, cacheEntries, cacheAnchors int) error {
 	ds, err := cardest.GenerateProfile(profile, n, clusters, seed)
 	if err != nil {
 		return err
@@ -76,11 +78,19 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 	if err != nil {
 		return err
 	}
-	robust := cardest.Harden(est, cardest.ServeOptions{
+	opts := cardest.ServeOptions{
 		Deadline:    deadline,
 		MaxInFlight: maxInflight,
 		Fallback:    fallback,
-	})
+	}
+	if cacheEntries > 0 {
+		cache, err := cardest.NewEstimateCache(cacheEntries, cacheAnchors, ds.TauMax(), 0)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+	}
+	robust := cardest.Harden(est, opts)
 	idx, err := cardest.NewExactIndex(ds, 16, seed+100)
 	if err != nil {
 		return err
@@ -110,5 +120,10 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 		return fmt.Errorf("no query completed (shed or timed out)")
 	}
 	fmt.Printf("model: %s  summary: %s\n", est.Name(), metrics.Summarize(qerrs))
+	if opts.Cache != nil {
+		st := opts.Cache.Stats()
+		fmt.Printf("cache: %d entries, %d hits / %d misses (hit rate %.0f%%), %d interpolated\n",
+			st.Entries, st.Hits, st.Misses, 100*st.HitRate(), st.Interpolated)
+	}
 	return nil
 }

@@ -8,13 +8,13 @@ import (
 )
 
 func TestRunMissingModel(t *testing.T) {
-	if err := run("/nonexistent/model.bin", "imagenet", 100, 4, 1, 2, 0.25, 0, 0); err == nil {
+	if err := run("/nonexistent/model.bin", "imagenet", 100, 4, 1, 2, 0.25, 0, 0, 0, 8); err == nil {
 		t.Fatal("expected error for missing model file")
 	}
 }
 
 func TestRunUnknownProfile(t *testing.T) {
-	if err := run("/nonexistent/model.bin", "marsdata", 100, 4, 1, 2, 0.25, 0, 0); err == nil {
+	if err := run("/nonexistent/model.bin", "marsdata", 100, 4, 1, 2, 0.25, 0, 0, 0, 8); err == nil {
 		t.Fatal("expected error for unknown profile")
 	}
 }
@@ -38,7 +38,7 @@ func TestRunHappyPathWithSavedModel(t *testing.T) {
 	if err := cardest.Save(est, path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "imagenet", 300, 4, 1, 3, 0.1, 5*time.Second, 4); err != nil {
+	if err := run(path, "imagenet", 300, 4, 1, 3, 0.1, 5*time.Second, 4, 64, 8); err != nil {
 		t.Fatal(err)
 	}
 }

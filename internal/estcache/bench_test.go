@@ -1,0 +1,88 @@
+package estcache
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCacheHitZeroAlloc pins the acceptance property that the serving hot
+// path depends on: a cache hit — fingerprint, shard lookup, LRU touch,
+// interpolation, counter updates — performs zero heap allocations, with
+// and without TTL checking.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	for _, ttl := range []time.Duration{0, time.Hour} {
+		c := mustNew(t, Config{Entries: 64, Anchors: uniformAnchors(8, 4), TTL: ttl})
+		q := []float64{1.5, -0.25, 3.125, 0.5}
+		if err := c.Put(q, []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			t.Fatal(err)
+		}
+		var v float64
+		var ok bool
+		allocs := testing.AllocsPerRun(1000, func() {
+			v, ok = c.Get(q, 1.7)
+		})
+		if !ok || v <= 0 {
+			t.Fatalf("ttl=%v: expected a hit, got %v, %v", ttl, v, ok)
+		}
+		if allocs != 0 {
+			t.Fatalf("ttl=%v: cache hit allocates %.1f times per op, want 0", ttl, allocs)
+		}
+	}
+}
+
+// TestCacheMissZeroAllocOnLookup pins that a bare miss (no fill) allocates
+// nothing either — the fall-through to the real estimator starts from a
+// clean slate.
+func TestCacheMissZeroAllocOnLookup(t *testing.T) {
+	c := mustNew(t, Config{Entries: 64, Anchors: uniformAnchors(8, 4)})
+	q := []float64{9, 9, 9}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Get(q, 1.7)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache miss allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c, err := New(Config{Entries: 1024, Anchors: uniformAnchors(8, 4)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64(i) * 0.5
+	}
+	if err := c.Put(q, []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(q, 1.7); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCacheHitParallel(b *testing.B) {
+	c, err := New(Config{Entries: 1024, Anchors: uniformAnchors(8, 4)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([][]float64, 64)
+	for i := range qs {
+		qs[i] = []float64{float64(i), float64(i) * 2}
+		if err := c.Put(qs[i], []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(qs[i%len(qs)], 2.3)
+			i++
+		}
+	})
+}

@@ -1,0 +1,477 @@
+// Package estcache is a sharded, concurrency-safe cache of cardinality
+// estimates that exploits the models' monotonicity in τ (§2 of the paper;
+// cf. Wang et al., "Monotonic Cardinality Estimation of Similarity
+// Selection", VLDB 2020): each entry stores estimates at a small set of τ
+// anchors for one (quantized) query vector, and answers any in-band τ by
+// monotone interpolation between the bracketing anchors. Repeated and
+// near-repeated queries — the dominant shape of production traffic — are
+// then served without touching the model at all.
+//
+// Design points (DESIGN.md §11):
+//
+//   - Keys are 128-bit fingerprints of the query vector with the low 28
+//     mantissa bits of every coordinate dropped, so float noise below
+//     ~float32 precision maps to the same entry ("near-repeated" hits).
+//   - Anchor estimates are isotonic-clamped (prefix-maxed) at insert, so
+//     interpolation is provably non-decreasing in τ and always inside the
+//     [anchor-low, anchor-high] envelope.
+//   - Shards are independent mutex+map+intrusive-LRU structures; the hit
+//     path performs no allocation.
+//   - Concurrent misses on the same fingerprint are deduplicated with a
+//     per-shard singleflight table: one caller fills, the rest wait.
+//   - Entries carry the generation stamp current at insert; SetGeneration
+//     (bumped by cardest.Load/Save on model reload) makes every older
+//     entry a miss, so a reloaded model never serves stale estimates.
+//   - TTL eviction is lazy (checked on lookup); LRU eviction is eager
+//     (checked on insert).
+package estcache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simquery/internal/telemetry"
+)
+
+// quantMask drops the low 28 bits of the float64 mantissa, keeping ~24
+// significant bits (float32-ish precision) so queries differing only by
+// low-order float noise share a fingerprint.
+const quantMask uint64 = 0xFFFF_FFFF_F000_0000
+
+// Digest seeds and multipliers (splitmix64 finalizer constants). The two
+// digests differ in seed and fold order, so a collision must defeat two
+// independent 64-bit hashes — the entry stores both and lookups compare
+// both.
+const (
+	hashSeed1 = 14695981039346656037
+	hashSeed2 = hashSeed1 ^ 0x9e3779b97f4a7c15
+	mixMul1   = 0xbf58476d1ce4e5b9
+	mixMul2   = 0x94d049bb133111eb
+)
+
+// mix64 is the splitmix64 finalizer: a fast full-avalanche bijection.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * mixMul1
+	z = (z ^ (z >> 27)) * mixMul2
+	return z ^ (z >> 31)
+}
+
+// Fingerprint returns the 128-bit quantized digest of q — one mix per
+// coordinate word, not per byte, so fingerprinting stays a small fraction
+// of a hit's cost even at high dimensionality. Exported for tests and for
+// callers that want to pre-shard work.
+func Fingerprint(q []float64) (h1, h2 uint64) {
+	h1, h2 = hashSeed1, hashSeed2
+	for _, v := range q {
+		bits := math.Float64bits(v) & quantMask
+		h1 = mix64(h1 ^ bits)
+		h2 = mix64(h2^bits) * mixMul1
+	}
+	// Finalize with the length so prefixes don't collide trivially.
+	h1 = mix64(h1 ^ uint64(len(q)))
+	h2 = mix64(h2 ^ uint64(len(q)<<1))
+	return h1, h2
+}
+
+// entry is one cached query: isotonic-clamped estimates at the cache's τ
+// anchors, an insert-time generation stamp, an optional expiry, and
+// intrusive LRU links within its shard.
+type entry struct {
+	key, key2  uint64
+	gen        uint64
+	expireAt   int64 // UnixNano; 0 = no TTL
+	ests       []float64
+	prev, next *entry
+}
+
+// shard is an independent slice of the cache: a map for lookup, an
+// intrusive LRU ring (head.next = most recent), and the singleflight table
+// for in-progress fills.
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	head    entry // sentinel of the LRU ring
+	flights map[uint64]*flight
+}
+
+// flight is one in-progress fill; waiters block on wg and read ests/err
+// after Done.
+type flight struct {
+	wg   sync.WaitGroup
+	ests []float64
+	err  error
+}
+
+func (s *shard) init() {
+	s.entries = make(map[uint64]*entry)
+	s.flights = make(map[uint64]*flight)
+	s.head.prev = &s.head
+	s.head.next = &s.head
+}
+
+// unlink removes e from the LRU ring.
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// pushFront marks e most-recently-used.
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+}
+
+// Config configures New. Entries and Anchors are required.
+type Config struct {
+	// Entries bounds the total number of cached queries across all shards.
+	Entries int
+	// Anchors are the τ values estimated per entry, strictly increasing.
+	// Lookups for τ outside [Anchors[0], Anchors[last]] are out-of-band:
+	// Get reports a miss without recording one, and GetOrFill refuses.
+	Anchors []float64
+	// TTL bounds entry age (0 = no expiry).
+	TTL time.Duration
+	// Shards is the shard count (default 16, rounded up to a power of two).
+	Shards int
+}
+
+// Cache is the sharded estimate cache. All methods are safe for concurrent
+// use. The zero value is not usable; construct with New.
+type Cache struct {
+	shards   []shard
+	mask     uint64
+	anchors  []float64
+	perShard int
+	ttl      time.Duration
+	gen      atomic.Uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	interps   atomic.Int64
+	evictions atomic.Int64
+	size      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Interpolated, Evictions, Entries int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// New builds a cache. Anchors must be strictly increasing and positive;
+// Entries must be positive.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("estcache: entries must be positive, got %d", cfg.Entries)
+	}
+	if len(cfg.Anchors) < 2 {
+		return nil, fmt.Errorf("estcache: need at least 2 anchors, got %d", len(cfg.Anchors))
+	}
+	for i, a := range cfg.Anchors {
+		if a <= 0 || math.IsInf(a, 0) || math.IsNaN(a) {
+			return nil, fmt.Errorf("estcache: anchor %d = %v must be finite and positive", i, a)
+		}
+		if i > 0 && a <= cfg.Anchors[i-1] {
+			return nil, fmt.Errorf("estcache: anchors must be strictly increasing (anchor %d = %v after %v)", i, a, cfg.Anchors[i-1])
+		}
+	}
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	perShard := (cfg.Entries + pow - 1) / pow
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards:   make([]shard, pow),
+		mask:     uint64(pow - 1),
+		anchors:  append([]float64(nil), cfg.Anchors...),
+		perShard: perShard,
+		ttl:      cfg.TTL,
+	}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c, nil
+}
+
+// Anchors returns the cache's τ anchors (shared, do not mutate).
+func (c *Cache) Anchors() []float64 { return c.anchors }
+
+// InBand reports whether τ lies inside the anchor span — the range the
+// cache can answer by interpolation.
+func (c *Cache) InBand(tau float64) bool {
+	return tau >= c.anchors[0] && tau <= c.anchors[len(c.anchors)-1]
+}
+
+// Generation returns the current generation stamp.
+func (c *Cache) Generation() uint64 { return c.gen.Load() }
+
+// SetGeneration installs g as the current generation. Entries inserted
+// under any other stamp become lazy misses (evicted on next touch), so a
+// model reload invalidates the whole cache in O(1).
+func (c *Cache) SetGeneration(g uint64) { c.gen.Store(g) }
+
+// Invalidate drops all cached estimates by bumping the generation. Use
+// SetGeneration instead when tracking an external reload counter.
+func (c *Cache) Invalidate() { c.gen.Add(1) }
+
+// Len returns the number of live entries (including not-yet-collected
+// stale ones).
+func (c *Cache) Len() int { return int(c.size.Load()) }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Interpolated: c.interps.Load(),
+		Evictions:    c.evictions.Load(),
+		Entries:      c.size.Load(),
+	}
+}
+
+// recordHit updates counters and telemetry for one answered lookup.
+func (c *Cache) recordHit(interpolated bool) {
+	h := c.hits.Add(1)
+	if interpolated {
+		c.interps.Add(1)
+	}
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return
+	}
+	rec.Count(telemetry.MetricCacheHits, 1)
+	if interpolated {
+		rec.Count(telemetry.MetricCacheInterpolated, 1)
+	}
+	rec.SetGauge(telemetry.MetricCacheHitRate, float64(h)/float64(h+c.misses.Load()))
+}
+
+// recordMiss updates counters and telemetry for one fall-through lookup.
+func (c *Cache) recordMiss() {
+	m := c.misses.Add(1)
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return
+	}
+	rec.Count(telemetry.MetricCacheMisses, 1)
+	rec.SetGauge(telemetry.MetricCacheHitRate, float64(c.hits.Load())/float64(c.hits.Load()+m))
+}
+
+// recordEvictions counts n dropped entries.
+func (c *Cache) recordEvictions(n int64) {
+	c.evictions.Add(n)
+	sz := c.size.Add(-n)
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return
+	}
+	rec.Count(telemetry.MetricCacheEvictions, n)
+	rec.SetGauge(telemetry.MetricCacheEntries, float64(sz))
+}
+
+// interpolate evaluates the isotonic envelope ests at tau, which must be
+// in-band. The result is clamped to the bracketing anchor estimates, so it
+// never leaves the [anchor-low, anchor-high] envelope even under float
+// round-off.
+func (c *Cache) interpolate(ests []float64, tau float64) (v float64, interpolated bool) {
+	i := sort.SearchFloat64s(c.anchors, tau)
+	if i < len(c.anchors) && c.anchors[i] == tau {
+		return ests[i], false
+	}
+	// In-band and not an exact anchor: anchors[i-1] < tau < anchors[i].
+	lo, hi := ests[i-1], ests[i]
+	frac := (tau - c.anchors[i-1]) / (c.anchors[i] - c.anchors[i-1])
+	v = lo + frac*(hi-lo)
+	if v < lo {
+		v = lo
+	} else if v > hi {
+		v = hi
+	}
+	return v, true
+}
+
+// Get answers τ for q from the cache. ok is false on fingerprint miss,
+// stale generation, expired TTL, or out-of-band τ. The hit path allocates
+// nothing.
+func (c *Cache) Get(q []float64, tau float64) (v float64, ok bool) {
+	if !c.InBand(tau) {
+		return 0, false
+	}
+	h1, h2 := Fingerprint(q)
+	gen := c.gen.Load()
+	var expired int64
+	if c.ttl > 0 {
+		expired = time.Now().UnixNano()
+	}
+	s := &c.shards[h1&c.mask]
+	s.mu.Lock()
+	e := s.entries[h1]
+	if e == nil || e.key2 != h2 {
+		s.mu.Unlock()
+		c.recordMiss()
+		return 0, false
+	}
+	if e.gen != gen || (e.expireAt != 0 && e.expireAt <= expired) {
+		delete(s.entries, h1)
+		s.unlink(e)
+		s.mu.Unlock()
+		c.recordEvictions(1)
+		c.recordMiss()
+		return 0, false
+	}
+	if s.head.next != e {
+		s.unlink(e)
+		s.pushFront(e)
+	}
+	ests := e.ests
+	s.mu.Unlock()
+	v, interpolated := c.interpolate(ests, tau)
+	c.recordHit(interpolated)
+	return v, true
+}
+
+// Put inserts isotonic-clamped (prefix-maxed) copies of ests — one value
+// per anchor — for q under the current generation, evicting the shard's
+// LRU tail if it is full. len(ests) must equal len(Anchors()).
+func (c *Cache) Put(q []float64, ests []float64) error {
+	h1, h2 := Fingerprint(q)
+	clamped, err := c.clamp(ests)
+	if err != nil {
+		return err
+	}
+	c.put(h1, h2, clamped)
+	return nil
+}
+
+// clamp validates and prefix-maxes ests into a fresh slice.
+func (c *Cache) clamp(ests []float64) ([]float64, error) {
+	if len(ests) != len(c.anchors) {
+		return nil, fmt.Errorf("estcache: %d estimates for %d anchors", len(ests), len(c.anchors))
+	}
+	out := make([]float64, len(ests))
+	running := math.Inf(-1)
+	for i, e := range ests {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("estcache: non-finite estimate %v at anchor %d", e, i)
+		}
+		if e > running {
+			running = e
+		}
+		out[i] = running
+	}
+	return out, nil
+}
+
+// put installs the already-clamped slice.
+func (c *Cache) put(h1, h2 uint64, clamped []float64) {
+	gen := c.gen.Load()
+	var expire int64
+	if c.ttl > 0 {
+		expire = time.Now().Add(c.ttl).UnixNano()
+	}
+	s := &c.shards[h1&c.mask]
+	var evicted int64
+	s.mu.Lock()
+	if e := s.entries[h1]; e != nil {
+		// Same fingerprint (or a first-hash collision: last writer wins —
+		// key2 guards lookups, so a mismatched entry can only miss).
+		e.key2 = h2
+		e.gen = gen
+		e.expireAt = expire
+		e.ests = clamped
+		if s.head.next != e {
+			s.unlink(e)
+			s.pushFront(e)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if len(s.entries) >= c.perShard {
+		tail := s.head.prev
+		delete(s.entries, tail.key)
+		s.unlink(tail)
+		evicted = 1
+	}
+	e := &entry{key: h1, key2: h2, gen: gen, expireAt: expire, ests: clamped}
+	s.entries[h1] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.recordEvictions(evicted)
+	}
+	sz := c.size.Add(1)
+	if rec := telemetry.Default(); rec.Enabled() {
+		rec.SetGauge(telemetry.MetricCacheEntries, float64(sz))
+	}
+}
+
+// GetOrFill answers τ for q, filling the entry on miss via fill — called
+// with the cache's anchors, expected to return one finite estimate per
+// anchor. Concurrent misses on the same fingerprint are deduplicated: one
+// caller runs fill, the rest wait and share the result (a fill error is
+// shared too, and nothing is cached). Out-of-band τ is an error; check
+// InBand first and fall through to the estimator directly.
+func (c *Cache) GetOrFill(q []float64, tau float64, fill func(anchors []float64) ([]float64, error)) (float64, error) {
+	if v, ok := c.Get(q, tau); ok {
+		return v, nil
+	}
+	if !c.InBand(tau) {
+		return 0, fmt.Errorf("estcache: τ=%v outside anchor band [%v, %v]", tau, c.anchors[0], c.anchors[len(c.anchors)-1])
+	}
+	h1, h2 := Fingerprint(q)
+	s := &c.shards[h1&c.mask]
+	s.mu.Lock()
+	if fl := s.flights[h1]; fl != nil {
+		s.mu.Unlock()
+		fl.wg.Wait()
+		if fl.err != nil {
+			return 0, fl.err
+		}
+		v, _ := c.interpolate(fl.ests, tau)
+		return v, nil
+	}
+	fl := &flight{}
+	fl.wg.Add(1)
+	s.flights[h1] = fl
+	s.mu.Unlock()
+
+	ests, err := fill(c.anchors)
+	var clamped []float64
+	if err == nil {
+		clamped, err = c.clamp(ests)
+	}
+	fl.ests, fl.err = clamped, err
+	s.mu.Lock()
+	delete(s.flights, h1)
+	s.mu.Unlock()
+	fl.wg.Done()
+	if err != nil {
+		return 0, err
+	}
+	c.put(h1, h2, clamped)
+	v, _ := c.interpolate(clamped, tau)
+	return v, nil
+}

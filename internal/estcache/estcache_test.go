@@ -1,0 +1,476 @@
+package estcache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simquery/internal/telemetry"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func uniformAnchors(k int, tauMax float64) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = tauMax * float64(i+1) / float64(k)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	anchors := uniformAnchors(4, 1)
+	cases := []Config{
+		{Entries: 0, Anchors: anchors},
+		{Entries: 8, Anchors: nil},
+		{Entries: 8, Anchors: []float64{0.5}},
+		{Entries: 8, Anchors: []float64{0.5, 0.5}},
+		{Entries: 8, Anchors: []float64{0.5, 0.25}},
+		{Entries: 8, Anchors: []float64{0, 0.5}},
+		{Entries: 8, Anchors: []float64{0.5, math.NaN()}},
+		{Entries: 8, Anchors: []float64{0.5, math.Inf(1)}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Entries: 8, Anchors: anchors}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestGetPutRoundtrip(t *testing.T) {
+	c := mustNew(t, Config{Entries: 16, Anchors: []float64{1, 2, 3, 4}})
+	q := []float64{0.5, -1.25, 3}
+	if _, ok := c.Get(q, 2); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(q, []float64{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Exact anchors.
+	for i, tau := range c.Anchors() {
+		v, ok := c.Get(q, tau)
+		if !ok || v != []float64{10, 20, 30, 40}[i] {
+			t.Fatalf("anchor %v: got %v, %v", tau, v, ok)
+		}
+	}
+	// Midpoint interpolation.
+	if v, ok := c.Get(q, 1.5); !ok || v != 15 {
+		t.Fatalf("tau=1.5: got %v, %v want 15", v, ok)
+	}
+	// Out-of-band: below lowest and above highest anchor.
+	if _, ok := c.Get(q, 0.5); ok {
+		t.Fatal("hit below anchor band")
+	}
+	if _, ok := c.Get(q, 4.5); ok {
+		t.Fatal("hit above anchor band")
+	}
+	if c.InBand(0.5) || c.InBand(4.5) || !c.InBand(2.5) {
+		t.Fatal("InBand disagrees with the anchor span")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	c := mustNew(t, Config{Entries: 4, Anchors: []float64{1, 2}})
+	if err := c.Put([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if err := c.Put([]float64{1}, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("expected non-finite error")
+	}
+	if err := c.Put([]float64{1}, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("expected non-finite error")
+	}
+}
+
+func TestIsotonicClampAndEnvelope(t *testing.T) {
+	anchors := []float64{1, 2, 3, 4}
+	c := mustNew(t, Config{Entries: 16, Anchors: anchors})
+	q := []float64{7}
+	// Non-monotone raw estimates: the cache must clamp to the running max.
+	if err := c.Put(q, []float64{10, 5, 30, 20}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 10, 30, 30}
+	prev := math.Inf(-1)
+	for i := 0; i <= 300; i++ {
+		tau := 1 + 3*float64(i)/300
+		v, ok := c.Get(q, tau)
+		if !ok {
+			t.Fatalf("miss at in-band tau=%v", tau)
+		}
+		if v < prev {
+			t.Fatalf("estimate decreased at tau=%v: %v < %v", tau, v, prev)
+		}
+		prev = v
+		// Envelope: within the bracketing anchors' clamped values.
+		for j := 1; j < len(anchors); j++ {
+			if tau >= anchors[j-1] && tau <= anchors[j] {
+				if v < want[j-1]-1e-12 || v > want[j]+1e-12 {
+					t.Fatalf("tau=%v: %v outside envelope [%v, %v]", tau, v, want[j-1], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestFingerprintQuantization(t *testing.T) {
+	q := []float64{1.5, -2.25, 0.875, 1e-3}
+	h1, h2 := Fingerprint(q)
+	// Noise below the quantization floor maps to the same fingerprint.
+	noisy := make([]float64, len(q))
+	for i, v := range q {
+		noisy[i] = math.Float64frombits(math.Float64bits(v) + 3) // last-bits jitter
+	}
+	if n1, n2 := Fingerprint(noisy); n1 != h1 || n2 != h2 {
+		t.Fatal("near-identical query got a different fingerprint")
+	}
+	// A real change does not.
+	changed := append([]float64(nil), q...)
+	changed[2] *= 1.01
+	if c1, c2 := Fingerprint(changed); c1 == h1 && c2 == h2 {
+		t.Fatal("distinct query collided on both hashes")
+	}
+	// And the cache serves the noisy twin from the original's entry.
+	c := mustNew(t, Config{Entries: 4, Anchors: []float64{1, 2}})
+	if err := c.Put(q, []float64{3, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(noisy, 2); !ok || v != 6 {
+		t.Fatalf("near-repeated lookup: got %v, %v want 6", v, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard so the LRU order is global and deterministic.
+	c := mustNew(t, Config{Entries: 3, Anchors: []float64{1, 2}, Shards: 1})
+	qs := [][]float64{{1}, {2}, {3}, {4}}
+	for i, q := range qs[:3] {
+		if err := c.Put(q, []float64{float64(i), float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch q0 so q1 is the LRU tail, then insert q3.
+	if _, ok := c.Get(qs[0], 1); !ok {
+		t.Fatal("q0 should hit")
+	}
+	if err := c.Put(qs[3], []float64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(qs[1], 1); ok {
+		t.Fatal("LRU entry q1 should have been evicted")
+	}
+	for _, q := range [][]float64{qs[0], qs[2], qs[3]} {
+		if _, ok := c.Get(q, 1); !ok {
+			t.Fatalf("entry %v should have survived", q)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := mustNew(t, Config{Entries: 4, Anchors: []float64{1, 2}, TTL: 10 * time.Millisecond})
+	q := []float64{1}
+	if err := c.Put(q, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(q, 1); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Get(q, 1); ok {
+		t.Fatal("expired entry served")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := mustNew(t, Config{Entries: 4, Anchors: []float64{1, 2}})
+	q := []float64{1}
+	if err := c.Put(q, []float64{5, 10}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetGeneration(7)
+	if _, ok := c.Get(q, 1); ok {
+		t.Fatal("stale-generation entry served")
+	}
+	// Re-filled under the new generation, it hits again.
+	if err := c.Put(q, []float64{6, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(q, 2); !ok || v != 12 {
+		t.Fatalf("post-refill: got %v, %v want 12", v, ok)
+	}
+	c.Invalidate()
+	if _, ok := c.Get(q, 2); ok {
+		t.Fatal("entry served after Invalidate")
+	}
+}
+
+func TestGetOrFill(t *testing.T) {
+	c := mustNew(t, Config{Entries: 8, Anchors: []float64{1, 2, 3, 4}})
+	q := []float64{2}
+	var fills atomic.Int64
+	fill := func(anchors []float64) ([]float64, error) {
+		fills.Add(1)
+		out := make([]float64, len(anchors))
+		for i, a := range anchors {
+			out[i] = 10 * a
+		}
+		return out, nil
+	}
+	v, err := c.GetOrFill(q, 2.5, fill)
+	if err != nil || v != 25 {
+		t.Fatalf("first call: %v, %v want 25", v, err)
+	}
+	v, err = c.GetOrFill(q, 3, fill)
+	if err != nil || v != 30 {
+		t.Fatalf("cached call: %v, %v want 30", v, err)
+	}
+	if fills.Load() != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills.Load())
+	}
+	// Out-of-band τ refuses rather than mis-answering.
+	if _, err := c.GetOrFill(q, 0.1, fill); err == nil {
+		t.Fatal("expected out-of-band error")
+	}
+	// Fill errors propagate and cache nothing.
+	boom := errors.New("boom")
+	if _, err := c.GetOrFill([]float64{99}, 2, func([]float64) ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("fill error: %v", err)
+	}
+	if _, ok := c.Get([]float64{99}, 2); ok {
+		t.Fatal("failed fill populated the cache")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := mustNew(t, Config{Entries: 8, Anchors: []float64{1, 2}})
+	q := []float64{3}
+	var fills atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]float64, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrFill(q, 1.5, func(anchors []float64) ([]float64, error) {
+				fills.Add(1)
+				<-release
+				return []float64{2, 4}, nil
+			})
+		}(i)
+	}
+	// Let the goroutines pile onto the flight, then release the fill.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical misses ran %d fills, want 1", waiters, got)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != 3 {
+			t.Fatalf("waiter %d: %v, %v want 3", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := mustNew(t, Config{Entries: 8, Anchors: []float64{1, 2}})
+	q := []float64{1}
+	c.Get(q, 1) // miss
+	if err := c.Put(q, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(q, 1)   // hit (exact)
+	c.Get(q, 1.5) // hit (interpolated)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Interpolated != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := st.HitRate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("hit rate %v want 2/3", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("zero stats hit rate must be 0")
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(nil)
+	c := mustNew(t, Config{Entries: 1, Anchors: []float64{1, 2}, Shards: 1})
+	q1, q2 := []float64{1}, []float64{2}
+	c.Get(q1, 1) // miss
+	if err := c.Put(q1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(q1, 1)   // hit
+	c.Get(q1, 1.5) // interpolated hit
+	if err := c.Put(q2, []float64{3, 4}); err != nil {
+		t.Fatal(err) // evicts q1 (capacity 1)
+	}
+	if got := reg.CounterValue(telemetry.MetricCacheHits, ""); got != 2 {
+		t.Fatalf("hits counter %d want 2", got)
+	}
+	if got := reg.CounterValue(telemetry.MetricCacheMisses, ""); got != 1 {
+		t.Fatalf("misses counter %d want 1", got)
+	}
+	if got := reg.CounterValue(telemetry.MetricCacheInterpolated, ""); got != 1 {
+		t.Fatalf("interpolated counter %d want 1", got)
+	}
+	if got := reg.CounterValue(telemetry.MetricCacheEvictions, ""); got != 1 {
+		t.Fatalf("evictions counter %d want 1", got)
+	}
+	if got := reg.GaugeValue(telemetry.MetricCacheHitRate, ""); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("hit-rate gauge %v want 2/3", got)
+	}
+	if got := reg.GaugeValue(telemetry.MetricCacheEntries, ""); got != 1 {
+		t.Fatalf("entries gauge %v want 1", got)
+	}
+}
+
+// TestMonotoneInterpolationRandomized is the cache-level property test:
+// for random anchor sets and random (even non-monotone) raw estimates, the
+// served curve is non-decreasing in τ and stays inside the bracketing
+// anchor envelope.
+func TestMonotoneInterpolationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(7)
+		anchors := make([]float64, k)
+		cur := 0.1 + rng.Float64()
+		for i := range anchors {
+			anchors[i] = cur
+			cur += 0.05 + rng.Float64()
+		}
+		c := mustNew(t, Config{Entries: 8, Anchors: anchors})
+		q := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		raw := make([]float64, k)
+		for i := range raw {
+			raw[i] = rng.Float64() * 1000 // deliberately non-monotone
+		}
+		if err := c.Put(q, raw); err != nil {
+			t.Fatal(err)
+		}
+		clamped := make([]float64, k)
+		running := math.Inf(-1)
+		for i, e := range raw {
+			if e > running {
+				running = e
+			}
+			clamped[i] = running
+		}
+		span := anchors[k-1] - anchors[0]
+		prev := math.Inf(-1)
+		for i := 0; i <= 500; i++ {
+			tau := anchors[0] + span*float64(i)/500
+			if tau > anchors[k-1] {
+				tau = anchors[k-1] // float round-off at the top of the sweep
+			}
+			v, ok := c.Get(q, tau)
+			if !ok {
+				t.Fatalf("trial %d: miss at in-band tau=%v", trial, tau)
+			}
+			if v < prev {
+				t.Fatalf("trial %d: non-monotone at tau=%v: %v < %v", trial, tau, v, prev)
+			}
+			prev = v
+			if v < clamped[0]-1e-9 || v > clamped[k-1]+1e-9 {
+				t.Fatalf("trial %d: %v outside global envelope [%v, %v]", trial, v, clamped[0], clamped[k-1])
+			}
+		}
+	}
+}
+
+// TestConcurrentMixedUse hammers one cache from many goroutines (run under
+// -race by make verify).
+func TestConcurrentMixedUse(t *testing.T) {
+	c := mustNew(t, Config{Entries: 64, Anchors: uniformAnchors(4, 8), TTL: time.Second})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				q := []float64{float64(rng.Intn(100))}
+				tau := 2 + 4*rng.Float64()
+				switch i % 3 {
+				case 0:
+					c.Get(q, tau)
+				case 1:
+					_, _ = c.GetOrFill(q, tau, func(anchors []float64) ([]float64, error) {
+						out := make([]float64, len(anchors))
+						for j, a := range anchors {
+							out[j] = a * q[0]
+						}
+						return out, nil
+					})
+				default:
+					if i%30 == 0 {
+						c.SetGeneration(uint64(rng.Intn(3)))
+					}
+					_ = c.Put(q, []float64{1, 2, 3, 4})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() < 0 || c.Len() > 64 {
+		t.Fatalf("entry count out of bounds: %d", c.Len())
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	c := mustNew(t, Config{Entries: 100, Anchors: []float64{1, 2}, Shards: 5})
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", got)
+	}
+	// Capacity is honored approximately (ceil division per shard).
+	for i := 0; i < 1000; i++ {
+		if err := c.Put([]float64{float64(i)}, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 8*13 {
+		t.Fatalf("cache grew past per-shard caps: %d", c.Len())
+	}
+}
+
+func ExampleCache() {
+	c, _ := New(Config{Entries: 1024, Anchors: []float64{0.25, 0.5, 0.75, 1.0}})
+	q := []float64{0.1, 0.9}
+	v, _ := c.GetOrFill(q, 0.6, func(anchors []float64) ([]float64, error) {
+		// One real estimator call per anchor (batched in production).
+		return []float64{12, 30, 41, 55}, nil
+	})
+	fmt.Printf("card(q, 0.6) ≈ %.1f\n", v)
+	v2, hit := c.Get(q, 0.6)
+	fmt.Printf("cached: %.1f (hit=%v)\n", v2, hit)
+	// Output:
+	// card(q, 0.6) ≈ 34.4
+	// cached: 34.4 (hit=true)
+}

@@ -82,6 +82,12 @@ func NewRegistry() *Registry {
 	r.RegisterCounter(MetricRecoveredPanics, "Panics converted into errors by the fault-tolerant serving paths.", "")
 	r.RegisterCounter(MetricDegradedEstimates, "Estimates answered by the fallback estimator after a primary fault.", "")
 	r.RegisterCounter(MetricShedRequests, "Estimate requests rejected by the admission gate (in-flight limit).", "")
+	r.RegisterCounter(MetricCacheHits, "Estimate-cache lookups answered from a cached entry.", "")
+	r.RegisterCounter(MetricCacheMisses, "Estimate-cache lookups that fell through to the real estimator.", "")
+	r.RegisterCounter(MetricCacheInterpolated, "Cache hits answered by monotone interpolation between τ anchors.", "")
+	r.RegisterCounter(MetricCacheEvictions, "Estimate-cache entries dropped (LRU, TTL, or stale generation).", "")
+	r.RegisterGauge(MetricCacheHitRate, "Cumulative estimate-cache hit fraction: hits / (hits + misses).", "")
+	r.RegisterGauge(MetricCacheEntries, "Live entries across all estimate-cache shards.", "")
 	return r
 }
 

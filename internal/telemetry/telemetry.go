@@ -77,6 +77,25 @@ const (
 	// MetricShedRequests counts estimate requests rejected by the
 	// admission gate because the in-flight limit was reached.
 	MetricShedRequests = "simquery_shed_requests_total"
+	// MetricCacheHits counts estimate-cache lookups answered from a cached
+	// entry (exact anchor or interpolated).
+	MetricCacheHits = "simquery_estcache_hits_total"
+	// MetricCacheMisses counts estimate-cache lookups that fell through to
+	// the real estimator (fingerprint miss, stale generation, or expired
+	// TTL).
+	MetricCacheMisses = "simquery_estcache_misses_total"
+	// MetricCacheInterpolated counts cache hits answered by monotone
+	// interpolation between τ anchors rather than an exact anchor match.
+	MetricCacheInterpolated = "simquery_estcache_interpolated_total"
+	// MetricCacheEvictions counts entries dropped from the estimate cache
+	// (LRU pressure, TTL expiry, or stale generation).
+	MetricCacheEvictions = "simquery_estcache_evictions_total"
+	// MetricCacheHitRate is the cumulative hit fraction of the estimate
+	// cache: hits / (hits + misses) since process start.
+	MetricCacheHitRate = "simquery_estcache_hit_rate"
+	// MetricCacheEntries is the current number of live entries across all
+	// cache shards.
+	MetricCacheEntries = "simquery_estcache_entries"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving

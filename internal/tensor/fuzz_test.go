@@ -1,0 +1,32 @@
+package tensor
+
+import (
+	"strconv"
+	"testing"
+)
+
+// FuzzParseWorkers drives arbitrary strings through the worker-count
+// parser. Invariants: never panics; a nil error implies a strictly
+// positive count; and any accepted value round-trips through its decimal
+// rendering to the same count.
+func FuzzParseWorkers(f *testing.F) {
+	for _, s := range []string{"1", "8", " 16 ", "0", "-3", "", "abc", "1e3", "+7", "0x10", "999999999999999999999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseWorkers(s)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("ParseWorkers(%q): error with nonzero count %d", s, n)
+			}
+			return
+		}
+		if n <= 0 {
+			t.Fatalf("ParseWorkers(%q) accepted non-positive count %d", s, n)
+		}
+		rt, err := ParseWorkers(strconv.Itoa(n))
+		if err != nil || rt != n {
+			t.Fatalf("ParseWorkers(%q) = %d does not round-trip: got %d, err %v", s, n, rt, err)
+		}
+	})
+}
