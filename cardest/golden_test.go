@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"simquery/cardest/plan"
 )
 
 // Golden regression tests: fixed-seed end-to-end estimates for every
@@ -30,9 +32,18 @@ type goldenCase struct {
 	Estimate float64 `json:"estimate"`
 }
 
+// compoundGoldenCase pins one compound-predicate estimate: the expression
+// (in the -pred grammar, q<i> referencing test-workload queries) and the
+// plan-layer estimate it produced.
+type compoundGoldenCase struct {
+	Expr     string  `json:"expr"`
+	Estimate float64 `json:"estimate"`
+}
+
 type goldenFile struct {
-	Comment    string                  `json:"_comment"`
-	Estimators map[string][]goldenCase `json:"estimators"`
+	Comment    string                          `json:"_comment"`
+	Estimators map[string][]goldenCase         `json:"estimators"`
+	Compounds  map[string][]compoundGoldenCase `json:"compounds,omitempty"`
 }
 
 func goldenPath(t *testing.T) string {
@@ -66,8 +77,56 @@ func goldenProbe(t *testing.T) map[string][]goldenCase {
 	return out
 }
 
+// goldenCompoundProbe evaluates a fixed set of compound predicates through
+// the plan layer for every Table-2 estimator. Leaf thresholds are
+// fractions of the method's own supported τ cap (so learned methods never
+// probe beyond their trained band), baked into the stored expression as
+// full-precision literals.
+func goldenCompoundProbe(t *testing.T) map[string][]compoundGoldenCase {
+	t.Helper()
+	f := table2Estimators(t)
+	lookup := func(name string) ([]float64, bool) {
+		var qi int
+		if _, err := fmt.Sscanf(name, "q%d", &qi); err != nil || qi < 0 || qi >= len(f.test) {
+			return nil, false
+		}
+		return f.test[qi].Vec, true
+	}
+	out := make(map[string][]compoundGoldenCase, len(table2Methods))
+	for _, name := range table2Methods {
+		e := f.ests[name]
+		p, err := PlanFor(f.ds, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := planTauCap(e, f.ds)
+		t1, t2, t3 := 0.3*cap, 0.5*cap, 0.7*cap
+		exprs := []string{
+			fmt.Sprintf("sim(vec, q0, %g) and sim(vec, q7, %g)", t2, t3),
+			fmt.Sprintf("sim(vec, q0, %g) or sim(vec, q14, %g)", t2, t1),
+			fmt.Sprintf("not sim(vec, q7, %g)", t2),
+			fmt.Sprintf("(sim(vec, q0, %g) or sim(vec, q7, %g)) and not sim(vec, q14, %g)", t1, t2, t3),
+		}
+		cases := make([]compoundGoldenCase, 0, len(exprs))
+		for _, expr := range exprs {
+			pred, err := plan.Parse(expr, lookup)
+			if err != nil {
+				t.Fatalf("%s: Parse(%q): %v", name, expr, err)
+			}
+			est, err := p.EstimateFor(pred)
+			if err != nil {
+				t.Fatalf("%s: EstimateFor(%q): %v", name, expr, err)
+			}
+			cases = append(cases, compoundGoldenCase{Expr: expr, Estimate: est})
+		}
+		out[name] = cases
+	}
+	return out
+}
+
 func TestGoldenEstimates(t *testing.T) {
 	got := goldenProbe(t)
+	gotCompound := goldenCompoundProbe(t)
 	path := goldenPath(t)
 
 	if *updateGolden {
@@ -75,6 +134,7 @@ func TestGoldenEstimates(t *testing.T) {
 			Comment: "Fixed-seed end-to-end estimates for all Table-2 estimators on the " +
 				"small synthetic fixture. Regenerate with: go test ./cardest/ -run TestGoldenEstimates -update-golden",
 			Estimators: got,
+			Compounds:  gotCompound,
 		}
 		data, err := json.MarshalIndent(gf, "", "  ")
 		if err != nil {
@@ -123,6 +183,31 @@ func TestGoldenEstimates(t *testing.T) {
 			if diff > goldenRelTol*scale {
 				drift = append(drift, fmt.Sprintf("%s: query=%d tau=%.6g: golden %.12g, current %.12g (rel %.3g)",
 					name, w.Query, w.Tau, w.Estimate, g.Estimate, diff/scale))
+			}
+		}
+	}
+	for _, name := range table2Methods {
+		wc, ok := want.Compounds[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: compounds missing from golden file", name))
+			continue
+		}
+		gc := gotCompound[name]
+		if len(wc) != len(gc) {
+			drift = append(drift, fmt.Sprintf("%s: compound case count changed: golden %d, current %d", name, len(wc), len(gc)))
+			continue
+		}
+		for i := range wc {
+			w, g := wc[i], gc[i]
+			if w.Expr != g.Expr {
+				drift = append(drift, fmt.Sprintf("%s[compound %d]: probe expression changed (%q vs %q)", name, i, w.Expr, g.Expr))
+				continue
+			}
+			diff := math.Abs(w.Estimate - g.Estimate)
+			scale := math.Max(math.Abs(w.Estimate), 1)
+			if diff > goldenRelTol*scale {
+				drift = append(drift, fmt.Sprintf("%s: compound %q: golden %.12g, current %.12g (rel %.3g)",
+					name, w.Expr, w.Estimate, g.Estimate, diff/scale))
 			}
 		}
 	}

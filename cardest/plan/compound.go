@@ -1,0 +1,312 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binding attaches one attribute to the estimator that answers its Sim
+// leaves, plus the attribute's validation envelope.
+type Binding struct {
+	// Attr is the attribute name Sim leaves reference.
+	Attr string
+	// Estimator answers single-threshold estimates for this attribute.
+	Estimator LeafEstimator
+	// Dim is the attribute's vector dimensionality; 0 skips the check.
+	Dim int
+	// TauMin and TauMax bound the supported threshold range; PreCheck
+	// rejects leaves outside [TauMin, TauMax] with ErrTauOutOfRange. A
+	// TauMax of 0 means unbounded (normalized to +Inf).
+	TauMin, TauMax float64
+	// N is the attribute's dataset size. Required: it is the complement
+	// base for Not and the clamp ceiling for every estimate over this
+	// attribute.
+	N float64
+	// Family, Generation, Wrappers, BatchNative, CacheServed enrich
+	// Describe; Family defaults to "unknown" and CacheServed is also
+	// discovered from the estimator via the CacheServer interface.
+	Family      string
+	Generation  uint64
+	Wrappers    []string
+	BatchNative bool
+	CacheServed bool
+}
+
+// Compound is the pluggable Estimator over a set of attribute bindings.
+// Compound evaluation follows the containment / inclusion–exclusion
+// composition (Hayek & Shmueli's containment-rate view of compound
+// selectivities): estimates move through selectivity space s = est/N where
+//
+//	s(Sim)      = clamp(leaf/N, 0, 1)
+//	s(Not p)    = 1 − s(p)
+//	s(And …)    = Π s(ci), clamped to min s(ci)  (containment upper bound)
+//	s(Or …)     = 1 − Π (1 − s(ci)), clamped to [max s(ci), min(Σ s(ci), 1)]
+//
+// and the returned estimate is N·s(root). The clamps guarantee the bounds
+// invariants of Estimator.EstimateFor for every node even if a leaf
+// estimator misbehaves (negative or > N output); for healthy leaves the
+// product forms already satisfy them and the clamps are inert.
+//
+// For multi-attribute predicates N is the maximum bound dataset size: the
+// attributes are assumed to be columns of one logical table, so a
+// predicate's matching-row count is bounded by the table's row count.
+type Compound struct {
+	bindings map[string]*Binding
+	order    []string // binding order, for Describe
+	n        float64  // max dataset size across bindings
+}
+
+// NewCompound builds a Compound over the given bindings. Every binding
+// needs a non-nil estimator, a distinct attribute name, and a positive N.
+func NewCompound(bindings ...Binding) (*Compound, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("plan: NewCompound needs at least one binding")
+	}
+	c := &Compound{bindings: make(map[string]*Binding, len(bindings))}
+	for i := range bindings {
+		b := bindings[i]
+		if b.Attr == "" {
+			return nil, fmt.Errorf("plan: binding %d has an empty attribute name", i)
+		}
+		if b.Estimator == nil {
+			return nil, fmt.Errorf("plan: binding %q has a nil estimator", b.Attr)
+		}
+		if b.N <= 0 || math.IsNaN(b.N) || math.IsInf(b.N, 0) {
+			return nil, fmt.Errorf("plan: binding %q has dataset size %v (want a positive finite count)", b.Attr, b.N)
+		}
+		if _, dup := c.bindings[b.Attr]; dup {
+			return nil, fmt.Errorf("plan: duplicate binding for attribute %q", b.Attr)
+		}
+		if b.TauMax <= 0 {
+			b.TauMax = math.Inf(1)
+		}
+		if b.TauMin < 0 || b.TauMin >= b.TauMax {
+			return nil, fmt.Errorf("plan: binding %q has τ range [%v, %v]", b.Attr, b.TauMin, b.TauMax)
+		}
+		if cs, ok := b.Estimator.(CacheServer); ok && cs.CacheServed() {
+			b.CacheServed = true
+		}
+		c.bindings[b.Attr] = &b
+		c.order = append(c.order, b.Attr)
+		if b.N > c.n {
+			c.n = b.N
+		}
+	}
+	return c, nil
+}
+
+// N returns the compound's clamp ceiling: the largest bound dataset size.
+func (c *Compound) N() float64 { return c.n }
+
+// Describe implements Estimator.
+func (c *Compound) Describe() Metadata {
+	md := Metadata{
+		Family:      "compound",
+		DatasetSize: c.n,
+		BatchNative: true,
+		CacheServed: true,
+	}
+	if len(c.order) == 1 {
+		b := c.bindings[c.order[0]]
+		md.Name = b.Estimator.Name()
+		if b.Family != "" {
+			md.Family = b.Family
+		}
+	} else {
+		md.Name = fmt.Sprintf("compound(%d attrs)", len(c.order))
+	}
+	for _, attr := range c.order {
+		b := c.bindings[attr]
+		md.Attributes = append(md.Attributes, attr)
+		md.TauMin = append(md.TauMin, b.TauMin)
+		md.TauMax = append(md.TauMax, b.TauMax)
+		md.SizeBytes += b.Estimator.SizeBytes()
+		if b.Generation > md.Generation {
+			md.Generation = b.Generation
+		}
+		md.BatchNative = md.BatchNative && b.BatchNative
+		md.CacheServed = md.CacheServed && b.CacheServed
+		if len(c.order) == 1 {
+			md.Wrappers = b.Wrappers
+		}
+	}
+	return md
+}
+
+// PreCheck implements Estimator: structural validation plus binding,
+// dimensionality, and τ-range checks on every leaf. Errors wrap the typed
+// sentinels (ErrInvalidPredicate, ErrUnknownAttribute, ErrDimMismatch,
+// ErrTauOutOfRange).
+func (c *Compound) PreCheck(p *Predicate) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, leaf := range p.Leaves() {
+		b := c.bindings[leaf.Attr]
+		if b == nil {
+			return fmt.Errorf("%w: %q (bound: %v)", ErrUnknownAttribute, leaf.Attr, c.order)
+		}
+		if b.Dim > 0 && len(leaf.Query) != b.Dim {
+			return fmt.Errorf("%w: sim(%s) query has dim %d, attribute has dim %d",
+				ErrDimMismatch, leaf.Attr, len(leaf.Query), b.Dim)
+		}
+		if leaf.Tau < b.TauMin || leaf.Tau > b.TauMax {
+			return fmt.Errorf("%w: sim(%s) τ=%v, supported range [%v, %v]",
+				ErrTauOutOfRange, leaf.Attr, leaf.Tau, b.TauMin, b.TauMax)
+		}
+	}
+	return nil
+}
+
+// EstimateFor implements Estimator. Per-leaf estimates are batched through
+// the bound estimators' EstimateSearchBatch — one call per attribute, so a
+// predicate with k leaves over one attribute costs one routed batch, not k
+// single estimates — except for cache-served attributes, whose leaves go
+// through the single-query path one by one to stay eligible for the
+// τ-anchor estimate cache. Composition and clamping are pure float work on
+// the leaf results.
+func (c *Compound) EstimateFor(p *Predicate) (float64, error) {
+	if err := c.PreCheck(p); err != nil {
+		return 0, err
+	}
+	sel, err := c.leafSelectivities(p)
+	if err != nil {
+		return 0, err
+	}
+	s := evalSelectivity(p, sel)
+	return s * c.n, nil
+}
+
+// leafSelectivities estimates every Sim leaf and returns per-leaf
+// selectivities (est/N, clamped to [0,1]) keyed by leaf node identity.
+func (c *Compound) leafSelectivities(p *Predicate) (map[*Predicate]float64, error) {
+	leaves := p.Leaves()
+	sel := make(map[*Predicate]float64, len(leaves))
+	// Group distinct leaves per attribute, preserving order.
+	byAttr := make(map[string][]*Predicate)
+	for _, leaf := range leaves {
+		if _, dup := sel[leaf]; dup {
+			continue // shared subtree: estimate once
+		}
+		sel[leaf] = math.NaN() // mark seen
+		byAttr[leaf.Attr] = append(byAttr[leaf.Attr], leaf)
+	}
+	for _, attr := range c.sortedAttrs(byAttr) {
+		group := byAttr[attr]
+		b := c.bindings[attr]
+		var ests []float64
+		if b.CacheServed {
+			ests = make([]float64, len(group))
+			for i, leaf := range group {
+				ests[i] = b.Estimator.EstimateSearch(leaf.Query, leaf.Tau)
+			}
+		} else {
+			qs := make([][]float64, len(group))
+			taus := make([]float64, len(group))
+			for i, leaf := range group {
+				qs[i] = leaf.Query
+				taus[i] = leaf.Tau
+			}
+			ests = b.Estimator.EstimateSearchBatch(qs, taus)
+			if len(ests) != len(group) {
+				return nil, fmt.Errorf("%w: attribute %q returned %d estimates for %d leaves",
+					ErrEstimateFault, attr, len(ests), len(group))
+			}
+		}
+		for i, leaf := range group {
+			e := ests[i]
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				return nil, fmt.Errorf("%w: attribute %q leaf %d estimate is %v", ErrEstimateFault, attr, i, e)
+			}
+			// Leaf clamp: 0 ≤ est ≤ N in selectivity space.
+			s := e / b.N
+			if s < 0 {
+				s = 0
+			} else if s > 1 {
+				s = 1
+			}
+			sel[leaf] = s
+		}
+	}
+	return sel, nil
+}
+
+// sortedAttrs returns byAttr's keys in binding order (deterministic batch
+// issue order regardless of map iteration).
+func (c *Compound) sortedAttrs(byAttr map[string][]*Predicate) []string {
+	out := make([]string, 0, len(byAttr))
+	for _, attr := range c.order {
+		if _, ok := byAttr[attr]; ok {
+			out = append(out, attr)
+		}
+	}
+	if len(out) != len(byAttr) { // leaves over attrs outside the binding order cannot happen post-PreCheck; be safe
+		out = out[:0]
+		for attr := range byAttr {
+			out = append(out, attr)
+		}
+		sort.Strings(out)
+	}
+	return out
+}
+
+// evalSelectivity composes leaf selectivities up the tree with the
+// containment / inclusion–exclusion rules, clamping at every node. The
+// result is always in [0, 1]; by induction every subtree satisfies the
+// bounds invariants.
+func evalSelectivity(p *Predicate, sel map[*Predicate]float64) float64 {
+	switch p.Op {
+	case OpSim:
+		return sel[p]
+	case OpNot:
+		s := 1 - evalSelectivity(p.Children[0], sel)
+		return clamp01(s)
+	case OpAnd:
+		prod := 1.0
+		lo := 1.0 // min over children: the containment upper bound
+		for _, ch := range p.Children {
+			s := evalSelectivity(ch, sel)
+			prod *= s
+			if s < lo {
+				lo = s
+			}
+		}
+		if prod > lo {
+			prod = lo
+		}
+		return clamp01(prod)
+	case OpOr:
+		prodNeg := 1.0
+		hi := 0.0 // max over children: the lower bound
+		sum := 0.0
+		for _, ch := range p.Children {
+			s := evalSelectivity(ch, sel)
+			prodNeg *= 1 - s
+			sum += s
+			if s > hi {
+				hi = s
+			}
+		}
+		s := 1 - prodNeg
+		if s < hi {
+			s = hi
+		}
+		if s > sum {
+			s = sum
+		}
+		return clamp01(s)
+	default:
+		return 0 // unreachable post-Validate
+	}
+}
+
+func clamp01(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package plan
+
+import "errors"
+
+// Typed errors. Every failure returned by this package wraps one of these,
+// so optimizers can triage with errors.Is: an unknown attribute means the
+// predicate references data the estimator plane does not serve, an
+// out-of-range τ means the estimate would extrapolate beyond the trained
+// threshold band, and an invalid predicate is a malformed tree (a planner
+// bug, not a data problem).
+var (
+	// ErrInvalidPredicate reports a structurally malformed predicate tree.
+	ErrInvalidPredicate = errors.New("plan: invalid predicate")
+	// ErrUnknownAttribute reports a Sim leaf over an attribute with no bound
+	// estimator.
+	ErrUnknownAttribute = errors.New("plan: unknown attribute")
+	// ErrTauOutOfRange reports a leaf threshold outside the bound
+	// estimator's supported (trained) τ range — answering it would silently
+	// extrapolate.
+	ErrTauOutOfRange = errors.New("plan: τ outside the estimator's supported range")
+	// ErrDimMismatch reports a leaf query vector whose dimensionality does
+	// not match the bound estimator's attribute.
+	ErrDimMismatch = errors.New("plan: query dimensionality mismatch")
+	// ErrParse reports a malformed predicate expression; the concrete error
+	// is a *ParseError carrying the byte offset.
+	ErrParse = errors.New("plan: parse error")
+	// ErrEstimateFault reports a non-finite or failed leaf estimate.
+	ErrEstimateFault = errors.New("plan: leaf estimate fault")
+)
+
+// Metadata describes an estimator to the optimizer consuming it: which
+// method answers, over which attributes, inside which τ band, and under
+// which model generation (so a plan cached against generation g can be
+// invalidated when the model is swapped).
+type Metadata struct {
+	// Name is the method label (Table 2 naming for the paper's estimators).
+	Name string
+	// Family is the method family: "global-local", "basic-nn", "cardnet",
+	// "sampling", "kernel", "prototype", or "compound" for multi-attribute
+	// planners.
+	Family string
+	// Attributes lists the attributes this estimator answers, in binding
+	// order.
+	Attributes []string
+	// TauMin and TauMax bound the supported threshold range per attribute
+	// position (aligned with Attributes). A TauMax of +Inf means the
+	// estimator answers any threshold without extrapolating (sampling,
+	// kernel).
+	TauMin, TauMax []float64
+	// DatasetSize is the number of data objects N — the complement base for
+	// NOT and the upper clamp for every estimate.
+	DatasetSize float64
+	// Generation is the model generation the estimator currently serves
+	// (see cardest.ModelGeneration); 0 when untracked.
+	Generation uint64
+	// BatchNative reports whether leaf batches run through a native batched
+	// path rather than a serialized per-query loop.
+	BatchNative bool
+	// CacheServed reports whether single-leaf estimates can be answered
+	// from a τ-anchor estimate cache.
+	CacheServed bool
+	// Wrappers lists serving-layer wrappers between the optimizer and the
+	// base model, outermost first (e.g. "robust", "monotone").
+	Wrappers []string
+	// SizeBytes is the total bound-model footprint.
+	SizeBytes int
+}
+
+// Estimator is the optimizer-facing estimation interface (the shape of
+// PostBOUND's JoinBoundCardinalityEstimator, specialized to similarity
+// predicates). Implementations must be safe for concurrent use once
+// constructed.
+type Estimator interface {
+	// EstimateFor returns the estimated cardinality of p over the bound
+	// dataset(s). The estimate satisfies the algebra's bounds invariants:
+	// 0 ≤ est ≤ N, est(And) ≤ min over children, max over children ≤
+	// est(Or) ≤ min(sum over children, N).
+	EstimateFor(p *Predicate) (float64, error)
+	// Describe reports the estimator's metadata.
+	Describe() Metadata
+	// PreCheck validates p without estimating: structure, attribute
+	// bindings, dimensionalities, and τ ranges. A nil return guarantees
+	// EstimateFor(p) will not fail for predicate-shape reasons.
+	PreCheck(p *Predicate) error
+}
+
+// LeafEstimator is the minimal single-attribute surface the compound
+// algebra composes over. cardest.Estimator satisfies it, as do the
+// internal Table-2 model types — the interface is structural on purpose so
+// this package depends on neither.
+type LeafEstimator interface {
+	Name() string
+	EstimateSearch(q []float64, tau float64) float64
+	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
+	SizeBytes() int
+}
+
+// CacheServer is optionally implemented by leaf estimators whose
+// single-query path is answered by a τ-anchor estimate cache
+// (cardest.RobustEstimator with ServeOptions.Cache). When an attribute's
+// estimator reports true, compound evaluation sends that attribute's
+// leaves through EstimateSearch one by one — each call is then
+// cache-eligible via the existing quantized-fingerprint entries — instead
+// of the batch path, which bypasses the cache.
+type CacheServer interface {
+	CacheServed() bool
+}

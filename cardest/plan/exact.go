@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeafSearcher answers a Sim leaf exactly: the row ids (0 ≤ id < n) whose
+// attribute value lies within tau of q. cardest's exact index Search is
+// the canonical implementation.
+type LeafSearcher func(attr string, q []float64, tau float64) ([]int, error)
+
+// ExactCount evaluates p exactly over a table of n rows: each leaf's
+// matching-row set comes from search, and the tree composes them with set
+// algebra (And = intersection, Or = union, Not = complement against the
+// full table). It is the ground-truth labeler for the compound-predicate
+// accuracy harness — q-error for a compound estimate is measured against
+// this count.
+func ExactCount(n int, p *Predicate, search LeafSearcher) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("plan: ExactCount over negative table size %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if search == nil {
+		return 0, fmt.Errorf("plan: ExactCount needs a LeafSearcher")
+	}
+	set, err := exactSet(n, p, search)
+	if err != nil {
+		return 0, err
+	}
+	return set.count(), nil
+}
+
+func exactSet(n int, p *Predicate, search LeafSearcher) (bitset, error) {
+	switch p.Op {
+	case OpSim:
+		ids, err := search(p.Attr, p.Query, p.Tau)
+		if err != nil {
+			return nil, fmt.Errorf("plan: exact search for sim(%s, τ=%v): %w", p.Attr, p.Tau, err)
+		}
+		set := newBitset(n)
+		for _, id := range ids {
+			if id < 0 || id >= n {
+				return nil, fmt.Errorf("plan: exact search for %q returned row id %d outside [0, %d)", p.Attr, id, n)
+			}
+			set.set(id)
+		}
+		return set, nil
+	case OpNot:
+		set, err := exactSet(n, p.Children[0], search)
+		if err != nil {
+			return nil, err
+		}
+		set.complement(n)
+		return set, nil
+	case OpAnd:
+		acc, err := exactSet(n, p.Children[0], search)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range p.Children[1:] {
+			next, err := exactSet(n, c, search)
+			if err != nil {
+				return nil, err
+			}
+			acc.intersect(next)
+		}
+		return acc, nil
+	case OpOr:
+		acc, err := exactSet(n, p.Children[0], search)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range p.Children[1:] {
+			next, err := exactSet(n, c, search)
+			if err != nil {
+				return nil, err
+			}
+			acc.union(next)
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown operator %v", ErrInvalidPredicate, p.Op)
+	}
+}
+
+// bitset is a fixed-width row-id set; width is established by newBitset
+// and every operand in one ExactCount evaluation shares it.
+type bitset []uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// complement flips membership for rows [0, n), masking tail bits beyond n.
+func (b bitset) complement(n int) {
+	for i := range b {
+		b[i] = ^b[i]
+	}
+	if tail := uint(n) % 64; tail != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << tail) - 1
+	}
+}
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += popcount(w)
+	}
+	return total
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// QError is the standard cardinality-estimation error metric extended to
+// compound predicates: max(est, ε)/max(actual, ε) folded to ≥ 1, with
+// ε = 1 guarding empty results (the convention the single-τ metrics
+// package uses).
+func QError(est float64, actual int) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(float64(actual), 1)
+	if e > a {
+		return e / a
+	}
+	return a / e
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePredicate pins the parser's contract: it never panics on any
+// input and every failure is a *ParseError wrapping ErrParse. Successful
+// parses must produce structurally valid trees that re-render and re-parse
+// to the same canonical form.
+func FuzzParsePredicate(f *testing.F) {
+	seeds := []string{
+		"sim(vec, q0, 0.25)",
+		"sim(vec, q0, 0.25) and sim(vec, q1, 0.5)",
+		"not (sim(vec, q0, 0.1) or sim(vec, q1, 0.2))",
+		"SIM(a, q2, 1e-3) AND NOT sim(b, q0, .5)",
+		"((sim(v, q1, 0.5)))",
+		"sim(v, q0, 0.1) or",
+		"sim(v, q99, 0.1)",
+		"sim(, , )",
+		"not not not sim(v, q0, 0)",
+		strings.Repeat("(", 300) + "sim(v, q0, 1)" + strings.Repeat(")", 300),
+		"and and and",
+		"sim(v, q0, 0x1p10)",
+		"\x00\xff sim",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lookup := func(name string) ([]float64, bool) {
+		switch name {
+		case "q0", "q1", "q2":
+			return []float64{0.5, 0.5}, true
+		}
+		return nil, false
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr, lookup)
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("Parse(%q) error %v does not wrap ErrParse", expr, err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error %T is not a *ParseError", expr, err)
+			}
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid tree: %v", expr, verr)
+		}
+		// Canonical rendering must be a fixed point of parse∘format.
+		canon := p.String()
+		// String() emits qvec[dim] placeholders which are not themselves
+		// parseable references; substitute a known one for the round trip.
+		rt := strings.ReplaceAll(canon, "qvec[2]", "q0")
+		if !strings.Contains(rt, "qvec[") {
+			back, err := Parse(rt, lookup)
+			if err != nil {
+				t.Fatalf("canonical form %q does not re-parse: %v", rt, err)
+			}
+			if got := strings.ReplaceAll(back.String(), "qvec[2]", "q0"); got != rt {
+				t.Fatalf("canonical form not a fixed point: %q → %q", rt, got)
+			}
+		}
+	})
+}

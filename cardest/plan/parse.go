@@ -1,0 +1,271 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The expression grammar (-pred syntax in simquery, case-insensitive
+// keywords):
+//
+//	expr   := term { "or" term }
+//	term   := factor { "and" factor }
+//	factor := "not" factor | "(" expr ")" | leaf
+//	leaf   := "sim" "(" attr "," qref "," number ")"
+//
+// attr and qref are identifiers; qref is resolved to a query vector
+// through the lookup function given to Parse (CLIs conventionally name
+// sampled queries q0, q1, …). Example:
+//
+//	sim(vec, q0, 0.25) and not (sim(vec, q1, 0.4) or sim(vec, q2, 0.1))
+
+// maxParseDepth bounds grammar recursion so adversarial inputs (one
+// thousand leading parentheses) fail with a typed error instead of
+// exhausting the goroutine stack.
+const maxParseDepth = 200
+
+// ParseError is a malformed predicate expression. It wraps ErrParse and
+// carries the byte offset of the offending token.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("plan: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Unwrap ties ParseError to the ErrParse sentinel for errors.Is.
+func (e *ParseError) Unwrap() error { return ErrParse }
+
+// Parse builds a predicate from an expression. lookup resolves query
+// references (e.g. "q0") to vectors; a nil lookup makes every reference
+// unresolvable. All failures are *ParseError (wrapping ErrParse): the
+// parser never panics on any input, which FuzzParsePredicate pins.
+func Parse(expr string, lookup func(name string) ([]float64, bool)) (*Predicate, error) {
+	p := &parser{src: expr, lookup: lookup}
+	root, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errorf(p.pos, "unexpected trailing input %q", p.rest())
+	}
+	// The grammar cannot build a structurally invalid tree, but Validate is
+	// cheap and makes the guarantee explicit (non-finite τ literals are
+	// already rejected by the number scanner).
+	if err := root.Validate(); err != nil {
+		return nil, &ParseError{Pos: 0, Msg: err.Error()}
+	}
+	return root, nil
+}
+
+type parser struct {
+	src    string
+	pos    int
+	lookup func(name string) ([]float64, bool)
+}
+
+func (p *parser) errorf(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// rest returns a short preview of the unconsumed input for error messages.
+func (p *parser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 16 {
+		r = r[:16] + "…"
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// peekWord scans the identifier at the cursor without consuming it,
+// returned lowercased (keywords are case-insensitive).
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	i := p.pos
+	for i < len(p.src) && isIdentByte(p.src[i]) {
+		i++
+	}
+	return strings.ToLower(p.src[p.pos:i])
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+// word consumes the identifier at the cursor (case preserved).
+func (p *parser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// expect consumes one literal byte or fails.
+func (p *parser) expect(b byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != b {
+		return p.errorf(p.pos, "expected %q, found %q", string(b), p.rest())
+	}
+	p.pos++
+	return nil
+}
+
+// parseExpr := term { "or" term }
+func (p *parser) parseExpr(depth int) (*Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, p.errorf(p.pos, "expression nested deeper than %d levels", maxParseDepth)
+	}
+	first, err := p.parseTerm(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	children := []*Predicate{first}
+	for p.peekWord() == "or" {
+		p.word()
+		next, err := p.parseTerm(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	return Or(children...), nil
+}
+
+// parseTerm := factor { "and" factor }
+func (p *parser) parseTerm(depth int) (*Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, p.errorf(p.pos, "expression nested deeper than %d levels", maxParseDepth)
+	}
+	first, err := p.parseFactor(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	children := []*Predicate{first}
+	for p.peekWord() == "and" {
+		p.word()
+		next, err := p.parseFactor(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	return And(children...), nil
+}
+
+// parseFactor := "not" factor | "(" expr ")" | leaf
+func (p *parser) parseFactor(depth int) (*Predicate, error) {
+	if depth > maxParseDepth {
+		return nil, p.errorf(p.pos, "expression nested deeper than %d levels", maxParseDepth)
+	}
+	switch p.peekWord() {
+	case "not":
+		p.word()
+		inner, err := p.parseFactor(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	case "sim":
+		return p.parseLeaf()
+	case "":
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			p.pos++
+			inner, err := p.parseExpr(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		return nil, p.errorf(p.pos, "expected a predicate, found %q", p.rest())
+	default:
+		return nil, p.errorf(p.pos, "expected sim(...), not, or a parenthesized expression, found %q", p.rest())
+	}
+}
+
+// parseLeaf := "sim" "(" attr "," qref "," number ")"
+func (p *parser) parseLeaf() (*Predicate, error) {
+	p.word() // consume "sim"
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	attrPos := p.pos
+	attr := p.word()
+	if attr == "" {
+		return nil, p.errorf(attrPos, "expected an attribute name, found %q", p.rest())
+	}
+	if err := p.expect(','); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	refPos := p.pos
+	ref := p.word()
+	if ref == "" {
+		return nil, p.errorf(refPos, "expected a query reference (e.g. q0), found %q", p.rest())
+	}
+	var q []float64
+	if p.lookup != nil {
+		if v, ok := p.lookup(ref); ok {
+			q = v
+		}
+	}
+	if q == nil {
+		return nil, p.errorf(refPos, "unknown query reference %q", ref)
+	}
+	if err := p.expect(','); err != nil {
+		return nil, err
+	}
+	tau, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return Sim(attr, q, tau), nil
+}
+
+// number scans a float literal. Infinities and NaN are rejected: a
+// threshold must be a plain finite number.
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		b := p.src[p.pos]
+		if b >= '0' && b <= '9' || b == '.' || b == '-' || b == '+' || b == 'e' || b == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	lit := p.src[start:p.pos]
+	if lit == "" {
+		return 0, p.errorf(start, "expected a threshold number, found %q", p.rest())
+	}
+	v, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return 0, p.errorf(start, "bad threshold %q: %v", lit, err)
+	}
+	if v < 0 {
+		return 0, p.errorf(start, "threshold %v must be non-negative", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testLookup(name string) ([]float64, bool) {
+	switch name {
+	case "q0":
+		return []float64{1, 2}, true
+	case "q1":
+		return []float64{3, 4}, true
+	case "q2":
+		return []float64{5, 6}, true
+	}
+	return nil, false
+}
+
+func TestParseValidExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // canonical Format(nil) rendering
+	}{
+		{"sim(vec, q0, 0.25)", "sim(vec, qvec[2], 0.25)"},
+		{"SIM(vec, q0, 0.25)", "sim(vec, qvec[2], 0.25)"},
+		{"sim(vec,q0,0.25) and sim(vec,q1,0.5)", "sim(vec, qvec[2], 0.25) and sim(vec, qvec[2], 0.5)"},
+		{"not sim(vec, q0, 0.25)", "not sim(vec, qvec[2], 0.25)"},
+		{"( sim(vec, q0, 0.25) )", "sim(vec, qvec[2], 0.25)"},
+		{"sim(a, q0, 1e-2)", "sim(a, qvec[2], 0.01)"},
+		{"NOT (sim(vec, q0, 0.1) OR sim(vec, q1, 0.2))", "not (sim(vec, qvec[2], 0.1) or sim(vec, qvec[2], 0.2))"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.expr, testLookup)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.expr, err)
+			continue
+		}
+		if got := p.String(); got != tc.want {
+			t.Errorf("Parse(%q) = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestParsePrecedenceAndBindsTighterThanOr(t *testing.T) {
+	p, err := Parse("sim(v, q0, 0.1) or sim(v, q1, 0.2) and sim(v, q2, 0.3)", testLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op != OpOr || len(p.Children) != 2 {
+		t.Fatalf("root = %v with %d children, want or/2", p.Op, len(p.Children))
+	}
+	if p.Children[1].Op != OpAnd {
+		t.Errorf("right child = %v, want the and-term", p.Children[1].Op)
+	}
+}
+
+func TestParseErrorsAreTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string
+	}{
+		{"empty", ""},
+		{"spaces", "   "},
+		{"garbage", "hello world"},
+		{"trailing", "sim(v, q0, 0.1) sim(v, q1, 0.2)"},
+		{"unbalanced", "(sim(v, q0, 0.1)"},
+		{"missing tau", "sim(v, q0)"},
+		{"bad tau", "sim(v, q0, abc)"},
+		{"negative tau", "sim(v, q0, -0.5)"},
+		{"unknown ref", "sim(v, q99, 0.1)"},
+		{"missing operand", "sim(v, q0, 0.1) and"},
+		{"double op", "sim(v, q0, 0.1) and or sim(v, q1, 0.2)"},
+		{"bare not", "not"},
+		{"deep nesting", strings.Repeat("(", 5000) + "sim(v, q0, 0.1)" + strings.Repeat(")", 5000)},
+		{"deep not", strings.Repeat("not ", 5000) + "sim(v, q0, 0.1)"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.expr, testLookup)
+		if err == nil {
+			t.Errorf("%s: Parse(%q) succeeded with %v, want error", tc.name, tc.expr, p)
+			continue
+		}
+		if !errors.Is(err, ErrParse) {
+			t.Errorf("%s: error %v does not wrap ErrParse", tc.name, err)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %T is not a *ParseError", tc.name, err)
+		}
+	}
+}
+
+func TestParseNilLookup(t *testing.T) {
+	if _, err := Parse("sim(v, q0, 0.1)", nil); !errors.Is(err, ErrParse) {
+		t.Errorf("nil lookup: error = %v, want ErrParse (unresolvable reference)", err)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("sim(v, q0, 0.1) and sim(v, q99, 0.2)", testLookup)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ParseError", err)
+	}
+	if pe.Pos != strings.Index("sim(v, q0, 0.1) and sim(v, q99, 0.2)", "q99") {
+		t.Errorf("Pos = %d, want the offset of q99", pe.Pos)
+	}
+}

@@ -1,0 +1,429 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fakeLeaf is a deterministic leaf estimator: est = n · min(τ/τScale, 1),
+// optionally offset per query so distinct leaves get distinct estimates.
+// It is monotone in τ, which the property tests rely on.
+type fakeLeaf struct {
+	name       string
+	n          float64
+	tauScale   float64
+	batchCalls int
+	serialCall int
+}
+
+func (f *fakeLeaf) Name() string { return f.name }
+
+func (f *fakeLeaf) est(q []float64, tau float64) float64 {
+	frac := tau / f.tauScale
+	if frac > 1 {
+		frac = 1
+	}
+	// Small query-dependent tilt keeps distinct leaves distinguishable
+	// without breaking τ-monotonicity or the [0, n] range.
+	tilt := 0.0
+	for _, v := range q {
+		tilt += v
+	}
+	tilt = math.Abs(math.Sin(tilt)) * 0.1
+	return f.n * frac * (0.9 + tilt)
+}
+
+func (f *fakeLeaf) EstimateSearch(q []float64, tau float64) float64 {
+	f.serialCall++
+	return f.est(q, tau)
+}
+
+func (f *fakeLeaf) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	f.batchCalls++
+	out := make([]float64, len(qs))
+	for i := range qs {
+		out[i] = f.est(qs[i], taus[i])
+	}
+	return out
+}
+
+func (f *fakeLeaf) SizeBytes() int { return 128 }
+
+// cachedLeaf wraps fakeLeaf and reports CacheServed, steering compound
+// evaluation onto the serial path.
+type cachedLeaf struct{ fakeLeaf }
+
+func (c *cachedLeaf) CacheServed() bool { return true }
+
+func q(vals ...float64) []float64 { return vals }
+
+func newTestCompound(t *testing.T, n float64) (*Compound, *fakeLeaf) {
+	t.Helper()
+	leaf := &fakeLeaf{name: "fake", n: n, tauScale: 1.0}
+	c, err := NewCompound(Binding{
+		Attr: "vec", Estimator: leaf, Dim: 2,
+		TauMin: 0, TauMax: 1.0, N: n, Family: "fake",
+	})
+	if err != nil {
+		t.Fatalf("NewCompound: %v", err)
+	}
+	return c, leaf
+}
+
+func TestConstructorsCollapseSingleChild(t *testing.T) {
+	leaf := Sim("vec", q(1, 2), 0.5)
+	if got := And(leaf); got != leaf {
+		t.Errorf("And(one) = %v, want the child itself", got)
+	}
+	if got := Or(leaf); got != leaf {
+		t.Errorf("Or(one) = %v, want the child itself", got)
+	}
+}
+
+func TestValidateRejectsMalformedTrees(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Predicate
+	}{
+		{"nil", nil},
+		{"empty attr", Sim("", q(1), 0.5)},
+		{"empty query", Sim("vec", nil, 0.5)},
+		{"nan coordinate", Sim("vec", q(math.NaN()), 0.5)},
+		{"inf tau", Sim("vec", q(1), math.Inf(1))},
+		{"negative tau", Sim("vec", q(1), -0.1)},
+		{"and arity", &Predicate{Op: OpAnd, Children: []*Predicate{Sim("vec", q(1), 0.5)}}},
+		{"or arity", &Predicate{Op: OpOr}},
+		{"not arity", &Predicate{Op: OpNot}},
+		{"sim with children", &Predicate{Op: OpSim, Attr: "vec", Query: q(1), Children: []*Predicate{Sim("vec", q(1), 0.5)}}},
+		{"unknown op", &Predicate{Op: Op(99)}},
+		{"nested bad leaf", And(Sim("vec", q(1), 0.5), Sim("vec", q(1), -1))},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); !errors.Is(err, ErrInvalidPredicate) {
+			t.Errorf("%s: Validate() = %v, want ErrInvalidPredicate", tc.name, err)
+		}
+	}
+	good := Or(And(Sim("a", q(1), 0.2), Not(Sim("b", q(2), 0.3))), Sim("a", q(3), 0.4))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestLeavesAndAttributes(t *testing.T) {
+	l1 := Sim("a", q(1), 0.1)
+	l2 := Sim("b", q(2), 0.2)
+	l3 := Sim("a", q(3), 0.3)
+	p := Or(And(l1, l2), Not(l3))
+	leaves := p.Leaves()
+	if len(leaves) != 3 || leaves[0] != l1 || leaves[1] != l2 || leaves[2] != l3 {
+		t.Fatalf("Leaves() = %v, want [l1 l2 l3]", leaves)
+	}
+	attrs := p.Attributes()
+	if len(attrs) != 2 || attrs[0] != "a" || attrs[1] != "b" {
+		t.Fatalf("Attributes() = %v, want [a b]", attrs)
+	}
+}
+
+func TestNewCompoundValidation(t *testing.T) {
+	leaf := &fakeLeaf{name: "fake", n: 100, tauScale: 1}
+	cases := []struct {
+		name string
+		b    []Binding
+	}{
+		{"no bindings", nil},
+		{"empty attr", []Binding{{Estimator: leaf, N: 100}}},
+		{"nil estimator", []Binding{{Attr: "vec", N: 100}}},
+		{"zero n", []Binding{{Attr: "vec", Estimator: leaf}}},
+		{"dup attr", []Binding{{Attr: "vec", Estimator: leaf, N: 100}, {Attr: "vec", Estimator: leaf, N: 100}}},
+		{"bad tau range", []Binding{{Attr: "vec", Estimator: leaf, N: 100, TauMin: 2, TauMax: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCompound(tc.b...); err == nil {
+			t.Errorf("%s: NewCompound succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestPreCheckTypedErrors(t *testing.T) {
+	c, _ := newTestCompound(t, 1000)
+	cases := []struct {
+		name string
+		p    *Predicate
+		want error
+	}{
+		{"invalid tree", Sim("vec", nil, 0.5), ErrInvalidPredicate},
+		{"unknown attr", Sim("other", q(1, 2), 0.5), ErrUnknownAttribute},
+		{"dim mismatch", Sim("vec", q(1, 2, 3), 0.5), ErrDimMismatch},
+		{"tau above range", Sim("vec", q(1, 2), 1.5), ErrTauOutOfRange},
+		{"nested tau", And(Sim("vec", q(1, 2), 0.5), Not(Sim("vec", q(3, 4), 2))), ErrTauOutOfRange},
+	}
+	for _, tc := range cases {
+		if err := c.PreCheck(tc.p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: PreCheck = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := c.EstimateFor(tc.p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: EstimateFor error = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if err := c.PreCheck(Sim("vec", q(1, 2), 0.5)); err != nil {
+		t.Errorf("valid leaf rejected: %v", err)
+	}
+}
+
+func TestEstimateForComposition(t *testing.T) {
+	const n = 1000.0
+	c, leaf := newTestCompound(t, n)
+	la := Sim("vec", q(0.1, 0.2), 0.3)
+	lb := Sim("vec", q(0.4, 0.5), 0.6)
+
+	sa := leaf.est(la.Query, la.Tau) / n
+	sb := leaf.est(lb.Query, lb.Tau) / n
+
+	check := func(name string, p *Predicate, want float64) {
+		t.Helper()
+		got, err := c.EstimateFor(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("%s: EstimateFor = %v, want %v", name, got, want)
+		}
+	}
+
+	check("leaf", la, sa*n)
+	check("not", Not(la), (1-sa)*n)
+	check("and", And(la, lb), sa*sb*n) // product < min for healthy leaves
+	check("or", Or(la, lb), (1-(1-sa)*(1-sb))*n)
+	check("demorgan", Not(And(la, lb)), (1-sa*sb)*n)
+}
+
+func TestEstimateForClampsMisbehavingLeaves(t *testing.T) {
+	// A leaf estimator that returns > N must be clamped to N; one that
+	// returns negative must clamp to 0.
+	big := &fakeLeaf{name: "big", n: 100, tauScale: 1}
+	c, err := NewCompound(Binding{Attr: "vec", Estimator: overshootLeaf{big}, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.EstimateFor(Sim("vec", q(1), 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("overshooting leaf estimate = %v, want clamped to N=100", got)
+	}
+	got, err = c.EstimateFor(Not(Sim("vec", q(1), 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("complement of clamped-full leaf = %v, want 0", got)
+	}
+}
+
+// overshootLeaf returns 10× the dataset size for any query.
+type overshootLeaf struct{ inner *fakeLeaf }
+
+func (o overshootLeaf) Name() string { return "overshoot" }
+func (o overshootLeaf) EstimateSearch(q []float64, tau float64) float64 {
+	return o.inner.n * 10
+}
+func (o overshootLeaf) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i := range out {
+		out[i] = o.inner.n * 10
+	}
+	return out
+}
+func (o overshootLeaf) SizeBytes() int { return 0 }
+
+// nanLeaf returns NaN, which must surface as ErrEstimateFault.
+type nanLeaf struct{}
+
+func (nanLeaf) Name() string                                    { return "nan" }
+func (nanLeaf) EstimateSearch(q []float64, tau float64) float64 { return math.NaN() }
+func (nanLeaf) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}
+func (nanLeaf) SizeBytes() int { return 0 }
+
+func TestEstimateForFaultOnNonFiniteLeaf(t *testing.T) {
+	c, err := NewCompound(Binding{Attr: "vec", Estimator: nanLeaf{}, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EstimateFor(Sim("vec", q(1), 0.5)); !errors.Is(err, ErrEstimateFault) {
+		t.Errorf("NaN leaf: EstimateFor error = %v, want ErrEstimateFault", err)
+	}
+}
+
+func TestBatchVsCacheServedRouting(t *testing.T) {
+	plain := &fakeLeaf{name: "plain", n: 100, tauScale: 1}
+	cached := &cachedLeaf{fakeLeaf{name: "cached", n: 100, tauScale: 1}}
+	c, err := NewCompound(
+		Binding{Attr: "a", Estimator: plain, N: 100},
+		Binding{Attr: "b", Estimator: cached, N: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := And(
+		Or(Sim("a", q(1), 0.2), Sim("a", q(2), 0.4)),
+		Or(Sim("b", q(3), 0.2), Sim("b", q(4), 0.4)),
+	)
+	if _, err := c.EstimateFor(p); err != nil {
+		t.Fatal(err)
+	}
+	if plain.batchCalls != 1 || plain.serialCall != 0 {
+		t.Errorf("plain attr: batch=%d serial=%d, want one batch call, no serial",
+			plain.batchCalls, plain.serialCall)
+	}
+	if cached.batchCalls != 0 || cached.serialCall != 2 {
+		t.Errorf("cached attr: batch=%d serial=%d, want two serial (cache-eligible) calls, no batch",
+			cached.batchCalls, cached.serialCall)
+	}
+}
+
+func TestSharedSubtreeEstimatedOnce(t *testing.T) {
+	leaf := &fakeLeaf{name: "fake", n: 100, tauScale: 1}
+	c, err := NewCompound(Binding{Attr: "vec", Estimator: leaf, N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := Sim("vec", q(1), 0.5)
+	p := Or(shared, And(shared, Sim("vec", q(2), 0.3)))
+	if _, err := c.EstimateFor(p); err != nil {
+		t.Fatal(err)
+	}
+	// One batch with exactly 2 distinct leaves, not 3 occurrences.
+	if leaf.batchCalls != 1 {
+		t.Errorf("batch calls = %d, want 1", leaf.batchCalls)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	a := &fakeLeaf{name: "fake-a", n: 100, tauScale: 1}
+	b := &cachedLeaf{fakeLeaf{name: "fake-b", n: 250, tauScale: 1}}
+	c, err := NewCompound(
+		Binding{Attr: "a", Estimator: a, Dim: 2, TauMax: 0.8, N: 100,
+			Family: "sampling", Generation: 3, BatchNative: true},
+		Binding{Attr: "b", Estimator: b, Dim: 4, TauMax: 0.5, N: 250,
+			Family: "cardnet", Generation: 7, Wrappers: []string{"robust"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := c.Describe()
+	if md.Family != "compound" || len(md.Attributes) != 2 {
+		t.Errorf("Describe = %+v, want compound family over 2 attributes", md)
+	}
+	if md.DatasetSize != 250 {
+		t.Errorf("DatasetSize = %v, want 250 (max binding)", md.DatasetSize)
+	}
+	if md.Generation != 7 {
+		t.Errorf("Generation = %v, want 7 (max binding)", md.Generation)
+	}
+	if md.TauMax[0] != 0.8 || md.TauMax[1] != 0.5 {
+		t.Errorf("TauMax = %v, want [0.8 0.5]", md.TauMax)
+	}
+	if md.SizeBytes != a.SizeBytes()+b.SizeBytes() {
+		t.Errorf("SizeBytes = %d, want sum of bindings", md.SizeBytes)
+	}
+
+	// Single-binding Describe surfaces the leaf's own identity.
+	solo, err := NewCompound(Binding{Attr: "vec", Estimator: a, N: 100, Family: "sampling"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smd := solo.Describe()
+	if smd.Name != "fake-a" || smd.Family != "sampling" {
+		t.Errorf("solo Describe = %+v, want leaf name/family surfaced", smd)
+	}
+}
+
+func TestExactCount(t *testing.T) {
+	// 10 rows; attribute membership by hand.
+	const n = 10
+	sets := map[string][]int{
+		"a": {0, 1, 2, 3, 4},
+		"b": {3, 4, 5, 6},
+	}
+	search := func(attr string, _ []float64, _ float64) ([]int, error) {
+		return sets[attr], nil
+	}
+	la := Sim("a", q(1), 0.5)
+	lb := Sim("b", q(2), 0.5)
+	cases := []struct {
+		name string
+		p    *Predicate
+		want int
+	}{
+		{"leaf", la, 5},
+		{"and", And(la, lb), 2},        // {3,4}
+		{"or", Or(la, lb), 7},          // {0..6}
+		{"not", Not(la), 5},            // {5..9}
+		{"diff", And(la, Not(lb)), 3},  // {0,1,2}
+		{"nested", Not(Or(la, lb)), 3}, // {7,8,9}
+	}
+	for _, tc := range cases {
+		got, err := ExactCount(n, tc.p, search)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: ExactCount = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+
+	// Out-of-range row ids are an error, not a corrupt count.
+	bad := func(string, []float64, float64) ([]int, error) { return []int{n}, nil }
+	if _, err := ExactCount(n, la, bad); err == nil {
+		t.Error("ExactCount accepted an out-of-range row id")
+	}
+}
+
+func TestQErrorFoldsAndFloors(t *testing.T) {
+	if got := QError(10, 5); got != 2 {
+		t.Errorf("QError(10,5) = %v, want 2", got)
+	}
+	if got := QError(5, 10); got != 2 {
+		t.Errorf("QError(5,10) = %v, want 2", got)
+	}
+	if got := QError(0, 0); got != 1 {
+		t.Errorf("QError(0,0) = %v, want 1 (floored)", got)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	vecs := map[string][]float64{"q0": {1, 2}, "q1": {3, 4}, "q2": {5, 6}}
+	lookup := func(name string) ([]float64, bool) { v, ok := vecs[name]; return v, ok }
+	name := func(v []float64) string {
+		for k, vec := range vecs {
+			if &vec[0] == &v[0] {
+				return k
+			}
+		}
+		return ""
+	}
+	p := Or(
+		And(Sim("vec", vecs["q0"], 0.25), Not(Sim("vec", vecs["q1"], 0.4))),
+		Sim("vec", vecs["q2"], 0.1),
+	)
+	text := p.Format(name)
+	back, err := Parse(text, lookup)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	if got := back.Format(name); got != text {
+		t.Errorf("round trip: %q → %q", text, got)
+	}
+	if !strings.Contains(text, "sim(vec, q0, 0.25)") {
+		t.Errorf("Format output %q lacks named leaf", text)
+	}
+}

@@ -1,0 +1,239 @@
+// Package plan is the optimizer-facing estimator plane: a pluggable
+// cardinality-estimator interface (Estimator, shaped after PostBOUND's
+// JoinBoundCardinalityEstimator: EstimateFor / Describe / PreCheck) and a
+// compound similarity-predicate algebra — Sim(attr, q, τ) leaves composed
+// with And/Or/Not — that turns the repository's single-threshold
+// estimators into estimators for the predicate shapes a real query
+// optimizer brings (DESIGN.md §12).
+//
+// The package is deliberately self-contained: it depends on nothing but
+// the standard library and composes over any estimator satisfying the
+// minimal LeafEstimator surface, which both the public cardest.Estimator
+// and the internal Table-2 model types satisfy structurally.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Op is a predicate node kind.
+type Op int
+
+// Predicate node kinds.
+const (
+	// OpSim is a similarity leaf: distance(attr, Q) ≤ τ.
+	OpSim Op = iota
+	// OpAnd is a conjunction over ≥ 2 children.
+	OpAnd
+	// OpOr is a disjunction over ≥ 2 children.
+	OpOr
+	// OpNot negates its single child.
+	OpNot
+)
+
+// String names the operator as it appears in the expression syntax.
+func (o Op) String() string {
+	switch o {
+	case OpSim:
+		return "sim"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpNot:
+		return "not"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Predicate is one node of a compound similarity predicate. Build trees
+// with the Sim/And/Or/Not constructors (or Parse); the zero value is not a
+// valid predicate. Predicates are immutable by convention: estimators and
+// caches may retain them, so do not mutate a tree after handing it out.
+type Predicate struct {
+	// Op is the node kind.
+	Op Op
+	// Attr names the queried attribute (OpSim only). Estimators bind one
+	// similarity estimator per attribute; single-attribute deployments
+	// conventionally use "vec".
+	Attr string
+	// Query is the leaf's query vector (OpSim only; retained, not copied).
+	Query []float64
+	// Tau is the leaf's distance threshold (OpSim only).
+	Tau float64
+	// Children are the operand subtrees (OpAnd/OpOr: ≥ 2, OpNot: exactly 1).
+	Children []*Predicate
+}
+
+// Sim builds a similarity leaf: distance(attr, q) ≤ tau. The vector is
+// retained, not copied.
+func Sim(attr string, q []float64, tau float64) *Predicate {
+	return &Predicate{Op: OpSim, Attr: attr, Query: q, Tau: tau}
+}
+
+// And conjoins children. A single child collapses to that child.
+func And(children ...*Predicate) *Predicate {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Predicate{Op: OpAnd, Children: children}
+}
+
+// Or disjoins children. A single child collapses to that child.
+func Or(children ...*Predicate) *Predicate {
+	if len(children) == 1 {
+		return children[0]
+	}
+	return &Predicate{Op: OpOr, Children: children}
+}
+
+// Not negates p.
+func Not(p *Predicate) *Predicate {
+	return &Predicate{Op: OpNot, Children: []*Predicate{p}}
+}
+
+// Validate checks structural well-formedness: known operators, non-empty
+// finite leaf vectors, finite non-negative thresholds, correct child
+// counts, and no nil subtrees. It does not check attribute bindings or τ
+// ranges — that is PreCheck's job, which needs an estimator.
+func (p *Predicate) Validate() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil predicate", ErrInvalidPredicate)
+	}
+	switch p.Op {
+	case OpSim:
+		if len(p.Children) != 0 {
+			return fmt.Errorf("%w: sim leaf with %d children", ErrInvalidPredicate, len(p.Children))
+		}
+		if p.Attr == "" {
+			return fmt.Errorf("%w: sim leaf with empty attribute", ErrInvalidPredicate)
+		}
+		if len(p.Query) == 0 {
+			return fmt.Errorf("%w: sim(%s) leaf with empty query vector", ErrInvalidPredicate, p.Attr)
+		}
+		for i, v := range p.Query {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: sim(%s) query coordinate %d is %v", ErrInvalidPredicate, p.Attr, i, v)
+			}
+		}
+		if math.IsNaN(p.Tau) || math.IsInf(p.Tau, 0) || p.Tau < 0 {
+			return fmt.Errorf("%w: sim(%s) threshold %v must be finite and non-negative", ErrInvalidPredicate, p.Attr, p.Tau)
+		}
+		return nil
+	case OpNot:
+		if len(p.Children) != 1 {
+			return fmt.Errorf("%w: not with %d children (want 1)", ErrInvalidPredicate, len(p.Children))
+		}
+		return p.Children[0].Validate()
+	case OpAnd, OpOr:
+		if len(p.Children) < 2 {
+			return fmt.Errorf("%w: %s with %d children (want ≥ 2)", ErrInvalidPredicate, p.Op, len(p.Children))
+		}
+		for _, c := range p.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown operator %v", ErrInvalidPredicate, p.Op)
+	}
+}
+
+// Leaves returns the Sim leaves of p in left-to-right order. The same
+// *Predicate may appear more than once if the tree shares subtrees.
+func (p *Predicate) Leaves() []*Predicate {
+	var out []*Predicate
+	p.walk(func(n *Predicate) {
+		if n.Op == OpSim {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// walk visits every node depth-first, children in order.
+func (p *Predicate) walk(visit func(*Predicate)) {
+	if p == nil {
+		return
+	}
+	visit(p)
+	for _, c := range p.Children {
+		c.walk(visit)
+	}
+}
+
+// Attributes returns the distinct attributes referenced by p's leaves, in
+// first-appearance order.
+func (p *Predicate) Attributes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range p.Leaves() {
+		if !seen[l.Attr] {
+			seen[l.Attr] = true
+			out = append(out, l.Attr)
+		}
+	}
+	return out
+}
+
+// String renders the predicate in the expression syntax Parse accepts,
+// with query vectors shortened to qvec[dim] placeholders when they have no
+// registered name; use Format with a naming function for round-trippable
+// output.
+func (p *Predicate) String() string {
+	return p.Format(nil)
+}
+
+// Format renders the predicate in Parse's grammar. name, when non-nil,
+// maps a leaf's query vector to its reference name (e.g. "q0"); leaves
+// with no name render as qvec[dim].
+func (p *Predicate) Format(name func(q []float64) string) string {
+	var b strings.Builder
+	p.format(&b, name, false)
+	return b.String()
+}
+
+func (p *Predicate) format(b *strings.Builder, name func(q []float64) string, parenthesize bool) {
+	if p == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	switch p.Op {
+	case OpSim:
+		ref := ""
+		if name != nil {
+			ref = name(p.Query)
+		}
+		if ref == "" {
+			ref = fmt.Sprintf("qvec[%d]", len(p.Query))
+		}
+		fmt.Fprintf(b, "sim(%s, %s, %s)", p.Attr, ref, strconv.FormatFloat(p.Tau, 'g', -1, 64))
+	case OpNot:
+		b.WriteString("not ")
+		p.Children[0].format(b, name, true)
+	case OpAnd, OpOr:
+		if parenthesize {
+			b.WriteByte('(')
+		}
+		for i, c := range p.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+				b.WriteString(p.Op.String())
+				b.WriteByte(' ')
+			}
+			// Children bind looser only when they are OR under AND; always
+			// parenthesizing compound children keeps rendering unambiguous.
+			c.format(b, name, c.Op == OpAnd || c.Op == OpOr)
+		}
+		if parenthesize {
+			b.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(b, "<%v>", p.Op)
+	}
+}

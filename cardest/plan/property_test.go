@@ -1,0 +1,152 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Algebra-level property tests over the deterministic fake leaf: the same
+// invariants are re-asserted end-to-end over the nine trained Table-2
+// estimators in cardest's plan_prop_test.go; these run in microseconds and
+// pin the composition math itself.
+
+// randomTree builds a random predicate over nAttrs attributes with the
+// given depth budget.
+func randomTree(rng *rand.Rand, attrs []string, depth int) *Predicate {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		attr := attrs[rng.Intn(len(attrs))]
+		return Sim(attr, []float64{rng.Float64(), rng.Float64()}, 0.05+0.9*rng.Float64())
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return Not(randomTree(rng, attrs, depth-1))
+	case 1:
+		n := 2 + rng.Intn(2)
+		ch := make([]*Predicate, n)
+		for i := range ch {
+			ch[i] = randomTree(rng, attrs, depth-1)
+		}
+		return And(ch...)
+	default:
+		n := 2 + rng.Intn(2)
+		ch := make([]*Predicate, n)
+		for i := range ch {
+			ch[i] = randomTree(rng, attrs, depth-1)
+		}
+		return Or(ch...)
+	}
+}
+
+// assertBounds checks the AND/OR/NOT bounds invariants at every node of p
+// by estimating each subtree independently.
+func assertBounds(t *testing.T, c *Compound, p *Predicate) {
+	t.Helper()
+	est := func(n *Predicate) float64 {
+		t.Helper()
+		v, err := c.EstimateFor(n)
+		if err != nil {
+			t.Fatalf("EstimateFor(%v): %v", n, err)
+		}
+		return v
+	}
+	n := c.N()
+	p.walk(func(node *Predicate) {
+		e := est(node)
+		if e < 0 || e > n {
+			t.Errorf("node %v: est %v outside [0, %v]", node, e, n)
+		}
+		switch node.Op {
+		case OpAnd:
+			for _, ch := range node.Children {
+				if ce := est(ch); e > ce+1e-9*n {
+					t.Errorf("and-node est %v exceeds child est %v", e, ce)
+				}
+			}
+		case OpOr:
+			sum := 0.0
+			for _, ch := range node.Children {
+				ce := est(ch)
+				sum += ce
+				if e < ce-1e-9*n {
+					t.Errorf("or-node est %v below child est %v", e, ce)
+				}
+			}
+			if e > sum+1e-9*n {
+				t.Errorf("or-node est %v exceeds sum of children %v", e, sum)
+			}
+		}
+	})
+}
+
+func TestPropertyBoundsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := &fakeLeaf{name: "fa", n: 1000, tauScale: 1}
+	b := &cachedLeaf{fakeLeaf{name: "fb", n: 1000, tauScale: 1}}
+	c, err := NewCompound(
+		Binding{Attr: "a", Estimator: a, N: 1000},
+		Binding{Attr: "b", Estimator: b, N: 1000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p := randomTree(rng, []string{"a", "b"}, 3)
+		assertBounds(t, c, p)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	leaf := &fakeLeaf{name: "f", n: 1000, tauScale: 1}
+	c, err := NewCompound(Binding{Attr: "v", Estimator: leaf, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relTol = 1e-9
+	for i := 0; i < 200; i++ {
+		x := randomTree(rng, []string{"v"}, 2)
+		y := randomTree(rng, []string{"v"}, 2)
+		// ¬(x ∧ y) ≡ ¬x ∨ ¬y and ¬(x ∨ y) ≡ ¬x ∧ ¬y, up to float rounding.
+		pairs := [][2]*Predicate{
+			{Not(And(x, y)), Or(Not(x), Not(y))},
+			{Not(Or(x, y)), And(Not(x), Not(y))},
+		}
+		for _, pair := range pairs {
+			l, err := c.EstimateFor(pair[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.EstimateFor(pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(l - r); diff > relTol*math.Max(1, math.Max(l, r)) {
+				t.Errorf("De Morgan violated: %v=%v vs %v=%v", pair[0], l, pair[1], r)
+			}
+		}
+	}
+}
+
+func TestPropertyTauMonotoneLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	leaf := &fakeLeaf{name: "f", n: 1000, tauScale: 1}
+	c, err := NewCompound(Binding{Attr: "v", Estimator: leaf, N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		prev := -1.0
+		for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			e, err := c.EstimateFor(Sim("v", q, tau))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e < prev-1e-9 {
+				t.Errorf("τ-monotonicity violated at τ=%v: %v < %v", tau, e, prev)
+			}
+			prev = e
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package cardest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"simquery/cardest/plan"
+)
+
+// End-to-end plan-layer tests over the trained Table-2 fixture: every
+// estimator — the nine methods plus the Monotone, Robust, and cache-served
+// wrappers — must be reachable through plan.Estimator, and the compound
+// estimates must satisfy the algebra's bounds invariants, De Morgan
+// consistency, and τ-monotonicity of Sim leaves.
+
+// planTauCap returns a safe leaf-τ ceiling for est: inside both the
+// estimator's supported range and the dataset's τ_max.
+func planTauCap(est Estimator, ds *Dataset) float64 {
+	cap := ds.TauMax()
+	if info := Describe(est); info.TauMax < cap {
+		cap = info.TauMax
+	}
+	return cap
+}
+
+// randomPlanTree builds a random predicate over the fixture's query
+// vectors with leaf thresholds inside [0.05, 0.95]·tauCap.
+func randomPlanTree(rng *rand.Rand, qs [][]float64, tauCap float64, depth int) *plan.Predicate {
+	if depth <= 0 || rng.Float64() < 0.35 {
+		q := qs[rng.Intn(len(qs))]
+		tau := tauCap * (0.05 + 0.9*rng.Float64())
+		return plan.Sim(DefaultAttr, q, tau)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return plan.Not(randomPlanTree(rng, qs, tauCap, depth-1))
+	case 1:
+		return plan.And(randomPlanTree(rng, qs, tauCap, depth-1), randomPlanTree(rng, qs, tauCap, depth-1))
+	default:
+		return plan.Or(randomPlanTree(rng, qs, tauCap, depth-1), randomPlanTree(rng, qs, tauCap, depth-1))
+	}
+}
+
+// planEstimators returns the full reachability lineup: the nine Table-2
+// estimators plus wrapper-composed variants of one of them.
+func planEstimators(t *testing.T) (map[string]Estimator, *Dataset, [][]float64) {
+	t.Helper()
+	fx := table2Estimators(t)
+	ests := make(map[string]Estimator, len(fx.ests)+3)
+	for name, est := range fx.ests {
+		ests[name] = est
+	}
+	mono, err := Monotone(fx.ests["mlp"], fx.ds.TauMax(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests["mlp+mono"] = mono
+	ests["gl+robust"] = Harden(fx.ests["gl+"], ServeOptions{})
+	cache, err := NewEstimateCache(64, 8, fx.ds.TauMax(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests["gl+cached"] = Harden(fx.ests["gl+"], ServeOptions{Cache: cache})
+	qs := make([][]float64, 0, len(fx.test))
+	for _, q := range fx.test {
+		qs = append(qs, q.Vec)
+	}
+	return ests, fx.ds, qs
+}
+
+func TestPlanReachabilityAllEstimators(t *testing.T) {
+	ests, ds, qs := planEstimators(t)
+	n := float64(ds.Size())
+	for name, est := range ests {
+		p, err := PlanFor(ds, est)
+		if err != nil {
+			t.Fatalf("%s: PlanFor: %v", name, err)
+		}
+		var _ plan.Estimator = p // reachable through the interface
+		tauCap := planTauCap(est, ds)
+		pred := plan.Or(
+			plan.And(
+				plan.Sim(DefaultAttr, qs[0], 0.5*tauCap),
+				plan.Not(plan.Sim(DefaultAttr, qs[1], 0.3*tauCap)),
+			),
+			plan.Sim(DefaultAttr, qs[2], 0.2*tauCap),
+		)
+		if err := p.PreCheck(pred); err != nil {
+			t.Fatalf("%s: PreCheck: %v", name, err)
+		}
+		got, err := p.EstimateFor(pred)
+		if err != nil {
+			t.Fatalf("%s: EstimateFor: %v", name, err)
+		}
+		if math.IsNaN(got) || got < 0 || got > n {
+			t.Errorf("%s: compound estimate %v outside [0, %v]", name, got, n)
+		}
+		md := p.Describe()
+		if md.DatasetSize != n || len(md.Attributes) != 1 || md.Attributes[0] != DefaultAttr {
+			t.Errorf("%s: Describe = %+v, want dataset size %v over [%s]", name, md, n, DefaultAttr)
+		}
+	}
+	// Wrapper metadata surfaces through the plan.
+	if md, _ := PlanFor(ds, ests["gl+cached"]); md != nil {
+		m := md.Describe()
+		if !m.CacheServed {
+			t.Errorf("cache-served wrapper: Describe().CacheServed = false, want true")
+		}
+		if len(m.Wrappers) == 0 || m.Wrappers[0] != "robust" {
+			t.Errorf("cache-served wrapper: Wrappers = %v, want robust first", m.Wrappers)
+		}
+	}
+}
+
+func TestPlanBoundsInvariantsAllEstimators(t *testing.T) {
+	ests, ds, qs := planEstimators(t)
+	n := float64(ds.Size())
+	rng := rand.New(rand.NewSource(530))
+	tol := 1e-9 * n
+	for name, est := range ests {
+		p, err := PlanFor(ds, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauCap := planTauCap(est, ds)
+		estOf := func(node *plan.Predicate) float64 {
+			v, err := p.EstimateFor(node)
+			if err != nil {
+				t.Fatalf("%s: EstimateFor(%v): %v", name, node, err)
+			}
+			return v
+		}
+		for i := 0; i < 8; i++ {
+			tree := randomPlanTree(rng, qs, tauCap, 3)
+			var check func(node *plan.Predicate) float64
+			check = func(node *plan.Predicate) float64 {
+				e := estOf(node)
+				if e < 0 || e > n {
+					t.Errorf("%s: node %v est %v outside [0, %v]", name, node, e, n)
+				}
+				switch node.Op {
+				case plan.OpAnd:
+					for _, ch := range node.Children {
+						if ce := check(ch); e > ce+tol {
+							t.Errorf("%s: and-node est %v exceeds child %v", name, e, ce)
+						}
+					}
+				case plan.OpOr:
+					sum := 0.0
+					for _, ch := range node.Children {
+						ce := check(ch)
+						sum += ce
+						if e < ce-tol {
+							t.Errorf("%s: or-node est %v below child %v", name, e, ce)
+						}
+					}
+					if e > sum+tol {
+						t.Errorf("%s: or-node est %v exceeds children sum %v", name, e, sum)
+					}
+				case plan.OpNot:
+					check(node.Children[0])
+				}
+				return e
+			}
+			check(tree)
+		}
+	}
+}
+
+func TestPlanDeMorganAllEstimators(t *testing.T) {
+	ests, ds, qs := planEstimators(t)
+	rng := rand.New(rand.NewSource(531))
+	const relTol = 1e-9
+	for name, est := range ests {
+		p, err := PlanFor(ds, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauCap := planTauCap(est, ds)
+		for i := 0; i < 4; i++ {
+			x := randomPlanTree(rng, qs, tauCap, 2)
+			y := randomPlanTree(rng, qs, tauCap, 2)
+			pairs := [][2]*plan.Predicate{
+				{plan.Not(plan.And(x, y)), plan.Or(plan.Not(x), plan.Not(y))},
+				{plan.Not(plan.Or(x, y)), plan.And(plan.Not(x), plan.Not(y))},
+			}
+			for _, pair := range pairs {
+				l, err := p.EstimateFor(pair[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := p.EstimateFor(pair[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if diff := math.Abs(l - r); diff > relTol*math.Max(1, math.Max(l, r)) {
+					t.Errorf("%s: De Morgan violated: %v vs %v", name, l, r)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanTauMonotoneLeaves asserts τ-monotonicity of Sim leaves through
+// plan for Monotone-wrapped bases (the raw learned models only guarantee a
+// monotone threshold embedding; the isotonic envelope makes the full
+// estimate monotone, and the plan layer must preserve that).
+func TestPlanTauMonotoneLeaves(t *testing.T) {
+	fx := table2Estimators(t)
+	qs := [][]float64{fx.test[0].Vec, fx.test[5].Vec, fx.test[10].Vec}
+	for _, method := range []string{"mlp", "gl+", "cardnet", "sampling"} {
+		mono, err := Monotone(fx.ests[method], fx.ds.TauMax(), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PlanFor(fx.ds, mono)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tauCap := planTauCap(mono, fx.ds)
+		for _, q := range qs {
+			prev := -1.0
+			for frac := 0.1; frac <= 0.95; frac += 0.1 {
+				e, err := p.EstimateFor(plan.Sim(DefaultAttr, q, frac*tauCap))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e < prev-1e-9 {
+					t.Errorf("%s: τ-monotonicity violated at frac %v: %v < %v", method, frac, e, prev)
+				}
+				prev = e
+			}
+		}
+	}
+}
+
+func TestDescribeAndCheckTau(t *testing.T) {
+	fx := table2Estimators(t)
+	wantFamily := map[string]string{
+		"gl+": "global-local", "local+": "global-local", "gl-cnn": "global-local",
+		"gl-mlp": "global-local", "qes": "basic-nn", "mlp": "basic-nn",
+		"cardnet": "cardnet", "sampling": "sampling", "kernel": "kernel",
+	}
+	for method, family := range wantFamily {
+		info := Describe(fx.ests[method])
+		if info.Family != family {
+			t.Errorf("%s: family %q, want %q", method, info.Family, family)
+		}
+		if info.Generation != ModelGeneration() {
+			t.Errorf("%s: generation %d, want %d", method, info.Generation, ModelGeneration())
+		}
+		switch family {
+		case "sampling", "kernel":
+			if !math.IsInf(info.TauMax, 1) {
+				t.Errorf("%s: TauMax %v, want +Inf", method, info.TauMax)
+			}
+			if err := CheckTau(fx.ests[method], 10*fx.ds.TauMax()); err != nil {
+				t.Errorf("%s: CheckTau rejected an in-range τ: %v", method, err)
+			}
+		default:
+			if math.IsInf(info.TauMax, 1) || info.TauMax <= 0 {
+				t.Errorf("%s: TauMax %v, want the finite trained τ scale", method, info.TauMax)
+			}
+			if err := CheckTau(fx.ests[method], info.TauMax*1.5); !errors.Is(err, ErrTauOutOfRange) {
+				t.Errorf("%s: CheckTau(beyond trained range) = %v, want ErrTauOutOfRange", method, err)
+			}
+			if err := CheckTau(fx.ests[method], info.TauMax*0.5); err != nil {
+				t.Errorf("%s: CheckTau rejected an in-range τ: %v", method, err)
+			}
+		}
+	}
+	// Wrapper introspection: robust+cached surfaces tags and cache state.
+	cache, err := NewEstimateCache(16, 4, fx.ds.TauMax(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Harden(fx.ests["mlp"], ServeOptions{Cache: cache})
+	info := Describe(r)
+	if !info.CacheServed || len(info.Wrappers) != 2 || info.Wrappers[0] != "robust" || info.Wrappers[1] != "cached" {
+		t.Errorf("hardened+cached Info = %+v, want CacheServed with wrappers [robust cached]", info)
+	}
+	if !r.CacheServed() {
+		t.Error("RobustEstimator.CacheServed() = false with a cache attached")
+	}
+	bare := Harden(fx.ests["mlp"], ServeOptions{})
+	if bare.CacheServed() {
+		t.Error("RobustEstimator.CacheServed() = true without a cache")
+	}
+	mono, err := Monotone(fx.ests["mlp"], fx.ds.TauMax(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minfo := Describe(mono)
+	if len(minfo.Wrappers) != 1 || minfo.Wrappers[0] != "monotone" {
+		t.Errorf("monotone Info wrappers = %v, want [monotone]", minfo.Wrappers)
+	}
+}

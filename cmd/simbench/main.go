@@ -4,7 +4,10 @@
 //	simbench -exp all -dataset all -scale small
 //
 // Experiments: table4 table5 table6 table7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 ablation all. Scales: small medium paper.
+// fig13 fig14 fig15 ablation compound all. Scales: small medium paper.
+// "compound" is the optimizer-facing extension: q-error of every method on
+// a fixed-seed set of AND/OR/NOT predicates, estimated through
+// cardest/plan and labeled exactly by set algebra over the index.
 //
 // With -kernels it instead runs the tracked kernel + end-to-end benchmark
 // suite and writes BENCH_kernels.json (see `make bench`).
@@ -25,7 +28,7 @@ import (
 
 func main() {
 	var (
-		expFlag     = flag.String("exp", "table4", "experiment id or comma-separated list (table4..7, fig8..15, ablation, all)")
+		expFlag     = flag.String("exp", "table4", "experiment id or comma-separated list (table4..7, fig8..15, ablation, compound, all)")
 		datasetFlag = flag.String("dataset", "imagenet", "dataset profile or 'all'")
 		scaleFlag   = flag.String("scale", "small", "small|medium|paper")
 		skipTuning  = flag.Bool("skip-tuning", false, "use default CNN config for GL+ (skips Algorithm 3)")
@@ -86,11 +89,11 @@ func run(exp, ds, scaleName string, skipTuning bool, cacheDir string) error {
 		"table4": true, "table5": true, "table6": true, "table7": true,
 		"fig8": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true,
-		"ablation": true,
+		"ablation": true, "compound": true,
 	}
 	exps := strings.Split(strings.ToLower(exp), ",")
 	if exp == "all" {
-		exps = []string{"table4", "table5", "table6", "fig8", "fig9", "fig14", "table7", "fig12", "fig13", "fig10", "fig11", "fig15", "ablation"}
+		exps = []string{"table4", "table5", "table6", "fig8", "fig9", "fig14", "table7", "fig12", "fig13", "fig10", "fig11", "fig15", "ablation", "compound"}
 	}
 	for _, e := range exps {
 		if !known[e] {
@@ -186,6 +189,22 @@ func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning 
 				return err
 			}
 			if err := exper.RenderLatency(os.Stdout, res); err != nil {
+				return err
+			}
+		case "compound":
+			s, err := getSuite()
+			if err != nil {
+				return err
+			}
+			cases, err := exper.CompoundCases(s, 12, 16)
+			if err != nil {
+				return err
+			}
+			res, err := exper.CompoundTable(s, cases)
+			if err != nil {
+				return err
+			}
+			if err := exper.RenderCompound(os.Stdout, res); err != nil {
 				return err
 			}
 		case "table7":

@@ -5,18 +5,31 @@
 //
 // The dataset must be regenerated with the same profile/size/seed the model
 // was trained on (generation is deterministic).
+//
+// Compound predicates are estimated through the optimizer-facing plan
+// layer with -pred; q0..qN reference the run's sampled query vectors:
+//
+//	simquery -model m.model -pred 'sim(vec, q0, 0.1) and not sim(vec, q1, 0.2)'
+//
+// -describe prints the estimator's metadata (method family, supported τ
+// range, model generation, serving wrappers) and exits. Thresholds outside
+// the supported range are rejected with a typed error instead of silently
+// extrapolating beyond the trained band.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"text/tabwriter"
 	"time"
 
 	"simquery/cardest"
+	"simquery/cardest/plan"
 	"simquery/internal/metrics"
 	"simquery/internal/tensor"
 )
@@ -28,7 +41,7 @@ func main() {
 		n         = flag.Int("n", 8000, "dataset size used at training")
 		clusters  = flag.Int("clusters", 40, "generator clusters used at training")
 		seed      = flag.Int64("seed", 1, "dataset seed used at training")
-		queries   = flag.Int("queries", 10, "number of random queries to evaluate")
+		queries   = flag.Int("queries", 10, "number of random queries to evaluate (also the q0..qN -pred references)")
 		tauFrac   = flag.Float64("tau", 0.25, "threshold as a fraction of tau_max")
 		telAddr   = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
 		workers   = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
@@ -36,6 +49,8 @@ func main() {
 		maxInfl   = flag.Int("max-inflight", 0, "max concurrent estimates before shedding with an overload error (0 = unlimited)")
 		cacheEnt  = flag.Int("cache-entries", 0, "estimate cache capacity in fingerprints (0 disables the cache)")
 		cacheAnch = flag.Int("cache-anchors", 8, "τ anchors per cache entry (unseen thresholds interpolate between them)")
+		pred      = flag.String("pred", "", "compound predicate expression (sim/and/or/not over q0..qN); estimated through the plan layer")
+		describe  = flag.Bool("describe", false, "print the estimator's metadata (family, τ range, generation, wrappers) and exit")
 	)
 	flag.Parse()
 	if _, err := tensor.SetPoolSize(*workers); err != nil {
@@ -55,18 +70,51 @@ func main() {
 		defer ts.Close()
 		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
 	}
-	if err := run(*modelPath, *profile, *n, *clusters, *seed, *queries, *tauFrac, *deadline, *maxInfl, *cacheEnt, *cacheAnch); err != nil {
+	opts := runOptions{
+		modelPath: *modelPath, profile: *profile,
+		n: *n, clusters: *clusters, seed: *seed,
+		queries: *queries, tauFrac: *tauFrac,
+		deadline: *deadline, maxInflight: *maxInfl,
+		cacheEntries: *cacheEnt, cacheAnchors: *cacheAnch,
+		pred: *pred, describe: *describe,
+	}
+	if err := runWith(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "simquery:", err)
 		os.Exit(1)
 	}
 }
 
+// runOptions carries the CLI configuration into the run.
+type runOptions struct {
+	modelPath, profile string
+	n, clusters        int
+	seed               int64
+	queries            int
+	tauFrac            float64
+	deadline           time.Duration
+	maxInflight        int
+	cacheEntries       int
+	cacheAnchors       int
+	pred               string
+	describe           bool
+}
+
+// run keeps the original positional signature for the single-τ path (the
+// tests drive it); runWith is the full entry point.
 func run(modelPath, profile string, n, clusters int, seed int64, queries int, tauFrac float64, deadline time.Duration, maxInflight, cacheEntries, cacheAnchors int) error {
-	ds, err := cardest.GenerateProfile(profile, n, clusters, seed)
+	return runWith(runOptions{
+		modelPath: modelPath, profile: profile, n: n, clusters: clusters,
+		seed: seed, queries: queries, tauFrac: tauFrac, deadline: deadline,
+		maxInflight: maxInflight, cacheEntries: cacheEntries, cacheAnchors: cacheAnchors,
+	})
+}
+
+func runWith(o runOptions) error {
+	ds, err := cardest.GenerateProfile(o.profile, o.n, o.clusters, o.seed)
 	if err != nil {
 		return err
 	}
-	est, err := cardest.Load(modelPath, ds)
+	est, err := cardest.Load(o.modelPath, ds)
 	if err != nil {
 		return err
 	}
@@ -74,35 +122,56 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 	// guards always, deadline/admission limits as configured, and the
 	// sampling baseline (rebuilt from the dataset — it is never serialized)
 	// as the degraded fallback.
-	fallback, err := cardest.Train(ds, nil, cardest.TrainOptions{Method: "sampling", Seed: seed + 300})
+	fallback, err := cardest.Train(ds, nil, cardest.TrainOptions{Method: "sampling", Seed: o.seed + 300})
 	if err != nil {
 		return err
 	}
 	opts := cardest.ServeOptions{
-		Deadline:    deadline,
-		MaxInFlight: maxInflight,
+		Deadline:    o.deadline,
+		MaxInFlight: o.maxInflight,
 		Fallback:    fallback,
 	}
-	if cacheEntries > 0 {
-		cache, err := cardest.NewEstimateCache(cacheEntries, cacheAnchors, ds.TauMax(), 0)
+	if o.cacheEntries > 0 {
+		cache, err := cardest.NewEstimateCache(o.cacheEntries, o.cacheAnchors, ds.TauMax(), 0)
 		if err != nil {
 			return err
 		}
 		opts.Cache = cache
 	}
 	robust := cardest.Harden(est, opts)
-	idx, err := cardest.NewExactIndex(ds, 16, seed+100)
+
+	if o.describe {
+		return printDescribe(robust, ds)
+	}
+
+	idx, err := cardest.NewExactIndex(ds, 16, o.seed+100)
 	if err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(seed + 200))
-	tau := ds.TauMax() * tauFrac
+	rng := rand.New(rand.NewSource(o.seed + 200))
+	sampled := make([][]float64, o.queries)
+	sampledIdx := make([]int, o.queries)
+	for i := range sampled {
+		qi := rng.Intn(ds.Size())
+		sampledIdx[i] = qi
+		sampled[i] = ds.Vectors()[qi]
+	}
+
+	if o.pred != "" {
+		return runPred(robust, ds, idx, o.pred, sampled)
+	}
+
+	tau := ds.TauMax() * o.tauFrac
+	// Reject thresholds the trained model cannot answer without silently
+	// extrapolating (errors.Is(err, cardest.ErrTauOutOfRange)).
+	if err := cardest.CheckTau(robust, tau); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "query\ttau\testimate\texact\tq-error\n")
 	var qerrs []float64
-	for i := 0; i < queries; i++ {
-		qi := rng.Intn(ds.Size())
-		q := ds.Vectors()[qi]
+	for i := 0; i < o.queries; i++ {
+		qi, q := sampledIdx[i], sampled[i]
 		got, err := robust.EstimateSearchCtx(context.Background(), q, tau)
 		if err != nil {
 			fmt.Fprintf(tw, "#%d\t%.4f\terror: %v\t\t\n", qi, tau, err)
@@ -125,5 +194,78 @@ func run(modelPath, profile string, n, clusters int, seed int64, queries int, ta
 		fmt.Printf("cache: %d entries, %d hits / %d misses (hit rate %.0f%%), %d interpolated\n",
 			st.Entries, st.Hits, st.Misses, 100*st.HitRate(), st.Interpolated)
 	}
+	return nil
+}
+
+// printDescribe renders the serving estimator's metadata.
+func printDescribe(e cardest.Estimator, ds *cardest.Dataset) error {
+	info := cardest.Describe(e)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "name\t%s\n", info.Name)
+	fmt.Fprintf(tw, "family\t%s\n", info.Family)
+	if math.IsInf(info.TauMax, 1) {
+		fmt.Fprintf(tw, "tau range\t[%g, ∞) — any threshold, no extrapolation\n", info.TauMin)
+	} else {
+		fmt.Fprintf(tw, "tau range\t[%g, %g] (dataset tau_max %g)\n", info.TauMin, info.TauMax, ds.TauMax())
+	}
+	fmt.Fprintf(tw, "generation\t%d\n", info.Generation)
+	if len(info.Wrappers) > 0 {
+		fmt.Fprintf(tw, "wrappers\t%v\n", info.Wrappers)
+	}
+	fmt.Fprintf(tw, "batch native\t%v\n", info.BatchNative)
+	fmt.Fprintf(tw, "cache served\t%v\n", info.CacheServed)
+	fmt.Fprintf(tw, "size bytes\t%d\n", info.SizeBytes)
+	return tw.Flush()
+}
+
+// runPred estimates one compound predicate through the plan layer and
+// compares it to the exact compound count.
+func runPred(robust cardest.Estimator, ds *cardest.Dataset, idx *cardest.ExactIndex, expr string, sampled [][]float64) error {
+	lookup := func(name string) ([]float64, bool) {
+		var i int
+		if _, err := fmt.Sscanf(name, "q%d", &i); err != nil || i < 0 || i >= len(sampled) {
+			return nil, false
+		}
+		return sampled[i], true
+	}
+	pred, err := plan.Parse(expr, lookup)
+	if err != nil {
+		return err
+	}
+	p, err := cardest.PlanFor(ds, robust)
+	if err != nil {
+		return err
+	}
+	if err := p.PreCheck(pred); err != nil {
+		if errors.Is(err, plan.ErrTauOutOfRange) {
+			return fmt.Errorf("%w (see -describe for the supported range)", err)
+		}
+		return err
+	}
+	est, err := p.EstimateFor(pred)
+	if err != nil {
+		return err
+	}
+	exact, err := plan.ExactCount(ds.Size(), pred, func(_ string, q []float64, tau float64) ([]int, error) {
+		return idx.Search(q, tau), nil
+	})
+	if err != nil {
+		return err
+	}
+	names := make(map[*float64]string, len(sampled))
+	for i, q := range sampled {
+		if len(q) > 0 {
+			names[&q[0]] = fmt.Sprintf("q%d", i)
+		}
+	}
+	rendered := pred.Format(func(q []float64) string {
+		if len(q) == 0 {
+			return ""
+		}
+		return names[&q[0]]
+	})
+	fmt.Printf("predicate: %s\n", rendered)
+	fmt.Printf("estimate: %.1f  exact: %d  q-error: %.2f\n",
+		est, exact, plan.QError(est, exact))
 	return nil
 }

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"simquery/cardest"
+	"simquery/cardest/plan"
 )
 
 func TestRunMissingModel(t *testing.T) {
@@ -19,8 +21,9 @@ func TestRunUnknownProfile(t *testing.T) {
 	}
 }
 
-func TestRunHappyPathWithSavedModel(t *testing.T) {
-	// Train+save via the cardest API at tiny scale, then query it.
+// savedTinyModel trains and saves a tiny QES model, returning its path.
+func savedTinyModel(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
 	path := dir + "/m.model"
 	ds, err := cardest.GenerateProfile("imagenet", 300, 4, 1)
@@ -38,7 +41,61 @@ func TestRunHappyPathWithSavedModel(t *testing.T) {
 	if err := cardest.Save(est, path); err != nil {
 		t.Fatal(err)
 	}
+	return path
+}
+
+func TestRunHappyPathWithSavedModel(t *testing.T) {
+	// Train+save via the cardest API at tiny scale, then query it.
+	path := savedTinyModel(t)
 	if err := run(path, "imagenet", 300, 4, 1, 3, 0.1, 5*time.Second, 4, 64, 8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsTauBeyondTrainedRange(t *testing.T) {
+	path := savedTinyModel(t)
+	// τ = 5×tau_max is far past any trained threshold: the run must fail
+	// with the typed out-of-range error instead of silently extrapolating.
+	err := run(path, "imagenet", 300, 4, 1, 3, 5.0, 0, 0, 0, 8)
+	if !errors.Is(err, cardest.ErrTauOutOfRange) {
+		t.Fatalf("run with extrapolating τ = %v, want ErrTauOutOfRange", err)
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	path := savedTinyModel(t)
+	if err := runWith(runOptions{
+		modelPath: path, profile: "imagenet", n: 300, clusters: 4, seed: 1,
+		queries: 3, tauFrac: 0.1, describe: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPred(t *testing.T) {
+	path := savedTinyModel(t)
+	base := runOptions{
+		modelPath: path, profile: "imagenet", n: 300, clusters: 4, seed: 1,
+		queries: 3, tauFrac: 0.1,
+	}
+	good := base
+	good.pred = "sim(vec, q0, 0.05) and not sim(vec, q1, 0.04)"
+	if err := runWith(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.pred = "sim(vec, q0, 0.05) and ("
+	if err := runWith(bad); !errors.Is(err, plan.ErrParse) {
+		t.Fatalf("malformed -pred error = %v, want ErrParse", err)
+	}
+	unknownRef := base
+	unknownRef.pred = "sim(vec, q99, 0.05)"
+	if err := runWith(unknownRef); !errors.Is(err, plan.ErrParse) {
+		t.Fatalf("unknown reference error = %v, want ErrParse", err)
+	}
+	outOfRange := base
+	outOfRange.pred = "sim(vec, q0, 99.0)"
+	if err := runWith(outOfRange); !errors.Is(err, cardest.ErrTauOutOfRange) {
+		t.Fatalf("extrapolating -pred error = %v, want ErrTauOutOfRange", err)
 	}
 }

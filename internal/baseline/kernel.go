@@ -93,6 +93,13 @@ func (k *Kernel) fitBandwidth(rng *rand.Rand) float64 {
 // Name implements estimator.SearchEstimator.
 func (k *Kernel) Name() string { return k.name }
 
+// Family implements estimator.Describer.
+func (k *Kernel) Family() string { return "kernel" }
+
+// TauRange implements estimator.Describer: the kernel density integrates
+// to any radius, so any threshold is answered without extrapolation.
+func (k *Kernel) TauRange() (min, max float64) { return 0, math.Inf(1) }
+
 // Bandwidth exposes the fitted kernel width (test hook).
 func (k *Kernel) Bandwidth() float64 { return k.bandwidth }
 

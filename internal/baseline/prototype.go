@@ -26,6 +26,7 @@ type Prototype struct {
 	intercept []float64 // a per prototype
 	slope     []float64 // b per prototype
 	neighbors int       // prototypes blended per estimate
+	tauMax    float64   // largest trained threshold (Describer range)
 }
 
 // PrototypeSample is one observed (query, τ, cardinality) triple.
@@ -63,6 +64,11 @@ func NewPrototype(name string, samples []PrototypeSample, k, neighbors int, metr
 		intercept: make([]float64, seg.K),
 		slope:     make([]float64, seg.K),
 		neighbors: neighbors,
+	}
+	for _, s := range samples {
+		if s.Tau > p.tauMax {
+			p.tauMax = s.Tau
+		}
 	}
 	// Per prototype: least squares of log(card+1) on τ over member samples.
 	for c := 0; c < seg.K; c++ {
@@ -102,6 +108,13 @@ func NewPrototype(name string, samples []PrototypeSample, k, neighbors int, metr
 
 // Name implements estimator.SearchEstimator.
 func (p *Prototype) Name() string { return p.name }
+
+// Family implements estimator.Describer.
+func (p *Prototype) Family() string { return "prototype" }
+
+// TauRange implements estimator.Describer: the per-prototype linear fits
+// are trained on thresholds up to tauMax; beyond it they extrapolate.
+func (p *Prototype) TauRange() (min, max float64) { return 0, p.tauMax }
 
 // EstimateSearch projects the query onto its nearest prototypes and blends
 // their linear predictions with inverse-distance weights.

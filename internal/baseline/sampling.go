@@ -76,6 +76,13 @@ func newSamplingN(name string, ds *dataset.Dataset, m int, seed int64) (*Samplin
 // Name implements estimator.SearchEstimator.
 func (s *Sampling) Name() string { return s.name }
 
+// Family implements estimator.Describer.
+func (s *Sampling) Family() string { return "sampling" }
+
+// TauRange implements estimator.Describer: sampling counts matches
+// directly, so any threshold is answered without extrapolation.
+func (s *Sampling) TauRange() (min, max float64) { return 0, math.Inf(1) }
+
 // EstimateSearch counts sample matches and scales by the sampling ratio.
 func (s *Sampling) EstimateSearch(q []float64, tau float64) float64 {
 	count := 0

@@ -318,6 +318,13 @@ func (c *CardNet) EstimateJoin(qs [][]float64, tau float64) float64 {
 // Name implements estimator.SearchEstimator.
 func (c *CardNet) Name() string { return c.Label }
 
+// Family implements estimator.Describer.
+func (c *CardNet) Family() string { return "cardnet" }
+
+// TauRange implements estimator.Describer: thresholds are normalized by
+// TauScale, so estimates beyond it extrapolate past the trained band.
+func (c *CardNet) TauRange() (min, max float64) { return 0, c.TauScale }
+
 // SizeBytes reports the parameter footprint.
 func (c *CardNet) SizeBytes() int { return nn.SizeBytes(c.params()) }
 

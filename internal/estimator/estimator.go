@@ -43,6 +43,21 @@ type BatchSearchEstimator interface {
 	EstimateSearchBatch(qs [][]float64, taus []float64) []float64
 }
 
+// Describer is optionally implemented by estimators that can report their
+// method family and supported threshold range to the optimizer-facing
+// plane (cardest/plan): thresholds outside [min, max] would be answered by
+// silent extrapolation beyond the trained band, so callers reject them
+// up front with a typed error instead. A max of +Inf means the method
+// answers any threshold without extrapolating (sampling, kernel — they
+// count, they do not regress).
+type Describer interface {
+	// Family names the method family: "global-local", "basic-nn",
+	// "cardnet", "sampling", "kernel", or "prototype".
+	Family() string
+	// TauRange reports the supported threshold range [min, max].
+	TauRange() (min, max float64)
+}
+
 // Search runs one estimate through e, recording per-method latency
 // (simquery_estimate_latency_seconds{method=...}) and throughput
 // (simquery_estimates_total) when telemetry is enabled. With the no-op

@@ -1,0 +1,227 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simquery/cardest/plan"
+	"simquery/internal/estimator"
+	"simquery/internal/index"
+	"simquery/internal/metrics"
+	"simquery/internal/workload"
+)
+
+// Compound-predicate accuracy: the optimizer-facing extension of Table 4.
+// A fixed-seed set of AND/OR/NOT predicate trees over the test workload's
+// query vectors is evaluated by every Table-2 method through the
+// cardest/plan composition, and the q-error is measured against exact
+// compound counts from the SimSelect index (set algebra over per-leaf
+// result sets). Every reported estimate is also checked against the
+// algebra's bounds invariants — a violation is a harness error, not a bad
+// q-error.
+
+// CompoundCase is one fixed compound predicate with its exact count.
+type CompoundCase struct {
+	Expr  string
+	Pred  *plan.Predicate
+	Exact int
+}
+
+// CompoundResult is the compound-predicate q-error table for one dataset.
+type CompoundResult struct {
+	Dataset string
+	Cases   []CompoundCase
+	Rows    []MethodSummary
+}
+
+// compoundAttr is the attribute name the single-vector-column harness
+// binds every method under (matches cardest.DefaultAttr).
+const compoundAttr = "vec"
+
+// compoundTauCap returns the largest leaf threshold every suite method can
+// answer without extrapolating: the min over the methods' supported τ
+// ranges (learned methods stop at their trained τ scale), floored at a
+// tenth of the dataset's τ_max so degenerate training thresholds cannot
+// collapse the probe band to nothing.
+func compoundTauCap(s *Suite) float64 {
+	cap := s.Env.DS.TauMax
+	for _, m := range s.SearchMethods() {
+		if d, ok := m.(estimator.Describer); ok {
+			if _, hi := d.TauRange(); hi > 0 && hi < cap {
+				cap = hi
+			}
+		}
+	}
+	if floor := s.Env.DS.TauMax * 0.1; cap < floor {
+		cap = floor
+	}
+	return cap
+}
+
+// CompoundCases builds the fixed-seed predicate set: count random trees of
+// depth ≤ 3 over the test workload's query vectors, leaf thresholds in
+// [0.2, 0.9]·tauCap, labeled exactly through the index.
+func CompoundCases(s *Suite, count, pivots int) ([]CompoundCase, error) {
+	qs := s.Env.W.Test
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("exper: empty test workload")
+	}
+	idx, err := index.Build(s.Env.DS, pivots, s.Env.P.Seed+60)
+	if err != nil {
+		return nil, err
+	}
+	search := func(attr string, q []float64, tau float64) ([]int, error) {
+		return idx.Search(q, tau), nil
+	}
+	n := len(s.Env.DS.Vectors)
+	tauCap := compoundTauCap(s)
+	rng := rand.New(rand.NewSource(s.Env.P.Seed + 61))
+	name := func(q []float64) string {
+		for i := range qs {
+			if len(qs[i].Vec) > 0 && &qs[i].Vec[0] == &q[0] {
+				return fmt.Sprintf("q%d", i)
+			}
+		}
+		return ""
+	}
+	out := make([]CompoundCase, 0, count)
+	for len(out) < count {
+		pred := randomCompound(rng, qs, tauCap, 3)
+		exact, err := plan.ExactCount(n, pred, search)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CompoundCase{Expr: pred.Format(name), Pred: pred, Exact: exact})
+	}
+	return out, nil
+}
+
+// randomCompound builds one random predicate tree; at least one logical
+// operator is guaranteed (depth-0 draws restart as binary nodes).
+func randomCompound(rng *rand.Rand, qs []workload.Query, tauCap float64, depth int) *plan.Predicate {
+	leaf := func() *plan.Predicate {
+		q := qs[rng.Intn(len(qs))]
+		tau := tauCap * (0.2 + 0.7*rng.Float64())
+		return plan.Sim(compoundAttr, q.Vec, tau)
+	}
+	var build func(d int) *plan.Predicate
+	build = func(d int) *plan.Predicate {
+		if d <= 0 || rng.Float64() < 0.4 {
+			return leaf()
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return plan.Not(build(d - 1))
+		case 1:
+			return plan.And(build(d-1), build(d-1))
+		default:
+			return plan.Or(build(d-1), build(d-1))
+		}
+	}
+	switch rng.Intn(3) { // root is always compound, never a bare leaf
+	case 0:
+		return plan.And(build(depth-1), build(depth-1))
+	case 1:
+		return plan.Or(build(depth-1), build(depth-1))
+	default:
+		return plan.Not(build(depth - 1))
+	}
+}
+
+// CompoundTable evaluates every suite method over the fixed predicate set
+// and summarizes per-method q-error distributions. Each estimate is
+// asserted against the bounds invariants (0 ≤ est ≤ N, est(AND) ≤ min
+// children, max children ≤ est(OR) ≤ sum children); a violation aborts
+// with an error because it would falsify the plan layer's contract.
+func CompoundTable(s *Suite, cases []CompoundCase) (CompoundResult, error) {
+	res := CompoundResult{Dataset: s.Env.DS.Name, Cases: cases}
+	n := float64(len(s.Env.DS.Vectors))
+	for _, m := range s.SearchMethods() {
+		le, ok := m.(plan.LeafEstimator)
+		if !ok {
+			return res, fmt.Errorf("exper: method %s lacks the batch surface plan composes over", m.Name())
+		}
+		info := describeOf(m)
+		comp, err := plan.NewCompound(plan.Binding{
+			Attr:      compoundAttr,
+			Estimator: le,
+			TauMin:    info.tauMin,
+			TauMax:    info.tauMax,
+			N:         n,
+			Family:    info.family,
+		})
+		if err != nil {
+			return res, err
+		}
+		errs := make([]float64, 0, len(cases))
+		for _, c := range cases {
+			est, err := comp.EstimateFor(c.Pred)
+			if err != nil {
+				return res, fmt.Errorf("exper: %s on %q: %w", m.Name(), c.Expr, err)
+			}
+			if err := checkCompoundBounds(comp, c.Pred, est, n); err != nil {
+				return res, fmt.Errorf("exper: %s on %q: %w", m.Name(), c.Expr, err)
+			}
+			errs = append(errs, metrics.QError(est, float64(c.Exact)))
+		}
+		res.Rows = append(res.Rows, MethodSummary{Method: m.Name(), Summary: metrics.Summarize(errs)})
+	}
+	return res, nil
+}
+
+// checkCompoundBounds re-derives the root node's invariants from
+// independent child estimates.
+func checkCompoundBounds(comp *plan.Compound, p *plan.Predicate, est, n float64) error {
+	tol := 1e-9 * n
+	if est < 0 || est > n || math.IsNaN(est) {
+		return fmt.Errorf("estimate %v outside [0, %v]", est, n)
+	}
+	switch p.Op {
+	case plan.OpAnd:
+		for _, ch := range p.Children {
+			ce, err := comp.EstimateFor(ch)
+			if err != nil {
+				return err
+			}
+			if est > ce+tol {
+				return fmt.Errorf("and-estimate %v exceeds child estimate %v", est, ce)
+			}
+		}
+	case plan.OpOr:
+		sum := 0.0
+		for _, ch := range p.Children {
+			ce, err := comp.EstimateFor(ch)
+			if err != nil {
+				return err
+			}
+			sum += ce
+			if est < ce-tol {
+				return fmt.Errorf("or-estimate %v below child estimate %v", est, ce)
+			}
+		}
+		if est > sum+tol {
+			return fmt.Errorf("or-estimate %v exceeds children sum %v", est, sum)
+		}
+	}
+	return nil
+}
+
+type methodEnvelope struct {
+	family         string
+	tauMin, tauMax float64
+}
+
+// describeOf probes a suite method for its Describer surface; methods
+// without one get an unbounded τ range.
+func describeOf(m estimator.SearchEstimator) methodEnvelope {
+	env := methodEnvelope{family: "unknown", tauMax: math.Inf(1)}
+	if d, ok := m.(estimator.Describer); ok {
+		env.family = d.Family()
+		env.tauMin, env.tauMax = d.TauRange()
+		if env.tauMax <= 0 {
+			env.tauMax = math.Inf(1)
+		}
+	}
+	return env
+}

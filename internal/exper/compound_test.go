@@ -1,0 +1,64 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simquery/cardest/plan"
+)
+
+func TestCompoundTable(t *testing.T) {
+	s := tinySuite(t)
+	cases, err := CompoundCases(s, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 6 {
+		t.Fatalf("cases %d, want 6", len(cases))
+	}
+	n := len(s.Env.DS.Vectors)
+	for i, c := range cases {
+		if c.Pred.Op == plan.OpSim {
+			t.Errorf("case %d is a bare leaf; compound roots must be And/Or/Not", i)
+		}
+		if c.Exact < 0 || c.Exact > n {
+			t.Errorf("case %d: exact count %d outside [0, %d]", i, c.Exact, n)
+		}
+		if c.Expr == "" {
+			t.Errorf("case %d: empty rendered expression", i)
+		}
+	}
+	// Determinism: same seed, same predicate set and labels.
+	again, err := CompoundCases(s, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cases {
+		if cases[i].Expr != again[i].Expr || cases[i].Exact != again[i].Exact {
+			t.Errorf("case %d not deterministic: %q/%d vs %q/%d",
+				i, cases[i].Expr, cases[i].Exact, again[i].Expr, again[i].Exact)
+		}
+	}
+
+	res, err := CompoundTable(s, cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows %d, want all 11 suite methods", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Summary.Mean < 1 {
+			t.Fatalf("%s: mean q-error %v < 1 is impossible", r.Method, r.Summary.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderCompound(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GL+") || !strings.Contains(out, "P0:") {
+		t.Fatalf("render missing methods or predicate listing:\n%s", out)
+	}
+}

@@ -25,6 +25,23 @@ func RenderAccuracy(w io.Writer, title string, res AccuracyResult) error {
 	return tw.Flush()
 }
 
+// RenderCompound writes the compound-predicate q-error table, listing the
+// fixed predicate set first so the rows are interpretable.
+func RenderCompound(w io.Writer, res CompoundResult) error {
+	fmt.Fprintf(w, "Compound-Predicate Test Errors — %s (%d predicates)\n", res.Dataset, len(res.Cases))
+	for i, c := range res.Cases {
+		fmt.Fprintf(w, "  P%d: %s  (exact %d)\n", i, c.Expr, c.Exact)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tMean\tMedian\t90th\t95th\t99th\tMax")
+	for _, r := range res.Rows {
+		s := r.Summary
+		fmt.Fprintf(tw, "%s\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\t%.3g\n",
+			r.Method, s.Mean, s.Median, s.P90, s.P95, s.P99, s.Max)
+	}
+	return tw.Flush()
+}
+
 // RenderSizes writes Table 5.
 func RenderSizes(w io.Writer, res SizeResult) error {
 	fmt.Fprintf(w, "Table 5: Model Size (MB) — %s\n", res.Dataset)

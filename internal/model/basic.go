@@ -261,6 +261,13 @@ func expCard(y float64) float64 {
 // Name implements estimator.SearchEstimator.
 func (m *BasicModel) Name() string { return m.Label }
 
+// Family implements estimator.Describer.
+func (m *BasicModel) Family() string { return "basic-nn" }
+
+// TauRange implements estimator.Describer: thresholds are normalized by
+// TauScale, so estimates beyond it extrapolate past the trained band.
+func (m *BasicModel) TauRange() (min, max float64) { return 0, m.TauScale }
+
 // SizeBytes reports parameters plus anchor payload (Table 5 accounting).
 func (m *BasicModel) SizeBytes() int {
 	b := nn.SizeBytes(m.params())

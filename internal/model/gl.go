@@ -763,6 +763,13 @@ func (gl *GlobalLocal) IncrementalTrain(samples []SegSample, affected map[int]bo
 // Name implements estimator.SearchEstimator.
 func (gl *GlobalLocal) Name() string { return gl.Label }
 
+// Family implements estimator.Describer.
+func (gl *GlobalLocal) Family() string { return "global-local" }
+
+// TauRange implements estimator.Describer: the locals normalize τ by
+// TauScale, so estimates beyond it extrapolate past the trained band.
+func (gl *GlobalLocal) TauRange() (min, max float64) { return 0, gl.TauScale }
+
 // SizeBytes sums all local models and the global model (Table 5).
 func (gl *GlobalLocal) SizeBytes() int {
 	b := 0

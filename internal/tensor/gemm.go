@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // GEMM kernels: cache-blocked, register-tiled matrix multiplies. Three
 // properties shape the implementation (DESIGN.md §9):
@@ -34,8 +37,14 @@ const (
 	gemmBlockJ = 256
 	// parallelFLOPs is the 2·M·N·K threshold above which GEMM dispatches
 	// row blocks onto the pool. Below it (every single-estimate inference
-	// shape) the kernel runs inline and allocation-free.
-	parallelFLOPs = 4 << 20
+	// shape) the kernel runs inline and allocation-free. At 8 MFLOP the
+	// crossover sits above 256³ minus a panel — dispatch overhead beat the
+	// speedup there on the tracked benchmark host.
+	parallelFLOPs = 8 << 20
+	// gemmMinBlockRows is the coarsest row-block grain: a split never
+	// produces blocks shorter than this, so per-task dispatch overhead is
+	// amortized over at least 64 output rows of panel-blocked work.
+	gemmMinBlockRows = 64
 )
 
 // MatMul computes out = a × b. out must be a.Rows × b.Cols and distinct
@@ -111,15 +120,29 @@ func gemmParallel(rows, cols, depth int) bool {
 	if rows <= 1 {
 		return false
 	}
-	return DefaultPool().Workers() > 1 && 2*rows*cols*depth >= parallelFLOPs
+	return gemmParallelism() > 1 && 2*rows*cols*depth >= parallelFLOPs
+}
+
+// gemmParallelism is the effective GEMM task-count cap: pool workers, but
+// never more than GOMAXPROCS. A pool sized above the machine's usable
+// cores (SIMQUERY_WORKERS on a constrained host, or a container quota
+// below the configured size) cannot run its workers concurrently, so
+// splitting that wide only adds dispatch overhead — most visibly on a
+// single-core host, where it disables pool dispatch entirely.
+func gemmParallelism() int {
+	return min(DefaultPool().Workers(), runtime.GOMAXPROCS(0))
 }
 
 // gemmSplit partitions the output-row range [0, rows) into contiguous
-// blocks claimed from the package pool. Because every kernel is
-// row-invariant, the split is unobservable in the results.
+// blocks claimed from the package pool, at least gemmMinBlockRows tall.
+// Because every kernel is row-invariant, the split is unobservable in the
+// results.
 func gemmSplit(rows int, kernel func(i0, i1 int)) {
 	p := DefaultPool()
-	tasks := min(p.Workers(), rows)
+	tasks := min(gemmParallelism(), (rows+gemmMinBlockRows-1)/gemmMinBlockRows)
+	if tasks < 1 {
+		tasks = 1
+	}
 	chunk := (rows + tasks - 1) / tasks
 	p.Do(tasks, func(t int) {
 		i0 := t * chunk
