@@ -1,0 +1,9 @@
+//go:build race
+
+package cardest
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-budget tests skip under race: the race runtime's
+// extra bookkeeping changes allocation counts, so the budgets only hold on
+// the uninstrumented binary.
+const raceEnabled = true

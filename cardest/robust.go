@@ -8,6 +8,8 @@ import (
 	"simquery/internal/estcache"
 	"simquery/internal/faultinject"
 	"simquery/internal/faulttol"
+	"simquery/internal/probe"
+	"simquery/internal/reqtrace"
 	"simquery/internal/telemetry"
 )
 
@@ -56,6 +58,11 @@ type ServeOptions struct {
 	// the cache. The cache is stamped with ModelGeneration on every
 	// lookup, so Save/Load invalidate it wholesale.
 	Cache *estcache.Cache
+	// Probe, when set, receives every successfully served search estimate
+	// for sampled exact labeling (internal/probe): the live q-error and
+	// drift instrumentation. Offering is an atomic add for unsampled
+	// requests and never blocks the request path.
+	Probe *probe.Pipeline
 }
 
 // RobustEstimator is the fault-tolerant serving wrapper produced by
@@ -73,6 +80,7 @@ type RobustEstimator struct {
 	gate     *faulttol.Gate
 	deadline time.Duration
 	cache    *estcache.Cache
+	probe    *probe.Pipeline
 }
 
 // Harden wraps a trained estimator in the fault-tolerant serving path.
@@ -83,6 +91,7 @@ func Harden(e Estimator, opts ServeOptions) *RobustEstimator {
 		gate:     faulttol.NewGate(opts.MaxInFlight),
 		deadline: opts.Deadline,
 		cache:    opts.Cache,
+		probe:    opts.Probe,
 	}
 }
 
@@ -158,32 +167,90 @@ func ctxFailure(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// cacheFlag maps an estcache lookup outcome onto the trace flag taxonomy.
+// Both miss shapes — this caller ran the fill, or it shared a concurrent
+// flight's — count as FlagCacheMiss: either way the answer cost model work.
+func cacheFlag(o estcache.Outcome) reqtrace.Flags {
+	switch o {
+	case estcache.OutcomeHit:
+		return reqtrace.FlagCacheHit
+	case estcache.OutcomeInterpolated:
+		return reqtrace.FlagCacheInterpolated
+	default:
+		return reqtrace.FlagCacheMiss
+	}
+}
+
+// markPanic sets FlagPanicRecovered when err carries a captured panic
+// (directly or wrapped in a *model.SegmentError). Error path only — the
+// errors.As walk never runs on healthy requests.
+func markPanic(tr *reqtrace.Trace, err error) {
+	if tr == nil {
+		return
+	}
+	var pe *faulttol.PanicError
+	if errors.As(err, &pe) {
+		tr.SetFlag(reqtrace.FlagPanicRecovered)
+	}
+}
+
 // EstimateSearchCtx answers one search estimate through the hardened path:
 // cache-served when a fresh entry covers (q, τ), shed when over the
 // in-flight limit, bounded by the per-request deadline, panic-isolated,
 // NaN/Inf-guarded, and degraded to the fallback estimator when the primary
-// faults.
-func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (float64, error) {
-	if r.cache != nil && r.cache.InBand(tau) {
-		r.cache.SetGeneration(ModelGeneration())
-		v, err := r.cache.GetOrFill(q, tau, func(anchors []float64) ([]float64, error) {
-			return r.fillAnchors(ctx, q, anchors)
-		})
-		if err == nil {
-			return v, nil
+// faults. When flight recording is enabled the request is sampled here (or
+// joins the trace its caller started), and every successfully served
+// estimate is offered to the probe pipeline for exact labeling.
+func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, tau float64) (est float64, err error) {
+	ctx, tr, owned := reqtrace.Ensure(ctx, r.primary.Name(), tau)
+	if owned {
+		defer func() {
+			tr.SetOutcome(est, err)
+			tr.Finish()
+		}()
+	}
+	est, err = r.searchHardened(ctx, tr, q, tau)
+	if err == nil {
+		r.probe.Offer(q, tau, r.primary.Name(), est)
+	}
+	return est, err
+}
+
+// searchHardened is the EstimateSearchCtx body with the request trace in
+// hand (nil when unsampled; every recording call is nil-safe).
+func (r *RobustEstimator) searchHardened(ctx context.Context, tr *reqtrace.Trace, q []float64, tau float64) (float64, error) {
+	if r.cache != nil {
+		if !r.cache.InBand(tau) {
+			tr.SetFlag(reqtrace.FlagCacheBypass)
+		} else {
+			r.cache.SetGeneration(ModelGeneration())
+			st := tr.StartStage(reqtrace.StageCacheLookup)
+			v, outcome, err := r.cache.GetOrFillOutcome(q, tau, func(anchors []float64) ([]float64, error) {
+				ft := tr.StartStage(reqtrace.StageCacheFill)
+				defer ft.End()
+				return r.fillAnchors(ctx, q, anchors)
+			})
+			st.End()
+			if err == nil {
+				tr.SetFlag(cacheFlag(outcome))
+				return v, nil
+			}
+			if errors.Is(err, ErrOverloaded) {
+				tr.SetFlag(reqtrace.FlagShed)
+				return 0, err
+			}
+			if ctxFailure(err) && ctx.Err() != nil {
+				return 0, err
+			}
+			// The fill faulted (panic, non-finite anchor, or a singleflight
+			// peer's context died while ours is live): serve this request
+			// through the uncached hardened path, leaving the cache unfilled.
+			markPanic(tr, err)
 		}
-		if errors.Is(err, ErrOverloaded) {
-			return 0, err
-		}
-		if ctxFailure(err) && ctx.Err() != nil {
-			return 0, err
-		}
-		// The fill faulted (panic, non-finite anchor, or a singleflight
-		// peer's context died while ours is live): serve this request
-		// through the uncached hardened path, leaving the cache unfilled.
 	}
 	ctx, done, err := r.admit(ctx)
 	if err != nil {
+		tr.SetFlag(reqtrace.FlagShed)
 		return 0, err
 	}
 	defer done()
@@ -197,10 +264,17 @@ func (r *RobustEstimator) EstimateSearchCtx(ctx context.Context, q []float64, ta
 	if err == nil {
 		return v, nil
 	}
+	markPanic(tr, err)
 	if ctxFailure(err) || r.fallback == nil {
 		return 0, err
 	}
-	return r.degradeSearch(q, tau, err)
+	st := tr.StartStage(reqtrace.StageFallback)
+	v, ferr := r.degradeSearch(q, tau, err)
+	st.End()
+	if ferr == nil {
+		tr.SetFlag(reqtrace.FlagDegraded)
+	}
+	return v, ferr
 }
 
 // fillAnchors computes one healthy estimate per cache anchor for q through
@@ -275,18 +349,57 @@ func (r *RobustEstimator) degradeSearch(q []float64, tau float64, primErr error)
 // whole batch to the fallback; individual non-finite outputs in an
 // otherwise healthy batch are replaced per query. Counted degraded
 // estimates equal the number of fallback-served queries.
-func (r *RobustEstimator) EstimateSearchBatchCtx(ctx context.Context, qs [][]float64, taus []float64) ([]float64, error) {
+func (r *RobustEstimator) EstimateSearchBatchCtx(ctx context.Context, qs [][]float64, taus []float64) (out []float64, err error) {
+	var tau float64
+	if len(taus) > 0 {
+		tau = taus[0]
+	}
+	ctx, tr, owned := reqtrace.Ensure(ctx, r.primary.Name(), tau)
+	if tr != nil {
+		tr.SetFlag(reqtrace.FlagBatch)
+		tr.BatchSize = len(qs)
+	}
+	if owned {
+		defer func() {
+			var sum float64
+			for _, v := range out {
+				sum += v
+			}
+			tr.SetOutcome(sum, err)
+			tr.Finish()
+		}()
+	}
+	out, err = r.searchBatchHardened(ctx, tr, qs, taus)
+	if err == nil {
+		for i := range out {
+			r.probe.Offer(qs[i], taus[i], r.primary.Name(), out[i])
+		}
+	}
+	return out, err
+}
+
+// searchBatchHardened is the EstimateSearchBatchCtx body with the request
+// trace in hand.
+func (r *RobustEstimator) searchBatchHardened(ctx context.Context, tr *reqtrace.Trace, qs [][]float64, taus []float64) ([]float64, error) {
 	ctx, done, err := r.admit(ctx)
 	if err != nil {
+		tr.SetFlag(reqtrace.FlagShed)
 		return nil, err
 	}
 	defer done()
 	out, err := r.searchBatchPrimary(ctx, qs, taus)
 	if err != nil {
+		markPanic(tr, err)
 		if ctxFailure(err) || r.fallback == nil {
 			return nil, err
 		}
-		return r.degradeBatch(qs, taus, err)
+		st := tr.StartStage(reqtrace.StageFallback)
+		out, ferr := r.degradeBatch(qs, taus, err)
+		st.End()
+		if ferr == nil {
+			tr.SetFlag(reqtrace.FlagDegraded)
+		}
+		return out, ferr
 	}
 	if faultinject.Armed() {
 		for i := range out {
@@ -302,10 +415,13 @@ func (r *RobustEstimator) EstimateSearchBatchCtx(ctx context.Context, qs [][]flo
 		if r.fallback == nil {
 			return nil, faulttol.ErrNonFinite
 		}
+		st := tr.StartStage(reqtrace.StageFallback)
 		fv, ferr := r.degradeSearch(qs[i], taus[i], faulttol.ErrNonFinite)
+		st.End()
 		if ferr != nil {
 			return nil, ferr
 		}
+		tr.SetFlag(reqtrace.FlagDegraded)
 		out[i] = fv
 	}
 	return out, nil
@@ -351,9 +467,26 @@ func (r *RobustEstimator) degradeBatch(qs [][]float64, taus []float64, primErr e
 }
 
 // EstimateJoinCtx answers one join estimate through the hardened path.
-func (r *RobustEstimator) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau float64) (float64, error) {
+func (r *RobustEstimator) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau float64) (est float64, err error) {
+	ctx, tr, owned := reqtrace.Ensure(ctx, r.primary.Name(), tau)
+	if tr != nil {
+		tr.SetFlag(reqtrace.FlagBatch)
+		tr.BatchSize = len(qs)
+	}
+	if owned {
+		defer func() {
+			tr.SetOutcome(est, err)
+			tr.Finish()
+		}()
+	}
+	return r.joinHardened(ctx, tr, qs, tau)
+}
+
+// joinHardened is the EstimateJoinCtx body with the request trace in hand.
+func (r *RobustEstimator) joinHardened(ctx context.Context, tr *reqtrace.Trace, qs [][]float64, tau float64) (float64, error) {
 	ctx, done, err := r.admit(ctx)
 	if err != nil {
+		tr.SetFlag(reqtrace.FlagShed)
 		return 0, err
 	}
 	defer done()
@@ -367,17 +500,21 @@ func (r *RobustEstimator) EstimateJoinCtx(ctx context.Context, qs [][]float64, t
 	if err == nil {
 		return v, nil
 	}
+	markPanic(tr, err)
 	if ctxFailure(err) || r.fallback == nil {
 		return 0, err
 	}
+	st := tr.StartStage(reqtrace.StageFallback)
 	var fv float64
 	ferr := faulttol.Capture(func() error {
 		fv = r.fallback.EstimateJoin(qs, tau)
 		return nil
 	})
+	st.End()
 	if ferr != nil || !faulttol.Finite(fv) {
 		return 0, err
 	}
+	tr.SetFlag(reqtrace.FlagDegraded)
 	telemetry.Default().Count(telemetry.MetricDegradedEstimates, 1)
 	return fv, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"simquery/internal/estcache"
+	"simquery/internal/reqtrace"
 	"simquery/internal/telemetry"
 )
 
@@ -56,9 +57,16 @@ type TelemetryServer struct {
 	// (tests, periodic log lines).
 	Registry *telemetry.Registry
 
-	lis net.Listener
-	srv *http.Server
+	lis   net.Listener
+	srv   *http.Server
+	ready atomic.Bool
 }
+
+// SetReady flips the /readyz verdict: serving binaries call SetReady(true)
+// once the model is loaded (or trained) and hardened, and may flip it back
+// during a reload. /healthz is independent — it reports live as soon as the
+// server is up.
+func (t *TelemetryServer) SetReady(ready bool) { t.ready.Store(ready) }
 
 // expvarOnce guards the process-global expvar name ("simquery"):
 // expvar.Publish panics on duplicates, and ServeTelemetry may legitimately
@@ -78,6 +86,13 @@ var expvarOnce sync.Once
 //	/debug/vars     expvar JSON, including a "simquery" snapshot with
 //	                count/mean/p50/p95/p99 per histogram
 //	/debug/pprof/   CPU, heap, and goroutine profiling
+//	/debug/traces   the flight recorder's most recent sampled request
+//	                traces as JSON (?n= bounds the count); empty until
+//	                reqtrace.Enable installs a tracer
+//	/debug/traces/slow  the recent traces at or above a latency floor
+//	                (?min=5ms overrides the configured threshold)
+//	/healthz        liveness: 200 as soon as the server is up
+//	/readyz         readiness: 503 until SetReady(true)
 //
 // The listener is bound synchronously, so a bad address fails here rather
 // than in a background goroutine. Close shuts the server down and restores
@@ -105,8 +120,22 @@ func ServeTelemetry(addr string) (*TelemetryServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", reqtrace.TracesHandler())
+	mux.Handle("/debug/traces/slow", reqtrace.SlowTracesHandler())
 	srv := &http.Server{Handler: mux}
 	ts := &TelemetryServer{Registry: reg, lis: lis, srv: srv}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ts.ready.Load() {
+			http.Error(w, "not ready: model not loaded", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	go func() { _ = srv.Serve(lis) }()
 	return ts, nil
 }

@@ -79,9 +79,10 @@ func TestServeTelemetryEndToEnd(t *testing.T) {
 		}
 	}
 
-	// Selectivity must have one observation per routed query: 5 serial +
-	// len(test) batched.
-	if snap, ok := ts.Registry.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, ""); !ok || snap.Count != uint64(5+len(test)) {
+	// Selectivity must have one observation per routed query — 5 serial +
+	// len(test) batched — recorded under the serving model's label so
+	// concurrent estimators stay distinguishable.
+	if snap, ok := ts.Registry.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, est.Name()); !ok || snap.Count != uint64(5+len(test)) {
 		t.Errorf("selectivity count: ok=%v got %d want %d", ok, snap.Count, 5+len(test))
 	}
 

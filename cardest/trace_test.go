@@ -1,0 +1,322 @@
+package cardest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+
+	"simquery/internal/faultinject"
+	"simquery/internal/reqtrace"
+)
+
+// enableTracing installs a sample-everything tracer for the test and turns
+// tracing off again afterwards.
+func enableTracing(t *testing.T, cfg reqtrace.Config) *reqtrace.Tracer {
+	t.Helper()
+	tr := reqtrace.Enable(cfg)
+	t.Cleanup(reqtrace.Disable)
+	return tr
+}
+
+// TestTraceCacheFlagsAndStages proves the flight recorder sees the cache
+// plane: a cold request records the miss with cache_lookup + cache_fill +
+// model stages, an anchor-exact repeat records a pure hit, and an off-anchor
+// repeat records an interpolated hit.
+func TestTraceCacheFlagsAndStages(t *testing.T) {
+	tracer := enableTracing(t, reqtrace.Config{})
+	f := getFixture(t)
+	r, _, _ := hardenedFixture(t, ServeOptions{Cache: newTestCache(t, f, 64, 8)})
+	q := f.test[0].Vec
+	tauAnchor := f.ds.TauMax() * 0.5  // anchor 4 of 8: exact hit on repeat
+	tauBetween := f.ds.TauMax() * 0.4 // between anchors: interpolated
+
+	if _, err := r.EstimateSearchCtx(context.Background(), q, tauAnchor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EstimateSearchCtx(context.Background(), q, tauAnchor); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.EstimateSearchCtx(context.Background(), q, tauBetween); err != nil {
+		t.Fatal(err)
+	}
+	snap := tracer.Snapshot(3) // newest first: interpolated, hit, miss
+	if len(snap) != 3 {
+		t.Fatalf("%d traces, want 3", len(snap))
+	}
+	interp, hit, miss := snap[0], snap[1], snap[2]
+
+	if miss.Flags()&reqtrace.FlagCacheMiss == 0 {
+		t.Fatalf("cold request flags = %v, want cache_miss", miss.Flags().Names())
+	}
+	for _, s := range []reqtrace.Stage{reqtrace.StageCacheLookup, reqtrace.StageCacheFill, reqtrace.StageGlobalRoute, reqtrace.StageLocalEval} {
+		if miss.StageNs[s] <= 0 {
+			t.Errorf("cold request: stage %s not recorded", s)
+		}
+	}
+	if miss.Estimate <= 0 || miss.Latency <= 0 {
+		t.Fatalf("cold request outcome: estimate=%g latency=%v", miss.Estimate, miss.Latency)
+	}
+
+	if hit.Flags()&reqtrace.FlagCacheHit == 0 {
+		t.Fatalf("anchor repeat flags = %v, want cache_hit", hit.Flags().Names())
+	}
+	if hit.StageNs[reqtrace.StageCacheFill] != 0 || hit.StageNs[reqtrace.StageLocalEval] != 0 {
+		t.Fatal("cache hit ran model stages")
+	}
+	if interp.Flags()&reqtrace.FlagCacheInterpolated == 0 {
+		t.Fatalf("off-anchor repeat flags = %v, want cache_interpolated", interp.Flags().Names())
+	}
+
+	// Out-of-band τ bypasses the cache and is flagged as such.
+	if _, err := r.EstimateSearchCtx(context.Background(), q, f.ds.TauMax()/100); err != nil {
+		t.Fatal(err)
+	}
+	bypass := tracer.Snapshot(1)[0]
+	if bypass.Flags()&reqtrace.FlagCacheBypass == 0 {
+		t.Fatalf("out-of-band flags = %v, want cache_bypass", bypass.Flags().Names())
+	}
+}
+
+// TestTraceDegradedAndPanicFlags proves fault outcomes land on the trace: a
+// panic injected in a local model degrades to the fallback and the trace
+// carries degraded + panic_recovered plus a fallback stage timing.
+func TestTraceDegradedAndPanicFlags(t *testing.T) {
+	defer faultinject.Reset()
+	tracer := enableTracing(t, reqtrace.Config{})
+	liveRegistry(t)
+	r, _, f := hardenedFixture(t, ServeOptions{})
+	q := f.test[0]
+
+	faultinject.LocalEval.Set(&faultinject.Plan{PanicOn: 1, Repeat: true})
+	if _, err := r.EstimateSearchCtx(context.Background(), q.Vec, q.Tau); err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Snapshot(1)[0]
+	for _, want := range []reqtrace.Flags{reqtrace.FlagDegraded, reqtrace.FlagPanicRecovered} {
+		if tr.Flags()&want == 0 {
+			t.Fatalf("degraded request flags = %v, want %v set", tr.Flags().Names(), want.Names())
+		}
+	}
+	if tr.Flags()&reqtrace.FlagError != 0 {
+		t.Fatal("degraded success must not carry the error flag")
+	}
+	if tr.StageNs[reqtrace.StageFallback] <= 0 {
+		t.Fatal("fallback stage not timed")
+	}
+
+	// Batch path: degraded batch carries batch + degraded.
+	qs := [][]float64{f.test[0].Vec, f.test[1].Vec}
+	taus := []float64{f.test[0].Tau, f.test[1].Tau}
+	if _, err := r.EstimateSearchBatchCtx(context.Background(), qs, taus); err != nil {
+		t.Fatal(err)
+	}
+	bt := tracer.Snapshot(1)[0]
+	if bt.Flags()&reqtrace.FlagBatch == 0 || bt.Flags()&reqtrace.FlagDegraded == 0 {
+		t.Fatalf("batch flags = %v, want batch+degraded", bt.Flags().Names())
+	}
+	if bt.BatchSize != 2 {
+		t.Fatalf("batch size = %d, want 2", bt.BatchSize)
+	}
+}
+
+// TestTraceShedFlag proves a load-shed request publishes a trace flagged
+// shed with the overload error recorded.
+func TestTraceShedFlag(t *testing.T) {
+	tracer := enableTracing(t, reqtrace.Config{})
+	liveRegistry(t)
+	blk := &blockingEstimator{started: make(chan struct{}), release: make(chan struct{})}
+	r := Harden(blk, ServeOptions{MaxInFlight: 1})
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5)
+		first <- err
+	}()
+	<-blk.started
+	if _, err := r.EstimateSearchCtx(context.Background(), []float64{1}, 0.5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	tr := tracer.Snapshot(1)[0]
+	if tr.Flags()&reqtrace.FlagShed == 0 || tr.Flags()&reqtrace.FlagError == 0 {
+		t.Fatalf("shed flags = %v, want shed+error", tr.Flags().Names())
+	}
+	close(blk.release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceBatchPoolAttribution proves the pooled parallel region of a
+// batched estimate is attributed to the request: the trace counts the
+// dispatched sub-batches.
+func TestTraceBatchPoolAttribution(t *testing.T) {
+	tracer := enableTracing(t, reqtrace.Config{})
+	r, _, f := hardenedFixture(t, ServeOptions{})
+	qs := make([][]float64, 6)
+	taus := make([]float64, 6)
+	for i := range qs {
+		qs[i] = f.test[i].Vec
+		taus[i] = f.test[i].Tau
+	}
+	if _, err := r.EstimateSearchBatchCtx(context.Background(), qs, taus); err != nil {
+		t.Fatal(err)
+	}
+	tr := tracer.Snapshot(1)[0]
+	if tr.PoolTasks <= 0 {
+		t.Fatalf("pool tasks = %d, want > 0", tr.PoolTasks)
+	}
+	if tr.StageNs[reqtrace.StageMerge] <= 0 {
+		t.Fatal("merge stage not recorded on the batch trace")
+	}
+}
+
+// constEstimator is the cheapest possible estimator: the alloc-delta pin
+// below uses it so the measurement sees only the serving wrapper, not model
+// noise.
+type constEstimator struct{}
+
+func (constEstimator) Name() string                                    { return "const" }
+func (constEstimator) EstimateSearch(q []float64, tau float64) float64 { return 1 }
+func (constEstimator) EstimateSearchBatch(qs [][]float64, taus []float64) []float64 {
+	return make([]float64, len(qs))
+}
+func (constEstimator) EstimateJoin(qs [][]float64, tau float64) float64 { return 0 }
+func (constEstimator) SizeBytes() int                                   { return 0 }
+
+// TestTraceUnsampledAddsNoAllocs pins the overhead budget: with tracing
+// enabled but every request unsampled, the hardened single-estimate path
+// allocates exactly as much as with tracing off.
+func TestTraceUnsampledAddsNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime changes allocation counts")
+	}
+	r := Harden(constEstimator{}, ServeOptions{})
+	ctx := context.Background()
+	run := func() float64 {
+		return testing.AllocsPerRun(500, func() {
+			if _, err := r.EstimateSearchCtx(ctx, []float64{1}, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	reqtrace.Disable()
+	off := run()
+	enableTracing(t, reqtrace.Config{SampleEvery: 1 << 30})
+	unsampled := run()
+	if unsampled > off {
+		t.Fatalf("unsampled tracing allocs/op = %g, tracing-off = %g; want no overhead", unsampled, off)
+	}
+}
+
+// TestChaosTraceScrapeDuringServe is the acceptance chaos test of the
+// flight recorder: /debug/traces is scraped continuously while concurrent
+// requests are served, and every scraped trace is a complete record with a
+// full stage timeline. /healthz and /readyz are exercised on the same mux.
+func TestChaosTraceScrapeDuringServe(t *testing.T) {
+	ts, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	enableTracing(t, reqtrace.Config{Ring: 128})
+	r, _, f := hardenedFixture(t, ServeOptions{})
+
+	// Readiness flips only when the serving binary says so.
+	if resp, err := http.Get("http://" + ts.Addr() + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetReady: %d, want 503", resp.StatusCode)
+	}
+	ts.SetReady(true)
+	for path, want := range map[string]int{"/healthz": http.StatusOK, "/readyz": http.StatusOK} {
+		resp, err := http.Get("http://" + ts.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	const servers, perServer = 4, 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scrapeWg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWg.Add(1)
+		go func() {
+			defer scrapeWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/debug/traces?n=64", "/debug/traces/slow?min=1ns"} {
+					resp, err := http.Get("http://" + ts.Addr() + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var body struct {
+						Enabled bool `json:"enabled"`
+						Traces  []struct {
+							ID        uint64             `json:"id"`
+							Method    string             `json:"method"`
+							LatencyUs float64            `json:"latency_us"`
+							StagesUs  map[string]float64 `json:"stages_us"`
+							Flags     []string           `json:"flags"`
+						} `json:"traces"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("%s: %v", path, err)
+						return
+					}
+					if !body.Enabled {
+						t.Error("tracing reported disabled mid-serve")
+						return
+					}
+					for _, tr := range body.Traces {
+						if tr.ID == 0 || tr.Method == "" || tr.LatencyUs <= 0 {
+							t.Errorf("incomplete trace scraped: %+v", tr)
+							return
+						}
+						// No cache in this fixture: every trace must carry
+						// the full model stage timeline.
+						if tr.StagesUs["global_route"] <= 0 || tr.StagesUs["local_eval"] <= 0 {
+							t.Errorf("trace %d missing stage timeline: %v", tr.ID, tr.StagesUs)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for s := 0; s < servers; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perServer; i++ {
+				q := f.test[(seed+i)%len(f.test)]
+				if _, err := r.EstimateSearchCtx(context.Background(), q.Vec, q.Tau); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWg.Wait()
+
+	tracer := reqtrace.Default()
+	if got := tracer.Published(); got != servers*perServer {
+		t.Fatalf("published %d traces, want %d", got, servers*perServer)
+	}
+}

@@ -16,13 +16,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"simquery/cardest"
 	"simquery/internal/dataset"
 	"simquery/internal/exper"
+	"simquery/internal/reqtrace"
 	"simquery/internal/tensor"
 )
 
@@ -41,12 +44,21 @@ func main() {
 		maxInfl     = flag.Int("max-inflight", 0, "with -kernels: admission limit for the extra hardened-path benchmark row (0 = unlimited)")
 		cacheEnt    = flag.Int("cache-entries", 0, "with -kernels: estimate-cache capacity for the extra cached benchmark row (0 = row omitted)")
 		cacheAnch   = flag.Int("cache-anchors", 8, "with -kernels: τ anchors per cache entry for the cached benchmark row")
+		traceRate   = flag.Int("trace-sample", 0, "flight recorder: sample 1 in N hardened estimates into /debug/traces (0 disables)")
+		logJSON     = flag.Bool("log-json", false, "emit structured JSON run logs (slog) on stderr")
 	)
 	flag.Parse()
 	effWorkers, err := tensor.SetPoolSize(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(2)
+	}
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if *traceRate > 0 {
+		reqtrace.Enable(reqtrace.Config{SampleEvery: *traceRate})
 	}
 	if *kernels {
 		if err := runKernels(*benchOut, effWorkers, *deadline, *maxInfl, *cacheEnt, *cacheAnch); err != nil {
@@ -62,15 +74,23 @@ func main() {
 			os.Exit(1)
 		}
 		defer ts.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
+		ts.SetReady(true) // batch tool: ready as soon as the mux is up
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/, /debug/traces, /healthz, /readyz)\n", ts.Addr())
 	}
-	if err := run(*expFlag, *datasetFlag, *scaleFlag, *skipTuning, *cacheDir); err != nil {
+	if logger != nil {
+		logger.Info("run start", "exp", *expFlag, "dataset", *datasetFlag,
+			"scale", *scaleFlag, "workers", effWorkers)
+	}
+	if err := run(*expFlag, *datasetFlag, *scaleFlag, *skipTuning, *cacheDir, logger); err != nil {
+		if logger != nil {
+			logger.Error("run failed", "error", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, "simbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, ds, scaleName string, skipTuning bool, cacheDir string) error {
+func run(exp, ds, scaleName string, skipTuning bool, cacheDir string, logger *slog.Logger) error {
 	scale, err := exper.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -102,7 +122,7 @@ func run(exp, ds, scaleName string, skipTuning bool, cacheDir string) error {
 	}
 	matrix := exper.NewMatrix("mean Q-error (Table 4)")
 	for _, p := range profiles {
-		if err := runProfile(p, scale, exps, skipTuning, cacheDir, matrix); err != nil {
+		if err := runProfile(p, scale, exps, skipTuning, cacheDir, matrix, logger); err != nil {
 			return fmt.Errorf("%s: %w", p, err)
 		}
 	}
@@ -119,7 +139,7 @@ func run(exp, ds, scaleName string, skipTuning bool, cacheDir string) error {
 
 // runProfile builds the environment once per profile and reuses the trained
 // suite across the experiments that share it.
-func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning bool, cacheDir string, matrix *exper.Matrix) error {
+func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning bool, cacheDir string, matrix *exper.Matrix, logger *slog.Logger) error {
 	fmt.Printf("=== dataset %s (scale %s) ===\n", p, scale)
 	params := exper.ParamsFor(scale)
 	params.CacheDir = cacheDir
@@ -160,6 +180,7 @@ func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning 
 
 	for _, e := range exps {
 		fmt.Println()
+		expStart := time.Now()
 		switch strings.ToLower(e) {
 		case "table4":
 			s, err := getSuite()
@@ -342,6 +363,10 @@ func runProfile(p dataset.Profile, scale exper.Scale, exps []string, skipTuning 
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
+		}
+		if logger != nil {
+			logger.Info("experiment done", "exp", e, "dataset", env.DS.Name,
+				"scale", string(scale), "elapsed", time.Since(expStart))
 		}
 	}
 	fmt.Println()

@@ -3,13 +3,13 @@ package main
 import "testing"
 
 func TestRunRejectsBadArgs(t *testing.T) {
-	if err := run("table4", "imagenet", "huge", true, ""); err == nil {
+	if err := run("table4", "imagenet", "huge", true, "", nil); err == nil {
 		t.Fatal("expected error for unknown scale")
 	}
-	if err := run("table4", "marsdata", "small", true, ""); err == nil {
+	if err := run("table4", "marsdata", "small", true, "", nil); err == nil {
 		t.Fatal("expected error for unknown dataset")
 	}
-	if err := run("table99", "imagenet", "small", true, ""); err == nil {
+	if err := run("table99", "imagenet", "small", true, "", nil); err == nil {
 		t.Fatal("expected error for unknown experiment")
 	}
 }

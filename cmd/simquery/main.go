@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -31,6 +32,8 @@ import (
 	"simquery/cardest"
 	"simquery/cardest/plan"
 	"simquery/internal/metrics"
+	"simquery/internal/probe"
+	"simquery/internal/reqtrace"
 	"simquery/internal/tensor"
 )
 
@@ -51,6 +54,9 @@ func main() {
 		cacheAnch = flag.Int("cache-anchors", 8, "τ anchors per cache entry (unseen thresholds interpolate between them)")
 		pred      = flag.String("pred", "", "compound predicate expression (sim/and/or/not over q0..qN); estimated through the plan layer")
 		describe  = flag.Bool("describe", false, "print the estimator's metadata (family, τ range, generation, wrappers) and exit")
+		traceRate = flag.Int("trace-sample", 0, "flight recorder: sample 1 in N requests into /debug/traces (0 disables, 1 = every request)")
+		probeFrac = flag.Float64("probe", 0, "live accuracy: probe this fraction of served estimates with background exact labeling (0 disables)")
+		logJSON   = flag.Bool("log-json", false, "emit structured JSON serving logs (slog) on stderr")
 	)
 	flag.Parse()
 	if _, err := tensor.SetPoolSize(*workers); err != nil {
@@ -61,6 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simquery: -model is required")
 		os.Exit(2)
 	}
+	var tel *cardest.TelemetryServer
 	if *telAddr != "" {
 		ts, err := cardest.ServeTelemetry(*telAddr)
 		if err != nil {
@@ -68,7 +75,15 @@ func main() {
 			os.Exit(1)
 		}
 		defer ts.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ts.Addr())
+		tel = ts
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof/, /debug/traces, /healthz, /readyz)\n", ts.Addr())
+	}
+	if *traceRate > 0 {
+		reqtrace.Enable(reqtrace.Config{SampleEvery: *traceRate})
+	}
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	opts := runOptions{
 		modelPath: *modelPath, profile: *profile,
@@ -77,8 +92,12 @@ func main() {
 		deadline: *deadline, maxInflight: *maxInfl,
 		cacheEntries: *cacheEnt, cacheAnchors: *cacheAnch,
 		pred: *pred, describe: *describe,
+		probeFraction: *probeFrac, logger: logger, tel: tel,
 	}
 	if err := runWith(opts); err != nil {
+		if logger != nil {
+			logger.Error("run failed", "error", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, "simquery:", err)
 		os.Exit(1)
 	}
@@ -97,6 +116,9 @@ type runOptions struct {
 	cacheAnchors       int
 	pred               string
 	describe           bool
+	probeFraction      float64
+	logger             *slog.Logger
+	tel                *cardest.TelemetryServer
 }
 
 // run keeps the original positional signature for the single-τ path (the
@@ -138,15 +160,34 @@ func runWith(o runOptions) error {
 		}
 		opts.Cache = cache
 	}
-	robust := cardest.Harden(est, opts)
 
 	if o.describe {
-		return printDescribe(robust, ds)
+		return printDescribe(cardest.Harden(est, opts), ds)
 	}
 
 	idx, err := cardest.NewExactIndex(ds, 16, o.seed+100)
 	if err != nil {
 		return err
+	}
+	// Live-accuracy probes: the pivot index labels a sampled fraction of
+	// served estimates on background workers, feeding the q-error
+	// histograms and the drift gauge.
+	var probes *probe.Pipeline
+	if every := probe.EveryFromFraction(o.probeFraction); every > 0 {
+		probes = probe.New(func(q []float64, tau float64) (float64, error) {
+			return float64(idx.Count(q, tau)), nil
+		}, probe.Config{SampleEvery: every, TauMax: ds.TauMax()})
+		opts.Probe = probes
+	}
+	robust := cardest.Harden(est, opts)
+	// Model loaded, hardened, and labeler ready: the process can serve.
+	if o.tel != nil {
+		o.tel.SetReady(true)
+	}
+	if o.logger != nil {
+		o.logger.Info("serving ready",
+			"model", est.Name(), "dataset", ds.Name(), "size", ds.Size(),
+			"cache", opts.Cache != nil, "probe_fraction", o.probeFraction)
 	}
 	rng := rand.New(rand.NewSource(o.seed + 200))
 	sampled := make([][]float64, o.queries)
@@ -158,6 +199,7 @@ func runWith(o runOptions) error {
 	}
 
 	if o.pred != "" {
+		probes.Close()
 		return runPred(robust, ds, idx, o.pred, sampled)
 	}
 
@@ -172,19 +214,37 @@ func runWith(o runOptions) error {
 	var qerrs []float64
 	for i := 0; i < o.queries; i++ {
 		qi, q := sampledIdx[i], sampled[i]
-		got, err := robust.EstimateSearchCtx(context.Background(), q, tau)
+		// Start the request trace here so the CLI owns it: the serving log
+		// line and /debug/traces both see the full request, including the
+		// cache path. Unsampled requests get a nil trace (no allocation);
+		// every call below is nil-safe.
+		ctx, tr := reqtrace.StartRequest(context.Background(), est.Name(), tau)
+		got, err := robust.EstimateSearchCtx(ctx, q, tau)
+		tr.SetOutcome(got, err)
+		tr.Finish()
 		if err != nil {
+			if o.logger != nil {
+				o.logger.Error("estimate failed", "query", qi, "tau", tau, "error", err.Error(), "trace", tr)
+			}
 			fmt.Fprintf(tw, "#%d\t%.4f\terror: %v\t\t\n", qi, tau, err)
 			continue
 		}
 		exact := float64(idx.Count(q, tau))
 		qe := metrics.QError(got, exact)
 		qerrs = append(qerrs, qe)
+		if o.logger != nil {
+			o.logger.Info("estimate served",
+				"query", qi, "tau", tau, "estimate", got, "exact", exact,
+				"qerror", qe, "trace", tr)
+		}
 		fmt.Fprintf(tw, "#%d\t%.4f\t%.1f\t%.0f\t%.2f\n", qi, tau, got, exact, qe)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	// Drain the probe queue before summarizing so the run's last sampled
+	// estimates are labeled too.
+	probes.Close()
 	if len(qerrs) == 0 {
 		return fmt.Errorf("no query completed (shed or timed out)")
 	}
@@ -193,6 +253,15 @@ func runWith(o runOptions) error {
 		st := opts.Cache.Stats()
 		fmt.Printf("cache: %d entries, %d hits / %d misses (hit rate %.0f%%), %d interpolated\n",
 			st.Entries, st.Hits, st.Misses, 100*st.HitRate(), st.Interpolated)
+	}
+	if probes != nil {
+		fmt.Printf("probes: %d labeled, %d dropped, drift (EWMA |log q-error|) %.3f\n",
+			probes.Completed(), probes.Dropped(), probes.Drift())
+		if o.logger != nil {
+			o.logger.Info("probe summary",
+				"completed", probes.Completed(), "dropped", probes.Dropped(),
+				"drift", probes.Drift())
+		}
 	}
 	return nil
 }

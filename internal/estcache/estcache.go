@@ -313,12 +313,54 @@ func (c *Cache) interpolate(ests []float64, tau float64) (v float64, interpolate
 	return v, true
 }
 
+// Outcome classifies how one cache lookup was answered, for the
+// request-scoped flight recorder (internal/reqtrace): an exact-anchor hit,
+// an interpolated hit, a miss this caller filled, or a miss answered by a
+// concurrent caller's in-flight fill.
+type Outcome uint8
+
+// Lookup outcomes of GetOrFillOutcome.
+const (
+	// OutcomeHit: answered from an exact τ-anchor estimate.
+	OutcomeHit Outcome = iota
+	// OutcomeInterpolated: answered by monotone interpolation between
+	// anchors.
+	OutcomeInterpolated
+	// OutcomeFilled: a miss; this caller ran the fill.
+	OutcomeFilled
+	// OutcomeShared: a miss; a concurrent caller's fill supplied the
+	// answer (singleflight).
+	OutcomeShared
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeInterpolated:
+		return "interpolated"
+	case OutcomeFilled:
+		return "filled"
+	case OutcomeShared:
+		return "shared"
+	default:
+		return "unknown"
+	}
+}
+
 // Get answers τ for q from the cache. ok is false on fingerprint miss,
 // stale generation, expired TTL, or out-of-band τ. The hit path allocates
 // nothing.
 func (c *Cache) Get(q []float64, tau float64) (v float64, ok bool) {
+	v, _, ok = c.lookup(q, tau)
+	return v, ok
+}
+
+// lookup is Get reporting whether a hit was interpolated.
+func (c *Cache) lookup(q []float64, tau float64) (v float64, interpolated, ok bool) {
 	if !c.InBand(tau) {
-		return 0, false
+		return 0, false, false
 	}
 	h1, h2 := Fingerprint(q)
 	gen := c.gen.Load()
@@ -332,7 +374,7 @@ func (c *Cache) Get(q []float64, tau float64) (v float64, ok bool) {
 	if e == nil || e.key2 != h2 {
 		s.mu.Unlock()
 		c.recordMiss()
-		return 0, false
+		return 0, false, false
 	}
 	if e.gen != gen || (e.expireAt != 0 && e.expireAt <= expired) {
 		delete(s.entries, h1)
@@ -340,7 +382,7 @@ func (c *Cache) Get(q []float64, tau float64) (v float64, ok bool) {
 		s.mu.Unlock()
 		c.recordEvictions(1)
 		c.recordMiss()
-		return 0, false
+		return 0, false, false
 	}
 	if s.head.next != e {
 		s.unlink(e)
@@ -348,9 +390,9 @@ func (c *Cache) Get(q []float64, tau float64) (v float64, ok bool) {
 	}
 	ests := e.ests
 	s.mu.Unlock()
-	v, interpolated := c.interpolate(ests, tau)
+	v, interpolated = c.interpolate(ests, tau)
 	c.recordHit(interpolated)
-	return v, true
+	return v, interpolated, true
 }
 
 // Put inserts isotonic-clamped (prefix-maxed) copies of ests — one value
@@ -435,11 +477,22 @@ func (c *Cache) put(h1, h2 uint64, clamped []float64) {
 // shared too, and nothing is cached). Out-of-band τ is an error; check
 // InBand first and fall through to the estimator directly.
 func (c *Cache) GetOrFill(q []float64, tau float64, fill func(anchors []float64) ([]float64, error)) (float64, error) {
-	if v, ok := c.Get(q, tau); ok {
-		return v, nil
+	v, _, err := c.GetOrFillOutcome(q, tau, fill)
+	return v, err
+}
+
+// GetOrFillOutcome is GetOrFill reporting how the lookup was answered, so
+// the flight recorder can distinguish exact hits, interpolated hits, and
+// the two miss shapes without a second probe.
+func (c *Cache) GetOrFillOutcome(q []float64, tau float64, fill func(anchors []float64) ([]float64, error)) (float64, Outcome, error) {
+	if v, interpolated, ok := c.lookup(q, tau); ok {
+		if interpolated {
+			return v, OutcomeInterpolated, nil
+		}
+		return v, OutcomeHit, nil
 	}
 	if !c.InBand(tau) {
-		return 0, fmt.Errorf("estcache: τ=%v outside anchor band [%v, %v]", tau, c.anchors[0], c.anchors[len(c.anchors)-1])
+		return 0, OutcomeFilled, fmt.Errorf("estcache: τ=%v outside anchor band [%v, %v]", tau, c.anchors[0], c.anchors[len(c.anchors)-1])
 	}
 	h1, h2 := Fingerprint(q)
 	s := &c.shards[h1&c.mask]
@@ -448,10 +501,10 @@ func (c *Cache) GetOrFill(q []float64, tau float64, fill func(anchors []float64)
 		s.mu.Unlock()
 		fl.wg.Wait()
 		if fl.err != nil {
-			return 0, fl.err
+			return 0, OutcomeShared, fl.err
 		}
 		v, _ := c.interpolate(fl.ests, tau)
-		return v, nil
+		return v, OutcomeShared, nil
 	}
 	fl := &flight{}
 	fl.wg.Add(1)
@@ -469,9 +522,9 @@ func (c *Cache) GetOrFill(q []float64, tau float64, fill func(anchors []float64)
 	s.mu.Unlock()
 	fl.wg.Done()
 	if err != nil {
-		return 0, err
+		return 0, OutcomeFilled, err
 	}
 	c.put(h1, h2, clamped)
 	v, _ := c.interpolate(clamped, tau)
-	return v, nil
+	return v, OutcomeFilled, nil
 }

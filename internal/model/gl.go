@@ -455,8 +455,10 @@ func (gl *GlobalLocal) SelectedSegments(q []float64, tau float64) []bool {
 }
 
 // observeSelectivity records the fraction of local models a mask selects
-// into simquery_routing_selectivity — the paper's pruning claim as a live
-// signal. Free (one atomic load, no allocation) when telemetry is off.
+// into simquery_routing_selectivity{method=...} — the paper's pruning
+// claim as a live signal, one series per model so a GL+ and a Local+
+// serving side by side stay distinguishable. Free (one atomic load, no
+// allocation) when telemetry is off.
 func (gl *GlobalLocal) observeSelectivity(sel []bool) {
 	rec := telemetry.Default()
 	if !rec.Enabled() || gl.Seg.K == 0 {
@@ -468,7 +470,8 @@ func (gl *GlobalLocal) observeSelectivity(sel []bool) {
 			n++
 		}
 	}
-	rec.Observe(telemetry.MetricRoutingSelectivity, float64(n)/float64(gl.Seg.K))
+	rec.ObserveLabeled(telemetry.MetricRoutingSelectivity, telemetry.LabelMethod, gl.Label,
+		float64(n)/float64(gl.Seg.K))
 }
 
 // EstimateSearch sums the selected local models' estimates (ŷ = Σ ŷ^[i]).

@@ -6,6 +6,7 @@ import (
 
 	"simquery/internal/faultinject"
 	"simquery/internal/faulttol"
+	"simquery/internal/reqtrace"
 	"simquery/internal/telemetry"
 	"simquery/internal/tensor"
 )
@@ -83,8 +84,11 @@ func (gl *GlobalLocal) EstimateSearchCtx(ctx context.Context, q []float64, tau f
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	tr := reqtrace.FromContext(ctx)
 	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
+	st := tr.StartStage(reqtrace.StageGlobalRoute)
 	masks, err := gl.routeSafe([][]float64{q}, []float64{tau})
+	st.End()
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -93,6 +97,8 @@ func (gl *GlobalLocal) EstimateSearchCtx(ctx context.Context, q []float64, tau f
 	gl.observeSelectivity(sel)
 	sp = telemetry.StartStage(telemetry.StageLocalEval)
 	defer sp.End()
+	st = tr.StartStage(reqtrace.StageLocalEval)
+	defer st.End()
 	var total float64
 	for i, on := range sel {
 		if !on {
@@ -129,8 +135,11 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := reqtrace.FromContext(ctx)
 	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
+	st := tr.StartStage(reqtrace.StageGlobalRoute)
 	masks, err := gl.routeSafe(qs, taus)
+	st.End()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -139,6 +148,7 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 		gl.observeSelectivity(m)
 	}
 	sp = telemetry.StartStage(telemetry.StageLocalEval)
+	st = tr.StartStage(reqtrace.StageLocalEval)
 	groups := make([][]int, gl.Seg.K)
 	for i := range qs {
 		for j, on := range masks[i] {
@@ -155,7 +165,7 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 			idxs = append(idxs, j)
 		}
 	}
-	tensor.DefaultPool().Do(len(idxs), func(t int) {
+	tensor.DefaultPool().DoCtx(ctx, len(idxs), func(t int) {
 		j := idxs[t]
 		if ctx.Err() != nil {
 			return // cancelled: skip remaining sub-batches
@@ -169,6 +179,7 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 		}
 		ests[j], errs[j] = gl.localSearchBatchSafe(j, gqs, gts)
 	})
+	st.End()
 	sp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -180,11 +191,13 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 	}
 	// Deterministic reduction: ascending segment order per query.
 	sp = telemetry.StartStage(telemetry.StageMerge)
+	st = tr.StartStage(reqtrace.StageMerge)
 	for j, g := range groups {
 		for k, i := range g {
 			out[i] += ests[j][k]
 		}
 	}
+	st.End()
 	sp.End()
 	return out, nil
 }
@@ -203,8 +216,11 @@ func (gl *GlobalLocal) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau 
 	for i := range taus {
 		taus[i] = tau
 	}
+	tr := reqtrace.FromContext(ctx)
 	sp := telemetry.StartStage(telemetry.StageGlobalRoute)
+	st := tr.StartStage(reqtrace.StageGlobalRoute)
 	masks, err := gl.routeSafe(qs, taus)
+	st.End()
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -214,6 +230,8 @@ func (gl *GlobalLocal) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau 
 	}
 	sp = telemetry.StartStage(telemetry.StageLocalEval)
 	defer sp.End()
+	st = tr.StartStage(reqtrace.StageLocalEval)
+	defer st.End()
 	var total float64
 	for j := range gl.Locals {
 		var routed [][]float64

@@ -54,9 +54,15 @@ func TestRoutingSelectivityRecorded(t *testing.T) {
 	gl.EstimateSearchBatch(vecs, taus)
 	gl.EstimateJoin(vecs, taus[0])
 
-	snap, ok := reg.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, "")
+	// Selectivity records one series per model label, so concurrently
+	// serving estimators stay distinguishable; the unlabeled series must
+	// stay empty.
+	snap, ok := reg.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, gl.Label)
 	if !ok {
-		t.Fatal("no selectivity histogram recorded")
+		t.Fatal("no selectivity histogram recorded under the model label")
+	}
+	if _, ok := reg.HistogramSnapshotOf(telemetry.MetricRoutingSelectivity, ""); ok {
+		t.Error("selectivity recorded into the unlabeled series; want per-method labels")
 	}
 	want := uint64(3 * len(qs)) // serial + batch + join, one per query each
 	if snap.Count != want {

@@ -1,0 +1,244 @@
+// Package probe is the live-accuracy half of the observability plane: for
+// a sampled fraction of served estimates it computes the exact cardinality
+// in the background (the pivot index is the labeler) and publishes q-error
+// histograms per estimator family and τ band, plus an EWMA |log q-error|
+// drift gauge — the signal a drift-triggered retrainer consumes (ROADMAP
+// item 4). "A Lightweight Learned Cardinality Estimation Model" motivates
+// keeping the exact-labeled probe loop cheap enough to run inline; here it
+// never runs on the request path at all: Offer is an atomic add for
+// unsampled requests and a bounded non-blocking enqueue for sampled ones,
+// so a saturated probe queue drops probes instead of adding latency.
+package probe
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"simquery/internal/metrics"
+	"simquery/internal/telemetry"
+)
+
+// Labeler computes the exact cardinality of (q, τ) — cardest.ExactIndex
+// is the canonical implementation. It runs on probe worker goroutines and
+// must be safe for concurrent use.
+type Labeler func(q []float64, tau float64) (float64, error)
+
+// Config configures New. The zero value probes every request with one
+// worker and a 256-deep queue.
+type Config struct {
+	// SampleEvery probes one served estimate in every SampleEvery
+	// (default 1 = every request). Use Fraction-style rates via
+	// EveryFromFraction.
+	SampleEvery int
+	// QueueDepth bounds queued probes (default 256); a full queue drops.
+	QueueDepth int
+	// Workers is the background labeler goroutine count (default 1).
+	Workers int
+	// TauMax scales τ-band labels (quartiles of TauMax); 0 disables the
+	// τ-band breakdown.
+	TauMax float64
+	// Alpha is the drift EWMA smoothing factor in (0, 1] (default 0.05).
+	Alpha float64
+}
+
+// EveryFromFraction converts a sampled fraction (0, 1] to a 1-in-N rate:
+// 0.01 → 100. Fractions ≤ 0 return 0 (caller should disable probing);
+// fractions ≥ 1 return 1.
+func EveryFromFraction(f float64) int {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return 1
+	}
+	return int(math.Round(1 / f))
+}
+
+// req is one queued probe.
+type req struct {
+	q      []float64
+	tau    float64
+	family string
+	est    float64
+}
+
+// Pipeline samples served estimates and labels them exactly in the
+// background. All methods are safe for concurrent use; a nil *Pipeline is
+// a valid no-op receiver for Offer and Close, so serving paths wire it
+// unconditionally.
+type Pipeline struct {
+	label  Labeler
+	every  uint64
+	tauMax float64
+	alpha  float64
+
+	ch      chan req
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	counter atomic.Uint64
+
+	completed atomic.Int64
+	dropped   atomic.Int64
+	driftBits atomic.Uint64 // EWMA of |log qerr|; math.Float64bits
+	seeded    atomic.Bool   // first observation seeds the EWMA
+}
+
+// New starts a probe pipeline with cfg.Workers background labelers.
+func New(label Labeler, cfg Config) *Pipeline {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.05
+	}
+	p := &Pipeline{
+		label:  label,
+		every:  uint64(cfg.SampleEvery),
+		tauMax: cfg.TauMax,
+		alpha:  cfg.Alpha,
+		ch:     make(chan req, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Offer submits one served estimate for possible probing. Unsampled
+// requests cost one atomic add; sampled requests copy q (the caller's
+// slice may be reused) and enqueue without blocking — a full queue counts
+// a drop and returns. Nil-safe and safe after Close.
+func (p *Pipeline) Offer(q []float64, tau float64, family string, est float64) {
+	if p == nil || p.closed.Load() {
+		return
+	}
+	if p.every > 1 && p.counter.Add(1)%p.every != 0 {
+		return
+	}
+	r := req{q: append([]float64(nil), q...), tau: tau, family: family, est: est}
+	select {
+	case p.ch <- r:
+		if rec := telemetry.Default(); rec.Enabled() {
+			rec.SetGauge(telemetry.MetricProbeQueueDepth, float64(len(p.ch)))
+		}
+	default:
+		p.dropped.Add(1)
+		if rec := telemetry.Default(); rec.Enabled() {
+			rec.Count(telemetry.MetricProbeDropped, 1)
+		}
+	}
+}
+
+// Close stops accepting probes, drains the queue, and waits for the
+// workers to finish. Idempotent and nil-safe.
+func (p *Pipeline) Close() {
+	if p == nil || !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.ch)
+	p.wg.Wait()
+}
+
+// Completed reports finished probes.
+func (p *Pipeline) Completed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.completed.Load()
+}
+
+// Dropped reports probes lost to a full queue.
+func (p *Pipeline) Dropped() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.dropped.Load()
+}
+
+// Drift returns the current EWMA of |log q-error| (0 before any probe).
+// Near 0 means served estimates track exact counts; a sustained rise is
+// the retraining trigger.
+func (p *Pipeline) Drift() float64 {
+	if p == nil {
+		return 0
+	}
+	return math.Float64frombits(p.driftBits.Load())
+}
+
+// worker labels queued probes until the channel closes.
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for r := range p.ch {
+		p.runProbe(r)
+	}
+}
+
+// runProbe computes the exact label and records the q-error.
+func (p *Pipeline) runProbe(r req) {
+	exact, err := p.label(r.q, r.tau)
+	if err != nil {
+		return // labeler failure: no signal, never a crash
+	}
+	qe := metrics.QError(r.est, exact)
+	if math.IsNaN(qe) || math.IsInf(qe, 0) {
+		return
+	}
+	drift := p.updateDrift(math.Abs(math.Log(qe)))
+	p.completed.Add(1)
+	rec := telemetry.Default()
+	if !rec.Enabled() {
+		return
+	}
+	rec.ObserveLabeled(telemetry.MetricProbeQError, telemetry.LabelFamily, r.family, qe)
+	if band := p.tauBand(r.tau); band != "" {
+		rec.ObserveLabeled(telemetry.MetricProbeQErrorTau, telemetry.LabelTauBand, band, qe)
+	}
+	rec.Count(telemetry.MetricProbesTotal, 1)
+	rec.SetGauge(telemetry.MetricProbeDrift, drift)
+	rec.SetGauge(telemetry.MetricProbeQueueDepth, float64(len(p.ch)))
+}
+
+// updateDrift folds one |log q-error| observation into the EWMA with a
+// CAS loop (workers may race) and returns the new value. The first
+// observation seeds the average so early probes aren't diluted by the
+// zero initial state.
+func (p *Pipeline) updateDrift(v float64) float64 {
+	if p.seeded.CompareAndSwap(false, true) {
+		p.driftBits.Store(math.Float64bits(v))
+		return v
+	}
+	for {
+		old := p.driftBits.Load()
+		next := (1-p.alpha)*math.Float64frombits(old) + p.alpha*v
+		if p.driftBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// tauBand buckets τ into quartiles of TauMax ("" when TauMax unset).
+func (p *Pipeline) tauBand(tau float64) string {
+	if p.tauMax <= 0 {
+		return ""
+	}
+	switch f := tau / p.tauMax; {
+	case f <= 0.25:
+		return "0-25%"
+	case f <= 0.5:
+		return "25-50%"
+	case f <= 0.75:
+		return "50-75%"
+	case f <= 1:
+		return "75-100%"
+	default:
+		return ">100%"
+	}
+}

@@ -1,0 +1,180 @@
+package probe
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"simquery/internal/telemetry"
+)
+
+// liveRegistry installs a fresh live telemetry registry for the test.
+func liveRegistry(t *testing.T) *telemetry.Registry {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	telemetry.SetDefault(reg)
+	t.Cleanup(func() { telemetry.SetDefault(nil) })
+	return reg
+}
+
+func TestEveryFromFraction(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want int
+	}{
+		{0, 0}, {-0.5, 0}, {1, 1}, {2, 1}, {0.5, 2}, {0.01, 100}, {0.001, 1000},
+	}
+	for _, c := range cases {
+		if got := EveryFromFraction(c.f); got != c.want {
+			t.Errorf("EveryFromFraction(%g) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestProbeLabelsAndPublishes(t *testing.T) {
+	reg := liveRegistry(t)
+	// Exact count is always 100; estimates alternate 200 and 50, both
+	// q-error 2 — so the drift EWMA is exactly log 2 at every step.
+	p := New(func(q []float64, tau float64) (float64, error) {
+		return 100, nil
+	}, Config{SampleEvery: 1, TauMax: 1.0})
+	for i := 0; i < 40; i++ {
+		est := 200.0
+		if i%2 == 1 {
+			est = 50
+		}
+		p.Offer([]float64{1, 2}, 0.1+float64(i%4)*0.3, "GL-CNN", est)
+	}
+	p.Close()
+	if got := p.Completed(); got != 40 {
+		t.Fatalf("completed %d probes, want 40", got)
+	}
+	if got := p.Dropped(); got != 0 {
+		t.Fatalf("dropped %d probes, want 0", got)
+	}
+	if drift := p.Drift(); math.Abs(drift-math.Log(2)) > 1e-9 {
+		t.Fatalf("drift = %g, want log 2 = %g", drift, math.Log(2))
+	}
+	// Per-family q-error histogram.
+	snap, ok := reg.HistogramSnapshotOf(telemetry.MetricProbeQError, "GL-CNN")
+	if !ok || snap.Count != 40 {
+		t.Fatalf("family histogram: ok=%v count=%d want 40", ok, snap.Count)
+	}
+	if mean := snap.Mean(); mean != 2 {
+		t.Fatalf("family q-error mean = %g, want 2", mean)
+	}
+	// τ-band histograms: τ cycles through all four quartiles of TauMax.
+	var bandTotal uint64
+	for _, band := range []string{"0-25%", "25-50%", "50-75%", "75-100%"} {
+		s, ok := reg.HistogramSnapshotOf(telemetry.MetricProbeQErrorTau, band)
+		if !ok || s.Count == 0 {
+			t.Fatalf("τ band %q empty (ok=%v)", band, ok)
+		}
+		bandTotal += s.Count
+	}
+	if bandTotal != 40 {
+		t.Fatalf("τ band total %d, want 40", bandTotal)
+	}
+	if got := reg.CounterValue(telemetry.MetricProbesTotal, ""); got != 40 {
+		t.Fatalf("probes_total = %d, want 40", got)
+	}
+	if g := reg.GaugeValue(telemetry.MetricProbeDrift, ""); math.Abs(g-math.Log(2)) > 1e-9 {
+		t.Fatalf("drift gauge = %g", g)
+	}
+}
+
+func TestProbeSampling(t *testing.T) {
+	liveRegistry(t)
+	p := New(func(q []float64, tau float64) (float64, error) { return 1, nil },
+		Config{SampleEvery: 10})
+	for i := 0; i < 100; i++ {
+		p.Offer([]float64{1}, 0.5, "GL", 1)
+	}
+	p.Close()
+	if got := p.Completed(); got != 10 {
+		t.Fatalf("1-in-10 sampling over 100 offers: %d probes, want 10", got)
+	}
+}
+
+func TestProbeDropsWhenSaturated(t *testing.T) {
+	reg := liveRegistry(t)
+	block := make(chan struct{})
+	p := New(func(q []float64, tau float64) (float64, error) {
+		<-block
+		return 1, nil
+	}, Config{SampleEvery: 1, QueueDepth: 1, Workers: 1})
+	// First offer is picked up by the worker (parked in the labeler), the
+	// second fills the queue; everything after that must drop, not block.
+	for i := 0; i < 10; i++ {
+		p.Offer([]float64{1}, 0.5, "GL", 1)
+	}
+	if got := p.Dropped(); got < 8 {
+		t.Fatalf("dropped %d probes, want >= 8", got)
+	}
+	if got := reg.CounterValue(telemetry.MetricProbeDropped, ""); got != p.Dropped() {
+		t.Fatalf("dropped counter %d != pipeline count %d", got, p.Dropped())
+	}
+	close(block)
+	p.Close()
+}
+
+func TestProbeLabelerErrorIsSilent(t *testing.T) {
+	liveRegistry(t)
+	p := New(func(q []float64, tau float64) (float64, error) {
+		return 0, errTest
+	}, Config{SampleEvery: 1})
+	p.Offer([]float64{1}, 0.5, "GL", 1)
+	p.Close()
+	if got := p.Completed(); got != 0 {
+		t.Fatalf("failed labels completed %d probes", got)
+	}
+	if p.Drift() != 0 {
+		t.Fatal("failed labels moved the drift gauge")
+	}
+}
+
+var errTest = &labelError{}
+
+type labelError struct{}
+
+func (*labelError) Error() string { return "label failed" }
+
+func TestProbeCopiesQuery(t *testing.T) {
+	liveRegistry(t)
+	var seen atomic.Value
+	ready := make(chan struct{})
+	p := New(func(q []float64, tau float64) (float64, error) {
+		seen.Store(append([]float64(nil), q...))
+		close(ready)
+		return 1, nil
+	}, Config{SampleEvery: 1})
+	q := []float64{1, 2, 3}
+	p.Offer(q, 0.5, "GL", 1)
+	q[0] = 99 // caller reuses its slice; the probe must have its own copy
+	<-ready
+	p.Close()
+	got := seen.Load().([]float64)
+	if got[0] != 1 {
+		t.Fatalf("probe saw mutated query: %v", got)
+	}
+}
+
+func TestNilPipelineIsNoop(t *testing.T) {
+	var p *Pipeline
+	p.Offer([]float64{1}, 0.5, "GL", 1)
+	p.Close()
+	if p.Completed() != 0 || p.Dropped() != 0 || p.Drift() != 0 {
+		t.Fatal("nil pipeline reported activity")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	liveRegistry(t)
+	p := New(func(q []float64, tau float64) (float64, error) { return 1, nil }, Config{})
+	p.Close()
+	p.Close()
+	p.Offer([]float64{1}, 0.5, "GL", 1) // after Close: dropped silently, no panic
+	if p.Completed() != 0 {
+		t.Fatal("offer after Close was labeled")
+	}
+}

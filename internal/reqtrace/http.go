@@ -1,0 +1,158 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// traceJSON is the wire form of one Trace on /debug/traces.
+type traceJSON struct {
+	ID        uint64             `json:"id"`
+	Start     time.Time          `json:"start"`
+	Method    string             `json:"method"`
+	Tau       float64            `json:"tau"`
+	BatchSize int                `json:"batch_size"`
+	Estimate  float64            `json:"estimate"`
+	Err       string             `json:"error,omitempty"`
+	LatencyUs float64            `json:"latency_us"`
+	Flags     []string           `json:"flags,omitempty"`
+	StagesUs  map[string]float64 `json:"stages_us,omitempty"`
+	PoolTasks int                `json:"pool_tasks,omitempty"`
+}
+
+// toJSON converts a published trace to its wire form. Stages that never
+// ran are omitted.
+func toJSON(t *Trace) traceJSON {
+	out := traceJSON{
+		ID:        t.ID,
+		Start:     t.Start,
+		Method:    t.Method,
+		Tau:       t.Tau,
+		BatchSize: t.BatchSize,
+		Estimate:  t.Estimate,
+		Err:       t.Err,
+		LatencyUs: float64(t.Latency.Nanoseconds()) / 1e3,
+		Flags:     t.flags.Names(),
+		PoolTasks: t.PoolTasks,
+	}
+	for s, ns := range t.StageNs {
+		if ns > 0 {
+			if out.StagesUs == nil {
+				out.StagesUs = make(map[string]float64, numStages)
+			}
+			out.StagesUs[Stage(s).String()] = float64(ns) / 1e3
+		}
+	}
+	return out
+}
+
+// tracesResponse is the /debug/traces response envelope.
+type tracesResponse struct {
+	Enabled   bool        `json:"enabled"`
+	Sampled   uint64      `json:"sampled"`
+	Published uint64      `json:"published"`
+	Traces    []traceJSON `json:"traces"`
+}
+
+// writeTraces renders a trace list as the JSON envelope.
+func writeTraces(w http.ResponseWriter, tr *Tracer, traces []*Trace) {
+	resp := tracesResponse{Traces: []traceJSON{}}
+	if tr != nil {
+		resp.Enabled = true
+		resp.Sampled = tr.Sampled()
+		resp.Published = tr.Published()
+		for _, t := range traces {
+			resp.Traces = append(resp.Traces, toJSON(t))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// queryN parses the ?n= request limit (0 = whole ring).
+func queryN(r *http.Request) int {
+	if s := r.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// TracesHandler serves the last-N completed traces of the process-wide
+// tracer as JSON, newest first: GET /debug/traces?n=32. With tracing off
+// it answers {"enabled": false, "traces": []}.
+func TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := Default()
+		var traces []*Trace
+		if tr != nil {
+			traces = tr.Snapshot(queryN(r))
+		}
+		writeTraces(w, tr, traces)
+	})
+}
+
+// SlowTracesHandler serves the completed traces at or above a latency
+// floor: GET /debug/traces/slow?min=5ms&n=32. Without ?min= the tracer's
+// configured slow threshold applies.
+func SlowTracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := Default()
+		var traces []*Trace
+		if tr != nil {
+			var minLat time.Duration
+			if s := r.URL.Query().Get("min"); s != "" {
+				if d, err := time.ParseDuration(s); err == nil && d > 0 {
+					minLat = d
+				}
+			}
+			traces = tr.SnapshotSlow(queryN(r), minLat)
+		}
+		writeTraces(w, tr, traces)
+	})
+}
+
+// LogValue implements slog.LogValuer, so a Trace logs as one structured
+// group: trace ID, method, τ, outcome flags, latency, and a stage summary
+// — the serving-log shape simquery emits with -log-json. Safe on a nil
+// Trace (logs an empty group).
+func (t *Trace) LogValue() slog.Value {
+	if t == nil {
+		return slog.GroupValue()
+	}
+	attrs := []slog.Attr{
+		slog.Uint64("id", t.ID),
+		slog.String("method", t.Method),
+		slog.Float64("tau", t.Tau),
+		slog.Float64("estimate", t.Estimate),
+		slog.Duration("latency", t.Latency),
+	}
+	if t.BatchSize > 1 {
+		attrs = append(attrs, slog.Int("batch_size", t.BatchSize))
+	}
+	if names := t.flags.Names(); names != nil {
+		attrs = append(attrs, slog.Any("flags", names))
+	}
+	if t.Err != "" {
+		attrs = append(attrs, slog.String("error", t.Err))
+	}
+	if t.PoolTasks > 0 {
+		attrs = append(attrs, slog.Int("pool_tasks", t.PoolTasks))
+	}
+	var stages []slog.Attr
+	for s, ns := range t.StageNs {
+		if ns > 0 {
+			stages = append(stages, slog.Duration(Stage(s).String(), time.Duration(ns)))
+		}
+	}
+	if stages != nil {
+		attrs = append(attrs, slog.Attr{Key: "stages", Value: slog.GroupValue(stages...)})
+	}
+	return slog.GroupValue(attrs...)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package reqtrace
+
+// raceEnabled is false on builds without the race detector; see
+// race_enabled_test.go.
+const raceEnabled = false

@@ -171,3 +171,8 @@ func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 2, 25) }
 // FractionBuckets is the resolution for values in [0, 1] (routing
 // selectivity): 0.05-wide linear buckets.
 func FractionBuckets() []float64 { return LinearBuckets(0.05, 0.05, 20) }
+
+// QErrorBuckets is the resolution for q-errors (always ≥ 1): geometric
+// from 1 to ~1130, dense near 1 where a healthy estimator lives (Table 2
+// reports means in the 1–4 range) with room for drifted tails.
+func QErrorBuckets() []float64 { return ExponentialBuckets(1, 1.55, 17) }

@@ -71,7 +71,7 @@ func NewRegistry() *Registry {
 	r.RegisterCounter(MetricEstimatesTotal, "Estimates served (batched calls add the batch size).", LabelMethod)
 	r.RegisterCounter(MetricBatchFallback, "Batched estimate calls that serialized per query (no native batch path).", LabelMethod)
 	r.RegisterHistogram(MetricStageSeconds, "Time per pipeline stage (see DESIGN.md §8 span taxonomy).", LabelStage, LatencyBuckets())
-	r.RegisterHistogram(MetricRoutingSelectivity, "Fraction of local models selected per query by global routing.", "", FractionBuckets())
+	r.RegisterHistogram(MetricRoutingSelectivity, "Fraction of local models selected per query by global routing.", LabelMethod, FractionBuckets())
 	r.RegisterHistogram(MetricJoinLatency, "Latency of join cardinality estimates.", LabelMethod, LatencyBuckets())
 	r.RegisterHistogram(MetricTrainEpochLoss, "Mean mini-batch loss per finished training epoch.", "", ExponentialBuckets(0.01, 2, 20))
 	r.RegisterCounter(MetricTrainEpochsTotal, "Finished training epochs.", "")
@@ -88,6 +88,12 @@ func NewRegistry() *Registry {
 	r.RegisterCounter(MetricCacheEvictions, "Estimate-cache entries dropped (LRU, TTL, or stale generation).", "")
 	r.RegisterGauge(MetricCacheHitRate, "Cumulative estimate-cache hit fraction: hits / (hits + misses).", "")
 	r.RegisterGauge(MetricCacheEntries, "Live entries across all estimate-cache shards.", "")
+	r.RegisterHistogram(MetricProbeQError, "Q-error of sampled served estimates vs exact background counts.", LabelFamily, QErrorBuckets())
+	r.RegisterHistogram(MetricProbeQErrorTau, "Probe q-error by τ band (quartiles of τ_max).", LabelTauBand, QErrorBuckets())
+	r.RegisterGauge(MetricProbeDrift, "EWMA of |log q-error| over completed probes (accuracy drift).", "")
+	r.RegisterCounter(MetricProbesTotal, "Completed accuracy probes (exact label computed).", "")
+	r.RegisterCounter(MetricProbeDropped, "Sampled probes dropped because the probe queue was full.", "")
+	r.RegisterGauge(MetricProbeQueueDepth, "Current probe queue occupancy.", "")
 	return r
 }
 

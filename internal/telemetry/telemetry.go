@@ -96,6 +96,27 @@ const (
 	// MetricCacheEntries is the current number of live entries across all
 	// cache shards.
 	MetricCacheEntries = "simquery_estcache_entries"
+	// MetricProbeQError observes the q-error of sampled served estimates
+	// against exact background counts, labeled by estimator family — the
+	// paper's Table 2 accuracy claim as a live signal.
+	MetricProbeQError = "simquery_probe_qerror"
+	// MetricProbeQErrorTau is the same probe q-error broken out by τ band
+	// (quartiles of τ_max), so accuracy drift localized to one end of the
+	// threshold band is visible (cf. Wang et al., monotonic estimation
+	// across the τ band).
+	MetricProbeQErrorTau = "simquery_probe_qerror_tau"
+	// MetricProbeDrift is the EWMA of |log q-error| over completed probes —
+	// the drift gauge a background retrainer watches: near 0 while the
+	// model tracks the data, rising as served accuracy decays.
+	MetricProbeDrift = "simquery_probe_drift_logq"
+	// MetricProbesTotal counts completed accuracy probes (exact label
+	// computed and q-error recorded).
+	MetricProbesTotal = "simquery_probes_total"
+	// MetricProbeDropped counts sampled probes dropped because the probe
+	// queue was full — backpressure never reaches the request path.
+	MetricProbeDropped = "simquery_probe_dropped_total"
+	// MetricProbeQueueDepth is the current probe queue occupancy.
+	MetricProbeQueueDepth = "simquery_probe_queue_depth"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving
@@ -111,11 +132,14 @@ const (
 	StageLabelSegments = "label_segments"
 )
 
-// LabelMethod and LabelStage are the label keys used by the standard
-// families.
+// Label keys used by the standard families. LabelFamily groups the probe
+// accuracy series by estimator family (Describer.Family values), and
+// LabelTauBand buckets them by threshold quartile.
 const (
-	LabelMethod = "method"
-	LabelStage  = "stage"
+	LabelMethod  = "method"
+	LabelStage   = "stage"
+	LabelFamily  = "family"
+	LabelTauBand = "tau_band"
 )
 
 // Recorder is the instrumentation surface the hot paths record through.

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 
 	"simquery/internal/faultinject"
 	"simquery/internal/faulttol"
+	"simquery/internal/reqtrace"
 	"simquery/internal/telemetry"
 )
 
@@ -167,6 +169,23 @@ offer:
 	if pe := j.pan.Load(); pe != nil {
 		panic(pe)
 	}
+}
+
+// DoCtx is Do with flight-recorder attribution: when ctx carries a
+// sampled reqtrace.Trace, the pooled region's wall time accumulates into
+// StagePool and the task count into PoolTasks. An untraced context (the
+// common case) costs one context value lookup and falls straight through
+// to Do.
+func (p *Pool) DoCtx(ctx context.Context, n int, fn func(task int)) {
+	tr := reqtrace.FromContext(ctx)
+	if tr == nil {
+		p.Do(n, fn)
+		return
+	}
+	st := tr.StartStage(reqtrace.StagePool)
+	tr.AddPoolTasks(n)
+	defer st.End()
+	p.Do(n, fn)
 }
 
 // defPool is the lazily created package-level pool.
