@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck govulncheck lint verify bench bench-full kernel-smoke chaos fuzz-smoke cover
+.PHONY: build test race vet fmt-check staticcheck govulncheck lint verify bench bench-full bench-smoke kernel-smoke chaos fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,9 @@ chaos:
 FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=$(FUZZTIME) ./cardest/
+	$(GO) test -run='^$$' -fuzz=FuzzPrecisionServe -fuzztime=$(FUZZTIME) ./cardest/
 	$(GO) test -run='^$$' -fuzz=FuzzParseWorkers -fuzztime=$(FUZZTIME) ./internal/tensor/
+	$(GO) test -run='^$$' -fuzz=FuzzQuantize8 -fuzztime=$(FUZZTIME) ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzParsePredicate -fuzztime=$(FUZZTIME) ./cardest/plan/
 
 # cover prints per-package coverage and fails if total statement coverage
@@ -81,9 +83,17 @@ cover:
 verify: lint kernel-smoke chaos fuzz-smoke race
 
 # bench regenerates the tracked kernel + end-to-end baseline (short
-# benchtime; commits as BENCH_kernels.json).
+# benchtime; commits as BENCH_kernels.json). -workers 4 exercises the
+# pooled GEMM rows; on a host with fewer usable cores the run records a
+# warning row and the pooled rows measure dispatch overhead honestly.
 bench:
-	$(GO) run ./cmd/simbench -kernels -bench-out BENCH_kernels.json
+	$(GO) run ./cmd/simbench -kernels -workers 4 -bench-out BENCH_kernels.json
+
+# bench-smoke is the CI variant: a very short benchtime (numbers are
+# throwaway — the artifact is gitignored), but the scaling guard still
+# fails the run if a pooled GEMM row regresses below its tiled baseline.
+bench-smoke:
+	$(GO) run ./cmd/simbench -kernels -workers 4 -benchtime 50ms -scaling-guard -bench-out bench_smoke.json
 
 # bench-full runs every top-level experiment benchmark (minutes).
 bench-full:

@@ -1,0 +1,231 @@
+package cardest
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"simquery/internal/metrics"
+)
+
+// precisionMethods are the Table-2 methods with a lowered inference plane.
+var precisionMethods = []string{"gl+", "local+", "gl-cnn", "gl-mlp", "qes", "mlp"}
+
+// TestPrecisionF32GoldenGate is the serving-level F32 accuracy gate: for
+// every learned method, estimates served at the F32 tier stay within 1e-3
+// relative of the F64 reference. The global-local family gets a small
+// rerouting budget — a routing probability sitting exactly at σ can flip
+// under f32 rounding, changing which locals sum — but the bulk of every
+// workload must agree tightly.
+func TestPrecisionF32GoldenGate(t *testing.T) {
+	fx := table2Estimators(t)
+	for _, method := range precisionMethods {
+		t.Run(method, func(t *testing.T) {
+			e := fx.ests[method]
+			r := Harden(e, ServeOptions{Precision: F32})
+			if got := r.Precision(); got != F32 {
+				t.Fatalf("resolved precision %v, want f32", got)
+			}
+			var rerouted int
+			for _, q := range fx.test {
+				want := e.EstimateSearch(q.Vec, q.Tau)
+				got := r.EstimateSearch(q.Vec, q.Tau)
+				if d := math.Abs(got - want); d > 1e-3*(1+want) {
+					rerouted++
+				}
+			}
+			budget := 0
+			switch method {
+			case "gl+", "gl-cnn", "gl-mlp":
+				budget = 1 + len(fx.test)/20
+			}
+			if rerouted > budget {
+				t.Fatalf("%d/%d queries diverged beyond 1e-3 rel (budget %d)", rerouted, len(fx.test), budget)
+			}
+		})
+	}
+}
+
+// TestPrecisionInt8QErrorBudget is the int8 accuracy gate on the Table-2
+// harness: per method, the int8 tier's median q-error against the true
+// cardinalities must stay within a fixed budget of the F64 tier's — the
+// quantized plane trades precision for speed, not accuracy class.
+func TestPrecisionInt8QErrorBudget(t *testing.T) {
+	fx := table2Estimators(t)
+	for _, method := range precisionMethods {
+		t.Run(method, func(t *testing.T) {
+			e := fx.ests[method]
+			r := Harden(e, ServeOptions{Precision: Int8})
+			if got := r.Precision(); got != Int8 {
+				t.Fatalf("resolved precision %v, want int8", got)
+			}
+			var f64Errs, int8Errs []float64
+			for _, q := range fx.test {
+				want := e.EstimateSearch(q.Vec, q.Tau)
+				got := r.EstimateSearch(q.Vec, q.Tau)
+				if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+					t.Fatalf("int8 estimate %v invalid for τ=%v", got, q.Tau)
+				}
+				f64Errs = append(f64Errs, metrics.QError(want, q.Card))
+				int8Errs = append(int8Errs, metrics.QError(got, q.Card))
+			}
+			f64Med := metrics.Summarize(f64Errs).Median
+			int8Med := metrics.Summarize(int8Errs).Median
+			if budget := 2*f64Med + 0.5; int8Med > budget {
+				t.Fatalf("int8 median q-error %.3f exceeds budget %.3f (f64 median %.3f)",
+					int8Med, budget, f64Med)
+			}
+		})
+	}
+}
+
+// TestPrecisionFallbackForBaselines pins the degradation contract: methods
+// without a lowered plane (the measured-wrapped baselines) silently serve
+// F64 when a lowered tier is requested, with identical estimates.
+func TestPrecisionFallbackForBaselines(t *testing.T) {
+	fx := table2Estimators(t)
+	for _, method := range []string{"sampling", "kernel", "cardnet"} {
+		e := fx.ests[method]
+		r := Harden(e, ServeOptions{Precision: F32})
+		if got := r.Precision(); got != F64 {
+			t.Fatalf("%s: resolved precision %v, want f64 fallback", method, got)
+		}
+		if info := r.Info(); info.Precision != "f64" {
+			t.Fatalf("%s: Info().Precision = %q, want f64", method, info.Precision)
+		}
+		q := fx.test[0]
+		if got, want := r.EstimateSearch(q.Vec, q.Tau), e.EstimateSearch(q.Vec, q.Tau); got != want {
+			t.Fatalf("%s: fallback tier changed the estimate: %v vs %v", method, got, want)
+		}
+	}
+}
+
+// TestPrecisionInfoSurface checks that the resolved tier is visible to the
+// planner through Info().
+func TestPrecisionInfoSurface(t *testing.T) {
+	fx := table2Estimators(t)
+	e := fx.ests["mlp"]
+	for _, p := range []Precision{F64, F32, Int8} {
+		r := Harden(e, ServeOptions{Precision: p})
+		if info := r.Info(); info.Precision != p.String() {
+			t.Fatalf("Info().Precision = %q, want %q", info.Precision, p.String())
+		}
+	}
+	// Unhardened estimators report the reference tier.
+	if info := Describe(e); info.Precision != "f64" {
+		t.Fatalf("bare estimator Info().Precision = %q, want f64", info.Precision)
+	}
+}
+
+// TestPrecisionCacheHitParity is the estcache interplay gate: the estimate
+// cache keys on the incoming f64 query, so a precision switch must not
+// change the hit behavior of repeated queries — an F32-served wrapper sees
+// exactly the hit/miss counts of an F64-served one on the same request
+// stream.
+func TestPrecisionCacheHitParity(t *testing.T) {
+	fx := table2Estimators(t)
+	e := fx.ests["mlp"]
+	run := func(p Precision) (hits, misses int64) {
+		cache, err := NewEstimateCache(256, 8, fx.ds.TauMax(), time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Harden(e, ServeOptions{Precision: p, Cache: cache})
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range fx.test {
+				if !cache.InBand(q.Tau) {
+					continue
+				}
+				if v := r.EstimateSearch(q.Vec, q.Tau); math.IsNaN(v) {
+					t.Fatalf("NaN estimate at tier %v", p)
+				}
+			}
+		}
+		st := cache.Stats()
+		return st.Hits, st.Misses
+	}
+	h64, m64 := run(F64)
+	h32, m32 := run(F32)
+	if h32 != h64 || m32 != m64 {
+		t.Fatalf("cache behavior changed across tiers: f64 %d/%d vs f32 %d/%d hits/misses",
+			h64, m64, h32, m32)
+	}
+	if h64 == 0 {
+		t.Fatal("second pass produced no cache hits; the parity check is vacuous")
+	}
+}
+
+// TestPrecisionSurvivesSaveLoad checks the cross-precision checkpoint
+// path deterministically: a model saved from an F64 process serves F32 and
+// Int8 after Load, and the lowered estimates still track the reloaded
+// parameters.
+func TestPrecisionSurvivesSaveLoad(t *testing.T) {
+	fx := table2Estimators(t)
+	for _, method := range []string{"mlp", "gl-mlp"} {
+		e := fx.ests[method]
+		path := filepath.Join(t.TempDir(), "m.model")
+		if err := Save(e, path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path, fx.ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Precision{F32, Int8} {
+			r := Harden(loaded, ServeOptions{Precision: p})
+			if got := r.Precision(); got != p {
+				t.Fatalf("%s: loaded model resolved %v, want %v", method, got, p)
+			}
+			q := fx.test[0]
+			v := r.EstimateSearch(q.Vec, q.Tau)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s@%v: invalid estimate %v after reload", method, p, v)
+			}
+		}
+	}
+}
+
+// FuzzPrecisionServe drives checkpoint bytes through Load and then serves
+// at a fuzzed precision tier: whatever the (possibly corrupted) checkpoint
+// decodes to, precision resolution and lowered serving must never panic,
+// and every served estimate must be finite and non-negative.
+func FuzzPrecisionServe(f *testing.F) {
+	seed := fuzzSeedCheckpoint(f)
+	f.Add(seed, uint8(0))
+	f.Add(seed, uint8(1))
+	f.Add(seed, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte("not a model"), uint8(2))
+	if len(seed) > trailerLength {
+		f.Add(append([]byte("garbage-payload"), seed[len(seed)-trailerLength:]...), uint8(1))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, tier uint8) {
+		path := filepath.Join(t.TempDir(), "fuzz.model")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		est, err := Load(path, nil)
+		if err != nil {
+			return // corrupt checkpoints are FuzzLoad's domain
+		}
+		p := Precision(int(tier) % 3)
+		r := Harden(est, ServeOptions{Precision: p})
+		if rp := r.Precision(); rp != p && rp != F64 {
+			t.Fatalf("resolved precision %v is neither requested %v nor f64", rp, p)
+		}
+		q := make([]float64, 10)
+		for i := range q {
+			q[i] = float64(i) / 10
+		}
+		v, err := r.EstimateSearchCtx(t.Context(), q, 0.5)
+		if err != nil {
+			return // hardened path may legitimately reject (e.g. dim mismatch panic captured)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("tier %v served invalid estimate %v", p, v)
+		}
+	})
+}

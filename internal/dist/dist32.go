@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"simquery/internal/tensor"
+)
+
+// Distance32 is Distance on float32 vectors — the anchor-feature kernel of
+// the mixed-precision inference plane (DESIGN.md §14). Same formulas and
+// conventions as Distance; scalar math (sqrt, acos) runs in float64 for a
+// rounding-free final step, which keeps the f32 feature error down to the
+// accumulation noise of the sum itself.
+func Distance32(m Metric, a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dist: length mismatch %d vs %d", len(a), len(b)))
+	}
+	switch m {
+	case L1:
+		var s float32
+		for i, v := range a {
+			d := v - b[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	case L2:
+		var s float32
+		for i, v := range a {
+			d := v - b[i]
+			s += d * d
+		}
+		return float32(math.Sqrt(float64(s)))
+	case Cosine:
+		// For unit vectors: 1 − a·b = ‖a−b‖²/2.
+		return 1 - tensor.Dot32(a, b)
+	case Angular:
+		c := float64(tensor.Dot32(a, b))
+		if c > 1 {
+			c = 1
+		} else if c < -1 {
+			c = -1
+		}
+		return float32(math.Acos(c) / math.Pi)
+	case Hamming:
+		if len(a) == 0 {
+			return 0
+		}
+		n := 0
+		for i, v := range a {
+			if (v > 0.5) != (b[i] > 0.5) {
+				n++
+			}
+		}
+		return float32(n) / float32(len(a))
+	default:
+		panic(fmt.Sprintf("dist: unsupported metric %v", m))
+	}
+}

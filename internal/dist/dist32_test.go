@@ -1,0 +1,58 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDistance32MatchesDistance checks the f32 metric kernel against the
+// f64 reference on random vectors (unit-normalized where the metric assumes
+// it) within the f32 accumulation budget.
+func TestDistance32MatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	metrics := []Metric{L1, L2, Cosine, Angular, Hamming}
+	for _, dim := range []int{1, 3, 10, 64, 181} {
+		a64 := make([]float64, dim)
+		b64 := make([]float64, dim)
+		for i := range a64 {
+			a64[i] = rng.Float64()
+			b64[i] = rng.Float64()
+		}
+		// Unit-normalize for the dot-product metrics.
+		na := make([]float64, dim)
+		nb := make([]float64, dim)
+		var sa, sb float64
+		for i := range a64 {
+			sa += a64[i] * a64[i]
+			sb += b64[i] * b64[i]
+		}
+		sa, sb = math.Sqrt(sa), math.Sqrt(sb)
+		for i := range a64 {
+			na[i] = a64[i] / sa
+			nb[i] = b64[i] / sb
+		}
+		for _, m := range metrics {
+			x, y := a64, b64
+			if m == Cosine || m == Angular {
+				x, y = na, nb
+			}
+			x32 := make([]float32, dim)
+			y32 := make([]float32, dim)
+			for i := range x {
+				x32[i] = float32(x[i])
+				y32[i] = float32(y[i])
+			}
+			want := Distance(m, x, y)
+			got := float64(Distance32(m, x32, y32))
+			tol := 1e-4 * (1 + math.Abs(want))
+			if m == Angular {
+				// acos amplifies dot error near ±1.
+				tol = 1e-3
+			}
+			if d := math.Abs(got - want); d > tol {
+				t.Errorf("%v dim=%d: f32 %v vs f64 %v (diff %g > %g)", m, dim, got, want, d, tol)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"simquery/internal/tensor"
+)
+
+// Precision lowering (DESIGN.md §14): Lower32/Lower8 convert a trained
+// float64 network ONCE into a packed read-only inference network running
+// entirely in float32 (or int8 weights with float32 accumulation). Lowered
+// networks share nothing with the source layers — training and fine-tuning
+// mutate the f64 parameters freely, and the model layer re-lowers when its
+// generation stamp moves. Like Infer, a lowered network is pure: safe for
+// many goroutines as long as each owns its Scratch32.
+
+// Layer32 is one lowered inference layer.
+type Layer32 interface {
+	Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32
+}
+
+// Scratch32 owns the per-call float32 buffers of the lowered inference
+// path; a nil *Scratch32 is legal and falls back to fresh allocations.
+type Scratch32 struct {
+	arena tensor.Scratch32
+}
+
+// Matrix hands out a zeroed rows×cols float32 matrix from the arena.
+func (s *Scratch32) Matrix(rows, cols int) *tensor.Matrix32 {
+	if s == nil {
+		return tensor.NewMatrix32(rows, cols)
+	}
+	return s.arena.Take(rows, cols)
+}
+
+// Reset recycles all buffers handed out since the last Reset.
+func (s *Scratch32) Reset() {
+	if s != nil {
+		s.arena.Reset()
+	}
+}
+
+// Network32 is a lowered network: a read-only chain of Layer32s.
+type Network32 struct {
+	layers []Layer32
+}
+
+// Infer32 runs the batch through every lowered layer in order.
+func (n *Network32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	for _, l := range n.layers {
+		x = l.Infer32(x, scratch)
+	}
+	return x
+}
+
+// Lower32 lowers a trained network to pure float32 inference.
+func Lower32(s *Sequential) (*Network32, error) { return lowerSeq(s, false) }
+
+// Lower8 lowers a trained network to the int8 tier: dense layers are
+// quantized per output channel to int8 weights (float32 bias and
+// accumulation), every other layer runs float32. This is the local-model
+// fast tier — the global router stays float32 even at Int8 precision.
+func Lower8(s *Sequential) (*Network32, error) { return lowerSeq(s, true) }
+
+func lowerSeq(s *Sequential, int8Dense bool) (*Network32, error) {
+	net := &Network32{layers: make([]Layer32, 0, len(s.Layers))}
+	for _, l := range s.Layers {
+		ll, err := lowerLayer(l, int8Dense)
+		if err != nil {
+			return nil, err
+		}
+		net.layers = append(net.layers, ll)
+	}
+	return net, nil
+}
+
+func lowerLayer(l Layer, int8Dense bool) (Layer32, error) {
+	switch v := l.(type) {
+	case *Sequential:
+		return lowerSeq(v, int8Dense)
+	case *Dense:
+		if int8Dense {
+			return lowerDense8(v), nil
+		}
+		return &dense32{
+			in: v.In, out: v.Out,
+			w: narrow32(v.W.W),
+			b: narrow32(v.B.W),
+		}, nil
+	case *Conv1D:
+		return &conv32{
+			inCh: v.InChannels, outCh: v.OutChannels,
+			kernel: v.Kernel, stride: v.Stride, padding: v.Padding,
+			w: narrow32(v.W.W), b: narrow32(v.B.W),
+		}, nil
+	case *Pool1D:
+		return &pool32{channels: v.Channels, size: v.Size, op: v.Op}, nil
+	case *ReLU:
+		return relu32{}, nil
+	case *Sigmoid:
+		return sigmoid32{}, nil
+	case *Tanh:
+		return tanh32{}, nil
+	case *Bias:
+		return &bias32{b: narrow32(v.B.W)}, nil
+	case *Dropout:
+		return identity32{}, nil
+	default:
+		return nil, fmt.Errorf("nn: no lowered path for layer %T", l)
+	}
+}
+
+func narrow32(w []float64) []float32 {
+	out := make([]float32, len(w))
+	for i, v := range w {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// QuantizeSymmetric8 quantizes one weight channel symmetrically to int8:
+// q = round(w/scale) clamped to [-127, 127] with scale = max|w|/127. The
+// returned scale is always > 0 (an all-zero channel gets scale 1, which
+// dequantizes exactly to zeros). -128 is never produced, keeping the scheme
+// symmetric.
+func QuantizeSymmetric8(w []float64) ([]int8, float32) {
+	var maxAbs float64
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := float32(maxAbs / 127)
+	if !(scale > 0) || math.IsInf(float64(scale), 0) {
+		// All-zero, NaN, and infinite channels — and channels whose scale
+		// overflows float32 — get a unit scale; out-of-range weights clamp
+		// to the int8 range below rather than poisoning the scale.
+		scale = 1
+	}
+	q := make([]int8, len(w))
+	for i, v := range w {
+		r := math.RoundToEven(v / float64(scale))
+		if r > 127 {
+			r = 127
+		} else if r < -127 {
+			r = -127
+		} else if math.IsNaN(r) {
+			r = 0
+		}
+		q[i] = int8(r)
+	}
+	return q, scale
+}
+
+// DequantizeSymmetric8 reverses QuantizeSymmetric8 into out (len(q)).
+func DequantizeSymmetric8(q []int8, scale float32, out []float64) {
+	for i, v := range q {
+		out[i] = float64(v) * float64(scale)
+	}
+}
+
+// dense32 is the lowered Dense: y = x·Wᵀ + b in float32.
+type dense32 struct {
+	in, out int
+	w       []float32 // out×in, flat row-major
+	b       []float32
+}
+
+func (d *dense32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	if x.Cols != d.in {
+		panic(fmt.Sprintf("nn: dense32 expects %d inputs, got %d", d.in, x.Cols))
+	}
+	out := scratch.Matrix(x.Rows, d.out)
+	w := tensor.Matrix32{Rows: d.out, Cols: d.in, Data: d.w}
+	tensor.MatMulTransB32(out, x, &w)
+	tensor.AddRowVec32(out, d.b)
+	return out
+}
+
+// dense8 is the int8-quantized Dense: per-output-channel symmetric int8
+// weights, float32 scales/bias, float32 accumulation.
+type dense8 struct {
+	in, out int
+	w       []int8    // out×in, flat row-major
+	scale   []float32 // per output channel, > 0
+	b       []float32
+}
+
+func lowerDense8(d *Dense) *dense8 {
+	q := &dense8{
+		in: d.In, out: d.Out,
+		w:     make([]int8, d.Out*d.In),
+		scale: make([]float32, d.Out),
+		b:     narrow32(d.B.W),
+	}
+	for o := 0; o < d.Out; o++ {
+		row, s := QuantizeSymmetric8(d.W.W[o*d.In : (o+1)*d.In])
+		copy(q.w[o*d.In:], row)
+		q.scale[o] = s
+	}
+	return q
+}
+
+func (d *dense8) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	if x.Cols != d.in {
+		panic(fmt.Sprintf("nn: dense8 expects %d inputs, got %d", d.in, x.Cols))
+	}
+	out := scratch.Matrix(x.Rows, d.out)
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Row(i)
+		or := out.Row(i)
+		for o := 0; o < d.out; o++ {
+			wr := d.w[o*d.in:][:d.in]
+			var s0, s1 float32
+			k := 0
+			for ; k+2 <= d.in; k += 2 {
+				s0 += xr[k] * float32(wr[k])
+				s1 += xr[k+1] * float32(wr[k+1])
+			}
+			if k < d.in {
+				s0 += xr[k] * float32(wr[k])
+			}
+			or[o] = d.scale[o]*(s0+s1) + d.b[o]
+		}
+	}
+	return out
+}
+
+// conv32 is the lowered Conv1D (see Conv1D.apply for the layout).
+type conv32 struct {
+	inCh, outCh, kernel, stride, padding int
+	w, b                                 []float32
+}
+
+func (c *conv32) outLen(l int) int {
+	n := (l+2*c.padding-c.kernel)/c.stride + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c *conv32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	if x.Cols%c.inCh != 0 {
+		panic(fmt.Sprintf("nn: conv32 input width %d not divisible by %d channels", x.Cols, c.inCh))
+	}
+	l := x.Cols / c.inCh
+	outL := c.outLen(l)
+	out := scratch.Matrix(x.Rows, c.outCh*outL)
+	for n := 0; n < x.Rows; n++ {
+		xr := x.Row(n)
+		or := out.Row(n)
+		for co := 0; co < c.outCh; co++ {
+			for t := 0; t < outL; t++ {
+				sum := c.b[co]
+				base := t*c.stride - c.padding
+				lo, hi := clipWindow(base, c.kernel, l)
+				if lo < hi {
+					for ci := 0; ci < c.inCh; ci++ {
+						wofs := (co*c.inCh + ci) * c.kernel
+						xofs := ci*l + base
+						sum += tensor.Dot32(c.w[wofs+lo:wofs+hi], xr[xofs+lo:xofs+hi])
+					}
+				}
+				or[co*outL+t] = sum
+			}
+		}
+	}
+	return out
+}
+
+// pool32 is the lowered Pool1D.
+type pool32 struct {
+	channels, size int
+	op             PoolOp
+}
+
+func (p *pool32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	if x.Cols%p.channels != 0 {
+		panic(fmt.Sprintf("nn: pool32 input width %d not divisible by %d channels", x.Cols, p.channels))
+	}
+	l := x.Cols / p.channels
+	outL := (l + p.size - 1) / p.size
+	out := scratch.Matrix(x.Rows, p.channels*outL)
+	for n := 0; n < x.Rows; n++ {
+		xr := x.Row(n)
+		or := out.Row(n)
+		for ci := 0; ci < p.channels; ci++ {
+			for t := 0; t < outL; t++ {
+				start := t * p.size
+				end := start + p.size
+				if end > l {
+					end = l
+				}
+				switch p.op {
+				case MaxPool:
+					best := xr[ci*l+start]
+					for j := start + 1; j < end; j++ {
+						if xr[ci*l+j] > best {
+							best = xr[ci*l+j]
+						}
+					}
+					or[ci*outL+t] = best
+				case AvgPool:
+					var s float32
+					for j := start; j < end; j++ {
+						s += xr[ci*l+j]
+					}
+					or[ci*outL+t] = s / float32(end-start)
+				case SumPool:
+					var s float32
+					for j := start; j < end; j++ {
+						s += xr[ci*l+j]
+					}
+					or[ci*outL+t] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+type relu32 struct{}
+
+func (relu32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+type sigmoid32 struct{}
+
+func (sigmoid32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = float32(tensor.Sigmoid(float64(v)))
+	}
+	return out
+}
+
+type tanh32 struct{}
+
+func (tanh32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+type bias32 struct {
+	b []float32
+}
+
+func (b *bias32) Infer32(x *tensor.Matrix32, scratch *Scratch32) *tensor.Matrix32 {
+	out := scratch.Matrix(x.Rows, x.Cols)
+	copy(out.Data, x.Data)
+	tensor.AddRowVec32(out, b.b)
+	return out
+}
+
+// identity32 lowers layers whose inference is the identity (Dropout).
+type identity32 struct{}
+
+func (identity32) Infer32(x *tensor.Matrix32, _ *Scratch32) *tensor.Matrix32 { return x }

@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"simquery/internal/tensor"
+)
+
+// lowerTestNets builds a spread of randomly initialized networks covering
+// every lowerable layer kind (including nested Sequentials and the
+// non-negative posdense variant).
+func lowerTestNets(rng *rand.Rand) map[string]*Sequential {
+	randomizeBias := func(s *Sequential) *Sequential {
+		for _, p := range s.Params() {
+			for i := range p.W {
+				if p.NonNegative {
+					p.W[i] = math.Abs(p.W[i])
+					continue
+				}
+				p.W[i] += rng.NormFloat64() * 0.1
+			}
+		}
+		return s
+	}
+	return map[string]*Sequential{
+		"mlp": randomizeBias(NewSequential(
+			NewDense(rng, 10, 32), NewReLU(),
+			NewDense(rng, 32, 16), NewReLU(),
+			NewDense(rng, 16, 1),
+		)),
+		"posdense-sigmoid": randomizeBias(NewSequential(
+			NewPositiveDense(rng, 1, 8), NewSigmoid(),
+			NewPositiveDense(rng, 8, 8),
+		)),
+		"cnn": randomizeBias(NewSequential(
+			NewConv1D(rng, 1, 8, 2, 1, 0),
+			NewPool1D(8, 2, AvgPool), NewReLU(),
+			NewConv1D(rng, 8, 4, 2, 1, 1),
+			NewPool1D(4, 2, MaxPool),
+			NewDense(rng, 12, 6),
+		)),
+		"nested": randomizeBias(NewSequential(
+			NewSequential(NewDense(rng, 6, 12), NewTanh()),
+			NewDropout(0.3, 5),
+			NewBias(12),
+			NewDense(rng, 12, 3),
+		)),
+	}
+}
+
+func lowerTestInput(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	x := tensor.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return x
+}
+
+func inputDim(name string) int {
+	switch name {
+	case "mlp":
+		return 10
+	case "posdense-sigmoid":
+		return 1
+	case "cnn":
+		return 10
+	case "nested":
+		return 6
+	}
+	panic("unknown net " + name)
+}
+
+// TestLower32MatchesInfer is the F32-vs-F64 divergence property test: for
+// random trained models of every layer composition, lowered float32
+// inference stays within the f32 accumulation budget of the f64 path. This
+// is the gate that catches accumulation-order bugs in the lowered kernels.
+func TestLower32MatchesInfer(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for name, net := range lowerTestNets(rng) {
+		t.Run(name, func(t *testing.T) {
+			low, err := Lower32(net)
+			if err != nil {
+				t.Fatalf("Lower32: %v", err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				x := lowerTestInput(rng, 1+rng.Intn(7), inputDim(name))
+				want := net.Infer(x, nil)
+				got := low.Infer32(tensor.FromMatrix32(x), nil)
+				if got.Rows != want.Rows || got.Cols != want.Cols {
+					t.Fatalf("shape %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+				}
+				for i := range want.Data {
+					w := want.Data[i]
+					g := float64(got.Data[i])
+					if d := math.Abs(g - w); d > 1e-4*(1+math.Abs(w)) {
+						t.Fatalf("trial %d elem %d: f32 %v vs f64 %v (diff %g)", trial, i, g, w, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLower8DenseQuantization checks that the int8 tier stays within the
+// per-channel quantization error budget: each dense output can move by at
+// most In·(scale/2) per layer before activations, so on a single dense
+// layer the bound is exact and testable.
+func TestLower8DenseQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := NewDense(rng, 24, 8)
+	for i := range d.B.W {
+		d.B.W[i] = rng.NormFloat64()
+	}
+	net := NewSequential(d)
+	low, err := Lower8(net)
+	if err != nil {
+		t.Fatalf("Lower8: %v", err)
+	}
+	q := low.layers[0].(*dense8)
+	x := lowerTestInput(rng, 3, 24)
+	want := net.Infer(x, nil)
+	got := low.Infer32(tensor.FromMatrix32(x), nil)
+	for i := 0; i < want.Rows; i++ {
+		for o := 0; o < want.Cols; o++ {
+			// |y8 − y64| ≤ Σ|x_k|·(scale/2) + f32 noise.
+			var xl1 float64
+			for _, v := range x.Row(i) {
+				xl1 += math.Abs(v)
+			}
+			bound := xl1*float64(q.scale[o])/2 + 1e-4
+			if d := math.Abs(float64(got.At(i, o)) - want.At(i, o)); d > bound {
+				t.Fatalf("(%d,%d): int8 %v vs f64 %v, diff %g > bound %g",
+					i, o, got.At(i, o), want.At(i, o), d, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeSymmetric8RoundTrip is the round-trip property: scale > 0,
+// values in [-127, 127], and dequantization lands within half a step.
+func TestQuantizeSymmetric8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := [][]float64{
+		nil,
+		{0, 0, 0},
+		{1e-300, -1e-300},
+		{127, -127, 1, -1},
+	}
+	for trial := 0; trial < 20; trial++ {
+		w := make([]float64, rng.Intn(64))
+		for i := range w {
+			w[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		cases = append(cases, w)
+	}
+	for ci, w := range cases {
+		q, scale := QuantizeSymmetric8(w)
+		if !(scale > 0) {
+			t.Fatalf("case %d: scale %v not positive", ci, scale)
+		}
+		if len(q) != len(w) {
+			t.Fatalf("case %d: len %d vs %d", ci, len(q), len(w))
+		}
+		deq := make([]float64, len(q))
+		DequantizeSymmetric8(q, scale, deq)
+		for i, v := range q {
+			if v < -127 || v > 127 {
+				t.Fatalf("case %d: q[%d]=%d outside [-127,127]", ci, i, v)
+			}
+			if d := math.Abs(deq[i] - w[i]); d > float64(scale)/2*1.0001 {
+				t.Fatalf("case %d: dequant[%d]=%v vs %v, diff %g > half-step %g",
+					ci, i, deq[i], w[i], d, float64(scale)/2)
+			}
+		}
+	}
+}
+
+// FuzzQuantize8 fuzzes the quantize/dequantize round trip: never panics,
+// scale stays positive, and every quantized value clamps to [-127, 127] —
+// including NaN, Inf, and denormal inputs decoded from the raw bytes.
+func FuzzQuantize8(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(1))))
+	seed := binary.LittleEndian.AppendUint64(nil, math.Float64bits(-3.75))
+	seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(1e300))
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		w := make([]float64, len(raw)/8)
+		for i := range w {
+			w[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		q, scale := QuantizeSymmetric8(w)
+		if !(scale > 0) {
+			t.Fatalf("scale %v not positive", scale)
+		}
+		for i, v := range q {
+			if v < -127 || v > 127 {
+				t.Fatalf("q[%d]=%d outside [-127,127]", i, v)
+			}
+		}
+		deq := make([]float64, len(q))
+		DequantizeSymmetric8(q, scale, deq)
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if math.IsNaN(deq[i]) || math.IsInf(deq[i], 0) {
+				t.Fatalf("finite input %v dequantized to %v", v, deq[i])
+			}
+		}
+	})
+}
+
+// TestLower32UnknownLayer pins the error path: a layer kind without a
+// lowered implementation must surface an error (the serving layer uses it
+// to fall back to F64), never panic.
+func TestLower32UnknownLayer(t *testing.T) {
+	net := NewSequential(unloweredLayer{})
+	if _, err := Lower32(net); err == nil {
+		t.Fatal("Lower32 should fail on a layer without a lowered path")
+	} else if want := fmt.Sprintf("%T", unloweredLayer{}); err.Error() == "" || !containsStr(err.Error(), want) {
+		t.Fatalf("error %q should name the layer type %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// unloweredLayer is a Layer with no lowering case.
+type unloweredLayer struct{}
+
+func (unloweredLayer) Forward(x *tensor.Matrix, _ bool) *tensor.Matrix   { return x }
+func (unloweredLayer) Backward(g *tensor.Matrix) *tensor.Matrix          { return g }
+func (unloweredLayer) Infer(x *tensor.Matrix, _ *Scratch) *tensor.Matrix { return x }
+func (unloweredLayer) Params() []*Param                                  { return nil }
+func (unloweredLayer) OutDim(in int) int                                 { return in }
+func (unloweredLayer) Spec() LayerSpec                                   { return LayerSpec{Kind: "x"} }

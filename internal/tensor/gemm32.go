@@ -1,0 +1,356 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Float32 GEMM kernels (DESIGN.md §14). Same cache-blocked, register-tiled
+// skeleton as gemm.go, with two deliberate departures the relaxed f32
+// numerical contract (1e-5 rel vs the Naive32 oracles, not bitwise row
+// invariance) makes legal:
+//
+//  1. Coarser row-block grain. f32 halves the per-element memory traffic,
+//     so a row block must be taller before its work amortizes one pool
+//     dispatch; the floor is gemmMinBlockRows32 (128 rows), re-tuned
+//     against measured dispatch cost on the benchmark host (see DESIGN.md
+//     §14 for the measurement).
+//
+//  2. Per-worker C-panel accumulation. When the coarse grain leaves fewer
+//     row blocks than workers (256³ at 4 workers: two 128-row blocks), the
+//     multiply splits over K instead: each worker accumulates its K-slice
+//     of the full product into a private C panel, and the panels are summed
+//     into out serially in ascending worker order afterwards. The sum order
+//     is a function of (K, task count) only, so results are deterministic
+//     for a fixed pool size — but K-partitioned summation is exactly what
+//     the f64 row-invariance contract forbids, which is why this path
+//     exists only on the f32 plane.
+const (
+	// gemmBlockJ32 is the f32 j-panel width: gemmBlockK×gemmBlockJ32×4
+	// bytes = 256 KiB, the same L2 footprint as the f64 panel.
+	gemmBlockJ32 = 512
+	// parallelFLOPs32 is the dispatch threshold for f32 GEMMs. f32 panels
+	// run ~2× faster per FLOP than f64 (half the bandwidth), so the FLOP
+	// count that amortizes one pool dispatch is about twice the f64
+	// crossover — but the coarser row grain already suppresses tiny splits,
+	// and measurement put the profitable crossover near 16 MFLOP (≈200³).
+	parallelFLOPs32 = 16 << 20
+	// gemmMinBlockRows32 is the f32 row-block floor — twice the f64 grain,
+	// because each f32 row carries half the bytes (and roughly half the
+	// work) of an f64 row at equal width.
+	gemmMinBlockRows32 = 128
+)
+
+// MatMul32 computes out = a × b in float32. out must be a.Rows × b.Cols and
+// distinct from a and b.
+func MatMul32(out, a, b *Matrix32) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul32 shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if !gemmParallel32(a.Rows, b.Cols, a.Cols) {
+		matMulRange32(out, a, b, 0, a.Rows)
+		return
+	}
+	matMulPar32(*out, *a, *b)
+}
+
+// gemmParallel32 is gemmParallel with the f32 thresholds.
+func gemmParallel32(rows, cols, depth int) bool {
+	if rows <= 1 {
+		return false
+	}
+	return gemmParallelism() > 1 && 2*rows*cols*depth >= parallelFLOPs32
+}
+
+// matMulPar32 dispatches a large f32 multiply onto the pool. Headers pass
+// by value for the same escape reason as matMulPar. Row blocks are
+// preferred while every worker can be fed a block at least
+// gemmMinBlockRows32 tall; below that the K dimension is split with
+// per-worker C panels (cPanelSplit32).
+func matMulPar32(out, a, b Matrix32) {
+	par := gemmParallelism()
+	if a.Rows/gemmMinBlockRows32 >= par || a.Cols < 2*gemmBlockK {
+		gemmSplit32(a.Rows, func(i0, i1 int) {
+			matMulRange32(&out, &a, &b, i0, i1)
+		})
+		return
+	}
+	cPanelSplit32(&out, a.Cols, par, func(panel *Matrix32, k0, k1 int) {
+		matMulKPanel32(panel, &a, &b, 0, a.Rows, k0, k1)
+	})
+}
+
+// gemmSplit32 is gemmSplit at the coarser f32 grain.
+func gemmSplit32(rows int, kernel func(i0, i1 int)) {
+	p := DefaultPool()
+	tasks := min(gemmParallelism(), (rows+gemmMinBlockRows32-1)/gemmMinBlockRows32)
+	if tasks < 1 {
+		tasks = 1
+	}
+	chunk := (rows + tasks - 1) / tasks
+	p.Do(tasks, func(t int) {
+		i0 := t * chunk
+		i1 := min(i0+chunk, rows)
+		if i0 < i1 {
+			kernel(i0, i1)
+		}
+	})
+}
+
+// cPanels recycles the private accumulation panels the K-split path hands
+// each worker, so repeated large multiplies don't churn the GC.
+var cPanels = sync.Pool{New: func() any { return &Matrix32{} }}
+
+// cPanelSplit32 runs the K-split schedule: K is cut into at most par
+// contiguous slices (each at least gemmBlockK deep), every worker
+// accumulates its slice of the product into a private zeroed C panel, and
+// the panels are folded into out serially in ascending task order. The fold
+// order depends only on (K, task count) — deterministic for a fixed pool
+// size, but not bitwise equal to the serial kernel, which is why only the
+// f32 plane (tolerance contract) uses it.
+func cPanelSplit32(out *Matrix32, K, par int, kernel func(panel *Matrix32, k0, k1 int)) {
+	tasks := min(par, K/gemmBlockK)
+	if tasks < 2 {
+		kernel(out, 0, K)
+		return
+	}
+	chunk := (K + tasks - 1) / tasks
+	panels := make([]*Matrix32, tasks)
+	n := out.Rows * out.Cols
+	for t := range panels {
+		p := cPanels.Get().(*Matrix32)
+		if cap(p.Data) < n {
+			p.Data = make([]float32, n)
+		}
+		p.Data = p.Data[:n]
+		p.Rows, p.Cols = out.Rows, out.Cols
+		panels[t] = p
+	}
+	DefaultPool().Do(tasks, func(t int) {
+		k0 := t * chunk
+		k1 := min(k0+chunk, K)
+		panels[t].Zero()
+		if k0 < k1 {
+			kernel(panels[t], k0, k1)
+		}
+	})
+	copy(out.Data, panels[0].Data)
+	for t := 1; t < tasks; t++ {
+		AddTo32(out.Data, panels[t].Data)
+	}
+	for _, p := range panels {
+		cPanels.Put(p)
+	}
+}
+
+// matMulRange32 computes rows [i0, i1) of out = a × b: zero, then
+// accumulate the full K range.
+func matMulRange32(out, a, b *Matrix32, i0, i1 int) {
+	n := out.Cols
+	for i := i0; i < i1; i++ {
+		row := out.Data[i*n:][:n]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	matMulKPanel32(out, a, b, i0, i1, 0, a.Cols)
+}
+
+// matMulKPanel32 accumulates out[i0:i1] += a[i0:i1, k0:k1] × b[k0:k1] with
+// the gemm.go panel structure (k-panel, j-panel, 2-row × 4-k micro-kernel).
+// out is NOT zeroed here — matMulRange32 zeroes for the serial/row-split
+// paths, and cPanelSplit32 hands in zeroed private panels.
+func matMulKPanel32(out, a, b *Matrix32, i0, i1, k0, k1 int) {
+	K := a.Cols
+	n := out.Cols
+	for kk := k0; kk < k1; kk += gemmBlockK {
+		kmax := min(kk+gemmBlockK, k1)
+		for jj := 0; jj < n; jj += gemmBlockJ32 {
+			w := min(jj+gemmBlockJ32, n) - jj
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				arow0 := a.Data[i*K:][:K]
+				arow1 := a.Data[(i+1)*K:][:K]
+				orow0 := out.Data[i*n+jj:][:w]
+				orow1 := out.Data[(i+1)*n+jj:][:w]
+				k := kk
+				for ; k+4 <= kmax; k += 4 {
+					x0, x1, x2, x3 := arow0[k], arow0[k+1], arow0[k+2], arow0[k+3]
+					y0, y1, y2, y3 := arow1[k], arow1[k+1], arow1[k+2], arow1[k+3]
+					b0 := b.Data[k*n+jj:][:w]
+					b1 := b.Data[(k+1)*n+jj:][:w]
+					b2 := b.Data[(k+2)*n+jj:][:w]
+					b3 := b.Data[(k+3)*n+jj:][:w]
+					for j := 0; j < w; j++ {
+						v0, v1, v2, v3 := b0[j], b1[j], b2[j], b3[j]
+						orow0[j] += x0*v0 + x1*v1 + x2*v2 + x3*v3
+						orow1[j] += y0*v0 + y1*v1 + y2*v2 + y3*v3
+					}
+				}
+				for ; k < kmax; k++ {
+					x, y := arow0[k], arow1[k]
+					brow := b.Data[k*n+jj:][:w]
+					for j := 0; j < w; j++ {
+						orow0[j] += x * brow[j]
+						orow1[j] += y * brow[j]
+					}
+				}
+			}
+			for ; i < i1; i++ {
+				arow := a.Data[i*K:][:K]
+				orow := out.Data[i*n+jj:][:w]
+				k := kk
+				for ; k+4 <= kmax; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					b0 := b.Data[k*n+jj:][:w]
+					b1 := b.Data[(k+1)*n+jj:][:w]
+					b2 := b.Data[(k+2)*n+jj:][:w]
+					b3 := b.Data[(k+3)*n+jj:][:w]
+					for j := 0; j < w; j++ {
+						orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; k < kmax; k++ {
+					av := arow[k]
+					brow := b.Data[k*n+jj:][:w]
+					for j := 0; j < w; j++ {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB32 computes out = a × bᵀ in float32 — the f32 inference hot
+// path (dense32 runs x·Wᵀ). out must be a.Rows × b.Rows.
+func MatMulTransB32(out, a, b *Matrix32) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB32 shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	if !gemmParallel32(a.Rows, b.Rows, a.Cols) {
+		matMulTransBRange32(out, a, b, 0, a.Rows)
+		return
+	}
+	matMulTransBPar32(*out, *a, *b)
+}
+
+// matMulTransBPar32 row-splits at the coarse f32 grain. The TransB kernel
+// reduces full-K dots per output element, so there is no K-split variant:
+// the batched inference shapes that reach it are row-rich (batch rows),
+// never row-starved like a square 256³ product.
+func matMulTransBPar32(out, a, b Matrix32) {
+	gemmSplit32(a.Rows, func(i0, i1 int) {
+		matMulTransBRange32(&out, &a, &b, i0, i1)
+	})
+}
+
+// matMulTransBRange32 mirrors matMulTransBRange: four b rows × two
+// accumulators per output (8 FP chains), dot232 fringe matching one
+// micro-kernel lane.
+func matMulTransBRange32(out, a, b *Matrix32, i0, i1 int) {
+	K := a.Cols
+	n := out.Cols
+	for i := i0; i < i1; i++ {
+		arow := a.Data[i*K:][:K]
+		orow := out.Data[i*n:][:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*K:][:K]
+			b1 := b.Data[(j+1)*K:][:K]
+			b2 := b.Data[(j+2)*K:][:K]
+			b3 := b.Data[(j+3)*K:][:K]
+			var s0a, s0b, s1a, s1b, s2a, s2b, s3a, s3b float32
+			k := 0
+			for ; k+2 <= K; k += 2 {
+				av0, av1 := arow[k], arow[k+1]
+				s0a += av0 * b0[k]
+				s0b += av1 * b0[k+1]
+				s1a += av0 * b1[k]
+				s1b += av1 * b1[k+1]
+				s2a += av0 * b2[k]
+				s2b += av1 * b2[k+1]
+				s3a += av0 * b3[k]
+				s3b += av1 * b3[k+1]
+			}
+			if k < K {
+				av := arow[k]
+				s0a += av * b0[k]
+				s1a += av * b1[k]
+				s2a += av * b2[k]
+				s3a += av * b3[k]
+			}
+			orow[j] = s0a + s0b
+			orow[j+1] = s1a + s1b
+			orow[j+2] = s2a + s2b
+			orow[j+3] = s3a + s3b
+		}
+		for ; j < n; j++ {
+			orow[j] = dot232(arow, b.Data[j*K:][:K])
+		}
+	}
+}
+
+// dot232 is dot2 in float32: the two-accumulator inner product matching one
+// lane of the matMulTransBRange32 micro-kernel.
+func dot232(a, b []float32) float32 {
+	b = b[:len(a)]
+	var sa, sb float32
+	k := 0
+	for ; k+2 <= len(a); k += 2 {
+		sa += a[k] * b[k]
+		sb += a[k+1] * b[k+1]
+	}
+	if k < len(a) {
+		sa += a[k] * b[k]
+	}
+	return sa + sb
+}
+
+// NaiveMatMul32 computes out = a × b with the scalar triple loop — the f32
+// correctness oracle (1e-5 rel).
+func NaiveMatMul32(out, a, b *Matrix32) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul32 shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// NaiveMatMulTransB32 computes out = a × bᵀ with per-element scalar dots.
+func NaiveMatMulTransB32(out, a, b *Matrix32) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulTB32 shape mismatch (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < b.Rows; j++ {
+			out.Data[i*out.Cols+j] = NaiveDot32(arow, b.Data[j*b.Cols:(j+1)*b.Cols])
+		}
+	}
+}
+
+// NaiveDot32 is the single-accumulator float32 inner product.
+func NaiveDot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package tensor
+
+import "fmt"
+
+// Float32 vector/matrix plane — the mixed-precision inference path
+// (DESIGN.md §14). Matrix32 mirrors Matrix with float32 storage: half the
+// memory traffic per element, which is where the inference speedup comes
+// from (the serving GEMMs are bandwidth-bound at the model sizes in play).
+//
+// Numerical contract: the float32 kernels do NOT promise the f64 plane's
+// bitwise row invariance. They promise a relative-error bound instead —
+// property tests hold every kernel within 1e-5 relative of the Naive32
+// oracles — which is what frees the pooled path to use per-worker C-panel
+// accumulation (gemm32.go) that the f64 contract forbids.
+
+// Matrix32 is a dense row-major float32 matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed rows×cols matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i, j).
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Zero resets all elements to 0.
+func (m *Matrix32) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// ToMatrix widens into a freshly allocated float64 matrix (tests and
+// debugging; not a hot path).
+func (m *Matrix32) ToMatrix() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}
+
+// FromMatrix32 narrows a float64 matrix into a fresh Matrix32.
+func FromMatrix32(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+// Dot32 returns the inner product of equal-length float32 vectors with the
+// same four-accumulator order as Dot.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy32 computes y += alpha * x.
+func Axpy32(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// AddTo32 computes dst += src element-wise.
+func AddTo32(dst, src []float32) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("tensor: addto length mismatch %d vs %d", len(src), len(dst)))
+	}
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Sum32 returns the sum of the elements of x (four-accumulator order).
+func Sum32(x []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i]
+	}
+	return s
+}
+
+// AddRowVec32 adds v to every row of m in place (the f32 bias broadcast).
+func AddRowVec32(m *Matrix32, v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec32 width mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy32(1, v, m.Row(i))
+	}
+}
+
+// Scratch32 is the float32 arena mirroring Scratch: Take hands out a zeroed
+// matrix backed by a recycled buffer, Reset rewinds. The same ownership
+// rules apply (valid until the owning Scratch32's next Reset, not safe for
+// concurrent use, nil receiver falls back to fresh allocations).
+type Scratch32 struct {
+	mats []*Matrix32
+	next int
+}
+
+// Take returns a zeroed rows×cols matrix backed by the arena.
+func (s *Scratch32) Take(rows, cols int) *Matrix32 {
+	if s == nil {
+		return NewMatrix32(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		panic("tensor: invalid scratch matrix shape")
+	}
+	n := rows * cols
+	if s.next == len(s.mats) {
+		s.mats = append(s.mats, &Matrix32{})
+	}
+	m := s.mats[s.next]
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Data = m.Data[:n]
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	m.Rows, m.Cols = rows, cols
+	s.next++
+	return m
+}
+
+// Reset rewinds the arena, invalidating matrices handed out since the last
+// Reset.
+func (s *Scratch32) Reset() {
+	if s != nil {
+		s.next = 0
+	}
+}

@@ -1,0 +1,263 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// kernelTol32 is the f32 kernel gate: every tiled/pooled kernel must stay
+// within 1e-5 of the Naive32 oracle, measured relative to the
+// condition-aware scale Σ|a||b| per element (so mixed-sign cancellation
+// can't turn benign last-bit noise into a spurious relative blowup, while
+// any real accumulation bug — a dropped k term, a double-counted panel —
+// still lands orders of magnitude above the gate).
+const kernelTol32 = 1e-5
+
+func randMatrix32(rng *rand.Rand, rows, cols int) *Matrix32 {
+	m := NewMatrix32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return m
+}
+
+// absScale32 returns |a|×|b| (element-wise absolute operands): the per-
+// element magnitude scale of the product's accumulation.
+func absScale32(a, b *Matrix32) *Matrix32 {
+	aa := NewMatrix32(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		aa.Data[i] = float32(math.Abs(float64(v)))
+	}
+	bb := NewMatrix32(b.Rows, b.Cols)
+	for i, v := range b.Data {
+		bb.Data[i] = float32(math.Abs(float64(v)))
+	}
+	out := NewMatrix32(a.Rows, b.Cols)
+	NaiveMatMul32(out, aa, bb)
+	return out
+}
+
+// checkRel32 fails if any element of got differs from want by more than
+// kernelTol32 relative to the accumulation scale.
+func checkRel32(t *testing.T, kernel string, got, want, scale *Matrix32) {
+	t.Helper()
+	for i := range got.Data {
+		s := float64(scale.Data[i])
+		if s < 1 {
+			s = 1
+		}
+		if d := math.Abs(float64(got.Data[i]) - float64(want.Data[i])); d > kernelTol32*s {
+			t.Fatalf("%s: elem %d diff %g > %g (rel %g)", kernel, i, d, kernelTol32*s, d/s)
+			return
+		}
+	}
+}
+
+// forceParallelism raises GOMAXPROCS and the pool size so gemmParallelism()
+// sees real parallelism even on a single-core host, and restores both on
+// cleanup. The pooled paths still execute correctly with one core (the pool
+// is caller-participating); only the speedup needs real cores.
+func forceParallelism(t *testing.T, workers int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(workers)
+	SetPoolSize(workers)
+	t.Cleanup(func() {
+		runtime.GOMAXPROCS(prev)
+		SetPoolSize(0)
+	})
+}
+
+// TestKernelMatMul32MatchesNaive validates the f32 tiled kernels against
+// the Naive32 oracles at 1e-5 rel over every tile/fringe shape, serial and
+// forced multi-worker.
+func TestKernelMatMul32MatchesNaive(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		forceParallelism(t, workers)
+		for _, s := range kernelShapes {
+			t.Run(fmt.Sprintf("w%d/%dx%dx%d", workers, s.m, s.k, s.n), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(s.m*1000 + s.k*100 + s.n)))
+				a := randMatrix32(rng, s.m, s.k)
+				b := randMatrix32(rng, s.k, s.n)
+				bt := randMatrix32(rng, s.n, s.k)
+				scale := absScale32(a, b)
+
+				got := NewMatrix32(s.m, s.n)
+				want := NewMatrix32(s.m, s.n)
+				MatMul32(got, a, b)
+				NaiveMatMul32(want, a, b)
+				checkRel32(t, "MatMul32", got, want, scale)
+
+				MatMulTransB32(got, a, bt)
+				NaiveMatMulTransB32(want, a, bt)
+				btT := NewMatrix32(s.k, s.n)
+				for i := 0; i < s.n; i++ {
+					for k := 0; k < s.k; k++ {
+						btT.Set(k, i, bt.At(i, k))
+					}
+				}
+				checkRel32(t, "MatMulTransB32", got, want, absScale32(a, btT))
+			})
+		}
+	}
+}
+
+// TestKernelMatMul32PooledPaths drives the big-shape pooled entries — the
+// coarse row split at 512³ (4 blocks ≥ 128 rows each) and the per-worker
+// C-panel K-split at 256³ (row-starved at the coarse grain) — against the
+// oracle, under forced 4-way parallelism.
+func TestKernelMatMul32PooledPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large GEMM shapes")
+	}
+	forceParallelism(t, 4)
+	for _, dim := range []int{256, 320} {
+		t.Run(fmt.Sprintf("%d", dim), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(dim)))
+			a := randMatrix32(rng, dim, dim)
+			b := randMatrix32(rng, dim, dim)
+			if !gemmParallel32(dim, dim, dim) {
+				t.Fatalf("expected %d^3 to take the pooled path", dim)
+			}
+			got := NewMatrix32(dim, dim)
+			want := NewMatrix32(dim, dim)
+			MatMul32(got, a, b)
+			NaiveMatMul32(want, a, b)
+			checkRel32(t, "MatMul32", got, want, absScale32(a, b))
+		})
+	}
+}
+
+// TestKernelCPanelSplit32 pins the K-split schedule itself: correct vs the
+// oracle at several task counts, and bitwise deterministic across repeat
+// runs at a fixed pool size (the fold order is a function of (K, tasks)
+// only).
+func TestKernelCPanelSplit32(t *testing.T) {
+	forceParallelism(t, 4)
+	rng := rand.New(rand.NewSource(77))
+	const m, k, n = 96, 520, 70 // K spans 5 panels; rows below the coarse grain
+	a := randMatrix32(rng, m, k)
+	b := randMatrix32(rng, k, n)
+	want := NewMatrix32(m, n)
+	NaiveMatMul32(want, a, b)
+	scale := absScale32(a, b)
+	var first []float32
+	for _, par := range []int{2, 3, 4} {
+		got := NewMatrix32(m, n)
+		cPanelSplit32(got, k, par, func(panel *Matrix32, k0, k1 int) {
+			matMulKPanel32(panel, a, b, 0, m, k0, k1)
+		})
+		checkRel32(t, fmt.Sprintf("cPanelSplit32/par=%d", par), got, want, scale)
+		if par == 4 {
+			first = append([]float32(nil), got.Data...)
+		}
+	}
+	again := NewMatrix32(m, n)
+	cPanelSplit32(again, k, 4, func(panel *Matrix32, k0, k1 int) {
+		matMulKPanel32(panel, a, b, 0, m, k0, k1)
+	})
+	for i := range again.Data {
+		if again.Data[i] != first[i] {
+			t.Fatalf("K-split not deterministic at fixed par: elem %d %v vs %v",
+				i, again.Data[i], first[i])
+		}
+	}
+}
+
+// TestKernelVector32Ops checks the f32 vector kernels against scalar
+// references.
+func TestKernelVector32Ops(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 129} {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Float64()*2 - 1)
+			y[i] = float32(rng.Float64()*2 - 1)
+		}
+
+		var dotWant, sumWant float64
+		for i := range x {
+			dotWant += float64(x[i]) * float64(y[i])
+			sumWant += float64(x[i])
+		}
+		if d := math.Abs(float64(Dot32(x, y)) - dotWant); d > 1e-4 {
+			t.Fatalf("Dot32 n=%d diff %g", n, d)
+		}
+		if d := math.Abs(float64(Sum32(x)) - sumWant); d > 1e-4 {
+			t.Fatalf("Sum32 n=%d diff %g", n, d)
+		}
+
+		yc := append([]float32(nil), y...)
+		Axpy32(0.5, x, yc)
+		for i := range yc {
+			want := y[i] + 0.5*x[i]
+			if d := math.Abs(float64(yc[i]) - float64(want)); d > 1e-5 {
+				t.Fatalf("Axpy32 n=%d elem %d diff %g", n, i, d)
+			}
+		}
+
+		dst := append([]float32(nil), y...)
+		AddTo32(dst, x)
+		for i := range dst {
+			if dst[i] != y[i]+x[i] {
+				t.Fatalf("AddTo32 n=%d elem %d got %v want %v", n, i, dst[i], y[i]+x[i])
+			}
+		}
+	}
+}
+
+// TestKernelScratch32 pins the arena contract: zeroed handouts, buffer
+// reuse across Reset, nil-receiver fallback.
+func TestKernelScratch32(t *testing.T) {
+	var s Scratch32
+	m1 := s.Take(3, 4)
+	for i := range m1.Data {
+		m1.Data[i] = 7
+	}
+	m2 := s.Take(2, 2)
+	if m2.Rows != 2 || m2.Cols != 2 {
+		t.Fatalf("Take shape: got %dx%d", m2.Rows, m2.Cols)
+	}
+	s.Reset()
+	m3 := s.Take(3, 4)
+	if &m3.Data[0] != &m1.Data[0] {
+		t.Fatal("Take after Reset should reuse the first buffer")
+	}
+	for i, v := range m3.Data {
+		if v != 0 {
+			t.Fatalf("Take returned dirty matrix at %d: %v", i, v)
+		}
+	}
+	var nilS *Scratch32
+	m := nilS.Take(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatal("nil Scratch32 Take should allocate")
+	}
+	nilS.Reset() // must not panic
+
+	rv := NewMatrix32(2, 3)
+	AddRowVec32(rv, []float32{1, 2, 3})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if rv.At(i, j) != float32(j+1) {
+				t.Fatalf("AddRowVec32 (%d,%d) got %v", i, j, rv.At(i, j))
+			}
+		}
+	}
+}
+
+// TestKernelMatrix32Convert round-trips the widen/narrow helpers.
+func TestKernelMatrix32Convert(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMatrix(rng, 4, 6)
+	m32 := FromMatrix32(m)
+	back := m32.ToMatrix()
+	for i := range m.Data {
+		if d := math.Abs(back.Data[i] - m.Data[i]); d > 1e-7*math.Abs(m.Data[i])+1e-9 {
+			t.Fatalf("round trip elem %d: %v vs %v", i, back.Data[i], m.Data[i])
+		}
+	}
+}
