@@ -1,0 +1,187 @@
+package cardest
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReloadablePublishesAndPins(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.3, Seed: 301})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Harden(base, ServeOptions{})
+	rel := NewReloadable(first)
+	if rel.Estimator() != first {
+		t.Fatal("Estimator() is not the published generation")
+	}
+	if rel.Generation() != ModelGeneration() {
+		t.Fatalf("generation %d, want current ModelGeneration %d", rel.Generation(), ModelGeneration())
+	}
+
+	est, gen, release := rel.Acquire()
+	if est != first || gen != rel.Generation() {
+		t.Fatal("Acquire returned a different generation than published")
+	}
+	release()
+}
+
+func TestReloadableSwapStampsFreshGeneration(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.3, Seed: 302})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := NewReloadable(Harden(base, ServeOptions{}))
+	before := rel.Generation()
+
+	// The production reload path goes through Load, which bumps the
+	// process-wide stamp before the swap publishes it.
+	bumpModelGeneration()
+	next := Harden(base, ServeOptions{})
+	gen, old := rel.Swap(next)
+	if gen != ModelGeneration() || gen <= before {
+		t.Fatalf("swap stamped %d, want fresh ModelGeneration > %d", gen, before)
+	}
+	if rel.Estimator() != next {
+		t.Fatal("swap did not publish the new estimator")
+	}
+	if old.InFlight() != 0 {
+		t.Fatalf("idle old generation reports %d in flight", old.InFlight())
+	}
+	if err := old.Wait(context.Background()); err != nil {
+		t.Fatalf("drain of an idle generation: %v", err)
+	}
+}
+
+// TestReloadableSwapWaitsForPinnedRequests pins a request on the old
+// generation, swaps, and checks the drain observes it until release —
+// the zero-downtime core: old generations drain, they are never torn down
+// under a caller.
+func TestReloadableSwapWaitsForPinnedRequests(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.3, Seed: 303})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Harden(base, ServeOptions{})
+	rel := NewReloadable(first)
+
+	pinnedEst, _, release := rel.Acquire()
+	_, old := rel.Swap(Harden(base, ServeOptions{}))
+	if got := old.InFlight(); got != 1 {
+		t.Fatalf("drain sees %d in flight, want the pinned request", got)
+	}
+	if pinnedEst != first {
+		t.Fatal("pinned request lost its generation across the swap")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := old.Wait(ctx); err == nil {
+		t.Fatal("drain completed while a request was still pinned")
+	}
+
+	release()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := old.Wait(ctx2); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+
+	// New acquisitions land on the new generation only.
+	est2, _, release2 := rel.Acquire()
+	if est2 == first {
+		t.Fatal("post-swap Acquire returned the drained generation")
+	}
+	release2()
+}
+
+// TestReloadableAcquireRaceNeverLosesPins hammers Acquire/Swap concurrently:
+// every swap's drain must eventually reach zero (no pin may land invisibly
+// on a superseded generation), which is exactly the re-check retry loop's
+// guarantee.
+func TestReloadableAcquireRaceNeverLosesPins(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, nil, TrainOptions{Method: "sampling", SampleRatio: 0.3, Seed: 304})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := NewReloadable(Harden(base, ServeOptions{}))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, release := rel.Acquire()
+				release()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		_, old := rel.Swap(Harden(base, ServeOptions{}))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := old.Wait(ctx); err != nil {
+			cancel()
+			close(stop)
+			wg.Wait()
+			t.Fatalf("swap %d: superseded generation never drained: %v", i, err)
+		}
+		cancel()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNoStaleCacheAcrossGenerationSwap is the mid-reload staleness
+// guarantee end to end on the hardened path: entries filled under the old
+// generation are invisible after the stamp moves, and the next request
+// re-fills through the new model.
+func TestNoStaleCacheAcrossGenerationSwap(t *testing.T) {
+	f := getFixture(t)
+	base, err := Train(f.ds, f.train, TrainOptions{Method: "mlp", Epochs: 5, Seed: 305})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingEstimator{Estimator: base}
+	cache := newTestCache(t, f, 128, 6)
+	robust := Harden(counting, ServeOptions{Cache: cache})
+
+	// An in-band τ (inside the anchor range), so the cache path engages.
+	q, tau := f.test[0].Vec, f.ds.TauMax()/2
+	modelCalls := func() int64 { return counting.batched.Load() + counting.searches.Load() }
+	if _, err := robust.EstimateSearchCtx(context.Background(), q, tau); err != nil {
+		t.Fatal(err)
+	}
+	fillsAfterFirst := modelCalls()
+	if fillsAfterFirst == 0 {
+		t.Fatal("first lookup did not fill through the model")
+	}
+	if _, err := robust.EstimateSearchCtx(context.Background(), q, tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := modelCalls(); got != fillsAfterFirst {
+		t.Fatalf("repeat lookup reached the model (%d → %d calls), want a cache hit", fillsAfterFirst, got)
+	}
+
+	// A reload lands: Load bumps the process-wide stamp. The very next
+	// lookup must miss and re-fill — no stale-generation estimate.
+	bumpModelGeneration()
+	if _, err := robust.EstimateSearchCtx(context.Background(), q, tau); err != nil {
+		t.Fatal(err)
+	}
+	if got := modelCalls(); got <= fillsAfterFirst {
+		t.Fatalf("post-swap lookup served from the stale cache (%d calls)", got)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"simquery/cardest"
+	"simquery/internal/serving"
+)
+
+// trainAndSave produces a serializable checkpoint the cluster can load.
+func trainAndSave(t *testing.T, ds *cardest.Dataset, train []cardest.Query, seed int64) string {
+	t.Helper()
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{Method: "qes", Epochs: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := cardest.Save(est, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testClusterOptions(modelPath string) clusterOptions {
+	return clusterOptions{
+		modelPath: modelPath, profile: "imagenet",
+		n: 600, clusters: 6, seed: 11,
+		replicas: 2, addr: "127.0.0.1:0",
+		deadline: time.Second, maxInflight: 16,
+		retryAfter:   20 * time.Millisecond,
+		cacheEntries: 128, cacheAnchors: 6,
+	}
+}
+
+func TestStartClusterServesAndReloads(t *testing.T) {
+	ds, err := cardest.GenerateProfile("imagenet", 600, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 12, TestPoints: 4, ThresholdsPerPoint: 2, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := trainAndSave(t, ds, train, 61)
+
+	cluster, err := startCluster(testClusterOptions(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if len(cluster.Replicas) != 2 || len(cluster.URLs()) != 2 {
+		t.Fatalf("%d replicas, want 2", len(cluster.Replicas))
+	}
+
+	// Dispatch through the router exactly as clients do.
+	router, err := serving.NewRouter(cluster.URLs(), serving.RouterOptions{DisableHedge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	res, err := router.Estimate(t.Context(), [][]float64{test[0].Vec}, []float64{test[0].Tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 1 || res.Estimates[0] < 0 {
+		t.Fatalf("estimates %v", res.Estimates)
+	}
+	firstGen := res.Generation
+
+	// Reload each replica onto a fresh checkpoint: generations advance and
+	// serving continues.
+	path2 := trainAndSave(t, ds, train, 62)
+	for _, u := range cluster.URLs() {
+		body, _ := json.Marshal(map[string]string{"path": path2})
+		resp, err := http.Post(u+"/reload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %s: status %d", u, resp.StatusCode)
+		}
+	}
+	res2, err := router.Estimate(t.Context(), [][]float64{test[0].Vec}, []float64{test[0].Tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Generation <= firstGen {
+		t.Fatalf("post-reload generation %d, want > %d", res2.Generation, firstGen)
+	}
+}
+
+func TestStartClusterValidation(t *testing.T) {
+	o := testClusterOptions("/nonexistent.model")
+	o.replicas = 0
+	if _, err := startCluster(o); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	o = testClusterOptions("/nonexistent.model")
+	if _, err := startCluster(o); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestReplicaAddr(t *testing.T) {
+	cases := []struct {
+		base string
+		i    int
+		want string
+	}{
+		{"127.0.0.1:0", 2, "127.0.0.1:0"},
+		{"127.0.0.1:9000", 0, "127.0.0.1:9000"},
+		{"127.0.0.1:9000", 3, "127.0.0.1:9003"},
+		{"localhost", 1, "localhost"},
+	}
+	for _, c := range cases {
+		if got := replicaAddr(c.base, c.i); got != c.want {
+			t.Errorf("replicaAddr(%q, %d) = %q, want %q", c.base, c.i, got, c.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@
 package estcache
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -36,6 +37,15 @@ import (
 
 	"simquery/internal/telemetry"
 )
+
+// ErrStaleGeneration reports that a fill (or a shared flight) started under
+// a generation that was superseded — by SetGeneration or Invalidate — before
+// its result could be served. Callers treat it like any other fill fault:
+// answer through the uncached path and let the next lookup refill under the
+// new generation. Without this check a fill computed by the *old* model but
+// stored after a reload would be stamped with the *new* generation and served
+// as a fresh hit.
+var ErrStaleGeneration = errors.New("estcache: generation superseded during fill")
 
 // quantMask drops the low 28 bits of the float64 mantissa, keeping ~24
 // significant bits (float32-ish precision) so queries differing only by
@@ -99,9 +109,11 @@ type shard struct {
 }
 
 // flight is one in-progress fill; waiters block on wg and read ests/err
-// after Done.
+// after Done. gen records the generation the fill started under, so a
+// waiter that joins across a reload can detect (and refuse) a stale share.
 type flight struct {
 	wg   sync.WaitGroup
+	gen  uint64
 	ests []float64
 	err  error
 }
@@ -404,7 +416,7 @@ func (c *Cache) Put(q []float64, ests []float64) error {
 	if err != nil {
 		return err
 	}
-	c.put(h1, h2, clamped)
+	c.put(h1, h2, clamped, c.gen.Load())
 	return nil
 }
 
@@ -427,9 +439,11 @@ func (c *Cache) clamp(ests []float64) ([]float64, error) {
 	return out, nil
 }
 
-// put installs the already-clamped slice.
-func (c *Cache) put(h1, h2 uint64, clamped []float64) {
-	gen := c.gen.Load()
+// put installs the already-clamped slice under gen — the generation its
+// values were computed under, which a concurrent SetGeneration may already
+// have superseded (the entry is then born stale and the next lookup evicts
+// it, rather than serving old-model values under the new stamp).
+func (c *Cache) put(h1, h2 uint64, clamped []float64, gen uint64) {
 	var expire int64
 	if c.ttl > 0 {
 		expire = time.Now().Add(c.ttl).UnixNano()
@@ -495,6 +509,7 @@ func (c *Cache) GetOrFillOutcome(q []float64, tau float64, fill func(anchors []f
 		return 0, OutcomeFilled, fmt.Errorf("estcache: τ=%v outside anchor band [%v, %v]", tau, c.anchors[0], c.anchors[len(c.anchors)-1])
 	}
 	h1, h2 := Fingerprint(q)
+	gen := c.gen.Load()
 	s := &c.shards[h1&c.mask]
 	s.mu.Lock()
 	if fl := s.flights[h1]; fl != nil {
@@ -503,10 +518,15 @@ func (c *Cache) GetOrFillOutcome(q []float64, tau float64, fill func(anchors []f
 		if fl.err != nil {
 			return 0, OutcomeShared, fl.err
 		}
+		if fl.gen != c.gen.Load() {
+			// The flight was computed by a model generation that a reload has
+			// since replaced; sharing it would serve a stale estimate.
+			return 0, OutcomeShared, ErrStaleGeneration
+		}
 		v, _ := c.interpolate(fl.ests, tau)
 		return v, OutcomeShared, nil
 	}
-	fl := &flight{}
+	fl := &flight{gen: gen}
 	fl.wg.Add(1)
 	s.flights[h1] = fl
 	s.mu.Unlock()
@@ -524,7 +544,9 @@ func (c *Cache) GetOrFillOutcome(q []float64, tau float64, fill func(anchors []f
 	if err != nil {
 		return 0, OutcomeFilled, err
 	}
-	c.put(h1, h2, clamped)
+	// Stamp with the generation captured before the fill: if a reload landed
+	// mid-fill the entry is born stale and can never satisfy a lookup.
+	c.put(h1, h2, clamped, gen)
 	v, _ := c.interpolate(clamped, tau)
 	return v, OutcomeFilled, nil
 }

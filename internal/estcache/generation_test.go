@@ -1,0 +1,140 @@
+package estcache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newGenCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{Entries: 64, Anchors: []float64{0.1, 0.2, 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFillStraddlingGenerationBumpIsBornStale reloads mid-fill: the fill
+// started under generation g, the stamp moves to g+1 before the result is
+// stored. The caller still gets its (old-model, but correct-for-its-pin)
+// answer, and the stored entry must be invisible to every later lookup —
+// not stamped with the new generation it never computed under.
+func TestFillStraddlingGenerationBumpIsBornStale(t *testing.T) {
+	c := newGenCache(t)
+	c.SetGeneration(1)
+	q := []float64{1, 2, 3}
+
+	v, outcome, err := c.GetOrFillOutcome(q, 0.2, func(anchors []float64) ([]float64, error) {
+		c.SetGeneration(2) // the reload lands while the fill runs
+		return []float64{10, 20, 40}, nil
+	})
+	if err != nil || outcome != OutcomeFilled {
+		t.Fatalf("fill: v=%v outcome=%v err=%v", v, outcome, err)
+	}
+	if v != 20 {
+		t.Fatalf("filler's own answer %v, want 20", v)
+	}
+	if _, ok := c.Get(q, 0.2); ok {
+		t.Fatal("lookup under generation 2 served an entry computed under generation 1")
+	}
+}
+
+// TestSharedFlightAcrossGenerationRejected joins a singleflight fill, then
+// the generation moves before the flight completes: the waiter must get
+// ErrStaleGeneration instead of sharing the old-model result.
+func TestSharedFlightAcrossGenerationRejected(t *testing.T) {
+	c := newGenCache(t)
+	c.SetGeneration(1)
+	q := []float64{4, 5, 6}
+
+	fillEntered := make(chan struct{})
+	fillRelease := make(chan struct{})
+	var fillErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, fillErr = c.GetOrFillOutcome(q, 0.2, func([]float64) ([]float64, error) {
+			close(fillEntered)
+			<-fillRelease
+			return []float64{1, 2, 3}, nil
+		})
+	}()
+	<-fillEntered
+
+	waiterDone := make(chan struct{})
+	var waitOutcome Outcome
+	var waitErr error
+	go func() {
+		defer close(waiterDone)
+		_, waitOutcome, waitErr = c.GetOrFillOutcome(q, 0.2, func([]float64) ([]float64, error) {
+			t.Error("waiter ran its own fill instead of joining the flight")
+			return []float64{1, 2, 3}, nil
+		})
+	}()
+	// Give the waiter a beat to join the flight, then land the reload.
+	time.Sleep(50 * time.Millisecond)
+	c.SetGeneration(2)
+	close(fillRelease)
+	wg.Wait()
+	<-waiterDone
+
+	if fillErr != nil {
+		t.Fatalf("filler errored: %v", fillErr)
+	}
+	if waitOutcome != OutcomeShared {
+		t.Fatalf("waiter outcome %v, want shared", waitOutcome)
+	}
+	if !errors.Is(waitErr, ErrStaleGeneration) {
+		t.Fatalf("waiter error %v, want ErrStaleGeneration", waitErr)
+	}
+	// The filled entry itself is born stale too.
+	if _, ok := c.Get(q, 0.2); ok {
+		t.Fatal("generation-2 lookup served the generation-1 fill")
+	}
+}
+
+// TestSameGenerationFlightStillShares is the control: with no reload in
+// between, waiters share the flight result as before.
+func TestSameGenerationFlightStillShares(t *testing.T) {
+	c := newGenCache(t)
+	c.SetGeneration(3)
+	q := []float64{7, 8, 9}
+
+	fillEntered := make(chan struct{})
+	fillRelease := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.GetOrFillOutcome(q, 0.2, func([]float64) ([]float64, error) {
+			close(fillEntered)
+			<-fillRelease
+			return []float64{10, 20, 40}, nil
+		})
+	}()
+	<-fillEntered
+
+	done := make(chan struct{})
+	var v float64
+	var outcome Outcome
+	var err error
+	go func() {
+		defer close(done)
+		v, outcome, err = c.GetOrFillOutcome(q, 0.2, func([]float64) ([]float64, error) {
+			// Joined too late and became the filler: return the same values
+			// so the assertion still checks the interpolation, not timing.
+			return []float64{10, 20, 40}, nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(fillRelease)
+	wg.Wait()
+	<-done
+
+	if err != nil || outcome != OutcomeShared || v != 20 {
+		t.Fatalf("share: v=%v outcome=%v err=%v, want 20/shared/nil", v, outcome, err)
+	}
+}

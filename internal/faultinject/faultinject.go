@@ -81,11 +81,28 @@ type Point struct {
 //	             wrapper (NaN injection).
 //	SaveCommit — in cardest.Save between the temp-file fsync and the
 //	             rename that publishes the checkpoint (kill testing).
+//
+// The serving tier (internal/serving) adds three network-boundary points,
+// all placed at the top of the replica's /estimate handler:
+//
+//	ReplicaStall — sleep-only plans: the replica goes slow without
+//	               failing, the signal hedged dispatch must catch.
+//	ReplicaKill  — a triggered call shuts the whole replica down
+//	               (listener and in-flight connections close), so the
+//	               client sees a connection reset now and connection
+//	               refused afterwards — the crash the retry/hedge path
+//	               must absorb.
+//	ConnReset    — the handler aborts just this response without a
+//	               status line (the client reads an EOF/reset), leaving
+//	               the replica itself healthy.
 var (
-	PoolTask   = NewPoint("tensor.pool.task")
-	LocalEval  = NewPoint("model.local_eval")
-	Output     = NewPoint("estimate.output")
-	SaveCommit = NewPoint("cardest.save.commit")
+	PoolTask     = NewPoint("tensor.pool.task")
+	LocalEval    = NewPoint("model.local_eval")
+	Output       = NewPoint("estimate.output")
+	SaveCommit   = NewPoint("cardest.save.commit")
+	ReplicaStall = NewPoint("serving.replica.stall")
+	ReplicaKill  = NewPoint("serving.replica.kill")
+	ConnReset    = NewPoint("serving.conn.reset")
 )
 
 // registry backs Reset; guarded by a mutex because points are registered at

@@ -178,3 +178,40 @@ func TestCloseIsIdempotent(t *testing.T) {
 		t.Fatal("offer after Close was labeled")
 	}
 }
+
+// TestCloseDrainsQueuedProbes parks the worker behind a gate, queues a
+// backlog, then closes while the backlog is still in the channel: Close must
+// label every queued probe before returning — shutdown drains, it does not
+// discard (the serving tier relies on this when a replica swaps generations
+// and tears down the old pipeline).
+func TestCloseDrainsQueuedProbes(t *testing.T) {
+	liveRegistry(t)
+	gate := make(chan struct{})
+	first := true
+	p := New(func(q []float64, tau float64) (float64, error) {
+		if first {
+			first = false
+			<-gate
+		}
+		return 1, nil
+	}, Config{SampleEvery: 1, QueueDepth: 32, Workers: 1})
+
+	for i := 0; i < 10; i++ {
+		p.Offer([]float64{float64(i)}, 0.5, "GL", 2)
+	}
+	if got := p.Dropped(); got != 0 {
+		t.Fatalf("backlog within QueueDepth dropped %d probes", got)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Close()
+	}()
+	close(gate)
+	<-done
+
+	if got := p.Completed(); got != 10 {
+		t.Fatalf("Close returned with %d/10 probes labeled — the queue was not drained", got)
+	}
+}

@@ -94,6 +94,16 @@ const (
 	FlagError
 	// FlagBatch: the trace covers one batched estimate call.
 	FlagBatch
+	// FlagRetried: the serving router re-dispatched this request to a
+	// sibling replica after a failed or shed attempt.
+	FlagRetried
+	// FlagHedged: the serving router launched a hedge copy of this request
+	// to a sibling replica after the p99-derived hedge delay.
+	FlagHedged
+	// FlagReloaded: the answering replica swapped model generations while
+	// this request was in flight (the response carries the generation that
+	// actually answered).
+	FlagReloaded
 )
 
 // flagNames renders set flags in JSON and logs, in declaration order.
@@ -111,6 +121,9 @@ var flagNames = []struct {
 	{FlagDeadline, "deadline"},
 	{FlagError, "error"},
 	{FlagBatch, "batch"},
+	{FlagRetried, "retried"},
+	{FlagHedged, "hedged"},
+	{FlagReloaded, "reloaded"},
 }
 
 // Names returns the set flags as strings (nil for zero flags).
@@ -408,6 +421,26 @@ func StartRequest(ctx context.Context, method string, tau float64) (context.Cont
 		return ctx, nil
 	}
 	return NewContext(ctx, t), t
+}
+
+// detachedIDs numbers detached traces so log lines can join on them; the
+// high bit keeps them from colliding with tracer-issued IDs.
+var detachedIDs atomic.Uint64
+
+// NewDetached returns a trace bound to no tracer: Finish computes the
+// latency but publishes nothing. Serving handlers use it to observe
+// per-request outcome flags (degraded, shed, cache path) through the
+// hardened wrappers even when flight recording is off — put it in the
+// request context with NewContext and the wrappers record into it exactly
+// as they would into a sampled trace.
+func NewDetached(method string, tau float64) *Trace {
+	return &Trace{
+		ID:        detachedIDs.Add(1) | 1<<63,
+		Start:     time.Now(),
+		Method:    method,
+		Tau:       tau,
+		BatchSize: 1,
+	}
 }
 
 // Ensure returns the request trace: the one already carried by ctx

@@ -1,0 +1,304 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"simquery/cardest"
+	"simquery/internal/faultinject"
+)
+
+// The chaos suite (picked up by `make chaos` and the serving-chaos CI job
+// via -run TestChaos) proves the serving tier's availability contract end to
+// end against injected faults: replica death is retried or hedged, overload
+// sheds and the router backs off, connection resets are absorbed, total
+// shard loss degrades to the local sampling tier, and reloads under load
+// never surface an error or a stale-generation answer. The client sees
+// answers, never errors.
+
+// chaosCluster boots n real replicas over fresh hardened sampling models
+// and a router on top of them.
+func chaosCluster(t *testing.T, n int, opts RouterOptions) ([]*Replica, *Router) {
+	t.Helper()
+	urls := make([]string, n)
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		reps[i] = startReplica(t, newHardened(t, 100+int64(i), cardest.ServeOptions{}), ReplicaConfig{
+			Name: string(rune('a' + i)),
+		})
+		urls[i] = reps[i].URL()
+	}
+	r, err := NewRouter(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return reps, r
+}
+
+// driveN sends count sequential batch requests through the router and fails
+// the test on any client-visible error.
+func driveN(t *testing.T, r *Router, count int) (degraded, fallback int) {
+	t.Helper()
+	f := getFixture(t)
+	for i := 0; i < count; i++ {
+		k := i % len(f.queries)
+		res, err := r.Estimate(context.Background(), f.queries[k:k+1], f.taus[k:k+1])
+		if err != nil {
+			t.Fatalf("request %d surfaced an error to the client: %v", i, err)
+		}
+		if len(res.Estimates) != 1 {
+			t.Fatalf("request %d: %d estimates, want 1", i, len(res.Estimates))
+		}
+		if res.Degraded {
+			degraded++
+		}
+		if res.Fallback {
+			fallback++
+		}
+	}
+	return degraded, fallback
+}
+
+// TestChaosServingReplicaKill injects a mid-run replica crash (listener and
+// in-flight connections die without a status line) and requires zero
+// client-visible errors: the struck request is retried or hedged to a
+// sibling, later requests route around the corpse.
+func TestChaosServingReplicaKill(t *testing.T) {
+	defer faultinject.Reset()
+	reps, router := chaosCluster(t, 3, RouterOptions{
+		Fallback:    newSampling(t, 41),
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		HedgeFloor: 30 * time.Millisecond,
+		Seed:       1,
+	})
+	// The 10th /estimate across the cluster kills whichever replica serves
+	// it. (Injection points are process-global; all replicas share them.)
+	faultinject.ReplicaKill.Set(&faultinject.Plan{PanicOn: 10})
+
+	driveN(t, router, 60)
+
+	killed := 0
+	for _, rep := range reps {
+		if rep.Killed() {
+			killed++
+		}
+	}
+	if killed != 1 {
+		t.Fatalf("%d replicas killed, want exactly 1", killed)
+	}
+	st := router.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("stats %+v: client-visible errors after a replica kill", st)
+	}
+	if st.Retries == 0 && st.Hedges == 0 {
+		t.Errorf("stats %+v: the killed request was neither retried nor hedged", st)
+	}
+}
+
+// TestChaosServingConnReset resets ~25% of responses mid-flight (no status
+// line, connection dies) and requires every request to still be answered.
+func TestChaosServingConnReset(t *testing.T) {
+	defer faultinject.Reset()
+	_, router := chaosCluster(t, 2, RouterOptions{
+		Fallback:    newSampling(t, 42),
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		DisableHedge: true,
+		Seed:         2,
+	})
+	faultinject.ConnReset.Set(&faultinject.Plan{PanicOn: 1, Repeat: true, Prob: 0.25, Seed: 7})
+
+	driveN(t, router, 80)
+
+	st := router.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("stats %+v: resets leaked to the client", st)
+	}
+	if st.Retries == 0 {
+		t.Errorf("stats %+v: no retries despite a 25%% reset rate over 80 requests", st)
+	}
+}
+
+// TestChaosServingOverload saturates one-slot replicas with concurrent
+// traffic and requires the overload ladder to hold: replicas shed with 429,
+// the router honors the advertised windows and retries siblings or degrades
+// locally — and the client still never sees an error.
+func TestChaosServingOverload(t *testing.T) {
+	f := getFixture(t)
+	urls := make([]string, 2)
+	for i := range urls {
+		slow := &slowEstimator{Estimator: newSampling(t, 50+int64(i)), delay: 30 * time.Millisecond}
+		est := cardest.Harden(slow, cardest.ServeOptions{MaxInFlight: 1})
+		rep := startReplica(t, est, ReplicaConfig{RetryAfter: 5 * time.Millisecond})
+		urls[i] = rep.URL()
+	}
+	router, err := NewRouter(urls, RouterOptions{
+		Fallback:     newSampling(t, 52),
+		DisableHedge: true,
+		BackoffBase:  time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Deadline: 5 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				k := (g*6 + i) % len(f.queries)
+				if _, err := router.Estimate(context.Background(), f.queries[k:k+1], f.taus[k:k+1]); err != nil {
+					errCh <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("client-visible error under overload: %v", err)
+	}
+	st := router.Stats()
+	if st.Shed == 0 {
+		t.Errorf("stats %+v: one-slot replicas under 8-way load never shed", st)
+	}
+}
+
+// TestChaosServingTotalLoss takes every replica down and requires degraded
+// sampling-fallback answers, never errors.
+func TestChaosServingTotalLoss(t *testing.T) {
+	reps, router := chaosCluster(t, 2, RouterOptions{
+		Fallback:    newSampling(t, 43),
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		DisableHedge: true,
+		Seed:         4,
+	})
+	for _, rep := range reps {
+		rep.Kill()
+	}
+	degraded, fallback := driveN(t, router, 20)
+	if fallback != 20 || degraded != 20 {
+		t.Fatalf("%d/20 fallback, %d/20 degraded — total loss must degrade every answer", fallback, degraded)
+	}
+	if st := router.Stats(); st.Errors != 0 {
+		t.Fatalf("stats %+v: total loss surfaced errors", st)
+	}
+}
+
+// TestChaosServingStallHedged slows a fraction of responses far past the
+// hedge delay and requires hedges to fire and absorb the stalls.
+func TestChaosServingStallHedged(t *testing.T) {
+	defer faultinject.Reset()
+	_, router := chaosCluster(t, 2, RouterOptions{
+		HedgeFloor:  20 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+		Deadline: 5 * time.Second,
+		Seed:     5,
+	})
+	faultinject.ReplicaStall.Set(&faultinject.Plan{
+		SlowOn: 1, SlowFor: 250 * time.Millisecond, Repeat: true, Prob: 0.3, Seed: 9,
+	})
+
+	driveN(t, router, 40)
+
+	st := router.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("stats %+v: stalls surfaced errors", st)
+	}
+	if st.Hedges == 0 {
+		t.Errorf("stats %+v: no hedges despite 30%% stalls at 12.5x the hedge delay", st)
+	}
+}
+
+// TestChaosServingReloadUnderLoad swaps the model mid-traffic and requires
+// zero request failures and no stale-generation answers: every response
+// carries the generation it was pinned to, the sequence never goes
+// backwards, and post-reload answers carry the new stamp.
+func TestChaosServingReloadUnderLoad(t *testing.T) {
+	f := getFixture(t)
+	path := saveQESModel(t, 44)
+	loader := func(p string) (*cardest.RobustEstimator, error) {
+		e, err := cardest.Load(p, f.ds)
+		if err != nil {
+			return nil, err
+		}
+		return cardest.Harden(e, cardest.ServeOptions{}), nil
+	}
+	rep := startReplica(t, newHardened(t, 45, cardest.ServeOptions{}), ReplicaConfig{Loader: loader})
+
+	stop := make(chan struct{})
+	type obs struct {
+		gen uint64
+		err string
+	}
+	var mu sync.Mutex
+	var seen []obs
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (g + i) % len(f.queries)
+				status, _, resp, fail := postEstimate(t, rep.URL(), EstimateRequest{
+					Queries: f.queries[k : k+1], Taus: f.taus[k : k+1],
+				})
+				o := obs{gen: resp.Generation}
+				if status != 200 {
+					o.err = fail.Error
+				}
+				mu.Lock()
+				seen = append(seen, o)
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	status, rr := postReload(t, rep.URL(), path)
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if status != 200 {
+		t.Fatalf("reload under load: status %d, want 200", status)
+	}
+	if !rr.Drained {
+		t.Error("old generation did not drain within the bound")
+	}
+	var oldGen, newGen uint64
+	for _, o := range seen {
+		if o.err != "" {
+			t.Fatalf("request failed during reload: %s", o.err)
+		}
+		if oldGen == 0 {
+			oldGen = o.gen
+		}
+		if o.gen != oldGen && o.gen != rr.Generation {
+			t.Fatalf("answer from unknown generation %d (old %d, new %d)", o.gen, oldGen, rr.Generation)
+		}
+		if o.gen == rr.Generation {
+			newGen = o.gen
+		}
+	}
+	if newGen == 0 {
+		t.Error("no answer ever arrived from the new generation")
+	}
+	// A fresh request after the dust settles must be served by the new model.
+	_, _, resp, _ := postEstimate(t, rep.URL(), EstimateRequest{Queries: f.queries[:1], Taus: f.taus[:1]})
+	if resp.Generation != rr.Generation {
+		t.Fatalf("post-reload answer from generation %d, want %d", resp.Generation, rr.Generation)
+	}
+}

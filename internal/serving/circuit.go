@@ -1,0 +1,122 @@
+package serving
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CircuitState is a replica circuit breaker's state. The state machine
+// (DESIGN.md §15):
+//
+//	Closed    —(consecutive failures ≥ threshold)→ Open
+//	Open      —(cooldown elapsed)→                 HalfOpen
+//	HalfOpen  —(probe succeeds)→                   Closed
+//	HalfOpen  —(probe fails)→                      Open (cooldown restarts)
+//
+// Failures are transport-level: connection errors, resets, 5xx. A 429 shed
+// is NOT a failure — an overloaded replica is healthy, it is telling the
+// router to back off — and feeds the cooling window instead (Router).
+type CircuitState int32
+
+// The circuit states; the numeric values are exported as the
+// simquery_serving_circuit_state gauge.
+const (
+	CircuitClosed CircuitState = iota
+	CircuitHalfOpen
+	CircuitOpen
+)
+
+// String implements fmt.Stringer.
+func (s CircuitState) String() string {
+	switch s {
+	case CircuitClosed:
+		return "closed"
+	case CircuitHalfOpen:
+		return "half-open"
+	case CircuitOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a lock-free per-replica circuit breaker fed by request
+// outcomes and background health probes. Allow is one atomic load on the
+// closed hot path.
+type Breaker struct {
+	threshold int64
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	state    atomic.Int32
+	fails    atomic.Int64 // consecutive failures while closed
+	openedAt atomic.Int64 // UnixNano of the open transition
+	probing  atomic.Bool  // half-open single-probe token
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (default 3) and retries one probe per cooldown (default 500ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{threshold: int64(threshold), cooldown: cooldown, now: time.Now}
+}
+
+// State returns the current circuit state (an open circuit whose cooldown
+// has elapsed still reports Open until an Allow claims the probe).
+func (b *Breaker) State() CircuitState { return CircuitState(b.state.Load()) }
+
+// Allow reports whether a request may be sent to this replica now. Closed:
+// always. Open: false until the cooldown elapses, then the circuit moves to
+// half-open and admits exactly one probe request. Half-open: only the probe
+// holder, until its outcome settles the state.
+func (b *Breaker) Allow() bool {
+	switch CircuitState(b.state.Load()) {
+	case CircuitClosed:
+		return true
+	case CircuitOpen:
+		if b.now().UnixNano()-b.openedAt.Load() < int64(b.cooldown) {
+			return false
+		}
+		// Cooldown elapsed: move to half-open and claim the single probe.
+		if b.state.CompareAndSwap(int32(CircuitOpen), int32(CircuitHalfOpen)) {
+			b.probing.Store(true)
+			return true
+		}
+		return false
+	default: // HalfOpen: the probe is already in flight.
+		return false
+	}
+}
+
+// Success records a healthy response: the circuit closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.fails.Store(0)
+	b.probing.Store(false)
+	b.state.Store(int32(CircuitClosed))
+}
+
+// Failure records a transport-level failure: a closed circuit opens once
+// the consecutive-failure streak reaches the threshold; a half-open probe
+// failure reopens immediately and restarts the cooldown.
+func (b *Breaker) Failure() {
+	if CircuitState(b.state.Load()) == CircuitHalfOpen {
+		b.trip()
+		return
+	}
+	if b.fails.Add(1) >= b.threshold {
+		b.trip()
+	}
+}
+
+// trip opens the circuit and restarts the cooldown clock.
+func (b *Breaker) trip() {
+	b.openedAt.Store(b.now().UnixNano())
+	b.probing.Store(false)
+	b.state.Store(int32(CircuitOpen))
+	b.fails.Store(0)
+}

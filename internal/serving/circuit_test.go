@@ -1,0 +1,123 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is an injectable clock for breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != CircuitClosed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected a request after %d failures", i+1)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != CircuitOpen {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != CircuitClosed {
+		t.Fatalf("interleaved successes: state %v, want closed (streak must reset)", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if got := b.State(); got != CircuitOpen {
+		t.Fatalf("state %v, want open", got)
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted before the cooldown elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker denied the half-open probe after cooldown")
+	}
+	if got := b.State(); got != CircuitHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if got := b.State(); got != CircuitClosed {
+		t.Fatalf("after probe success: state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker rejected a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker denied the half-open probe")
+	}
+	b.Failure()
+	if got := b.State(); got != CircuitOpen {
+		t.Fatalf("after probe failure: state %v, want open", got)
+	}
+	// The cooldown restarted at the probe failure, not the original trip.
+	clk.advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted before the restarted cooldown elapsed")
+	}
+	clk.advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker denied the probe after the restarted cooldown")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 500*time.Millisecond {
+		t.Fatalf("defaults: threshold=%d cooldown=%v, want 3/500ms", b.threshold, b.cooldown)
+	}
+}
+
+func TestCircuitStateString(t *testing.T) {
+	cases := map[CircuitState]string{
+		CircuitClosed:   "closed",
+		CircuitHalfOpen: "half-open",
+		CircuitOpen:     "open",
+		CircuitState(9): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("CircuitState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

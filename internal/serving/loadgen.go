@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig configures RunLoad.
+type LoadConfig struct {
+	// Rate is the arrival rate in requests per second (required > 0). The
+	// generator is open-loop: arrivals are scheduled on the wall clock at
+	// fixed spacing regardless of completions, so a slow or shedding server
+	// accumulates in-flight requests instead of silently throttling the
+	// offered load (the closed-loop coordination-omission trap).
+	Rate float64
+	// Duration bounds the run (required > 0).
+	Duration time.Duration
+	// Batch is the queries per request (0 = 1).
+	Batch int
+	// MaxInFlight caps concurrently outstanding requests as a generator
+	// self-protection only (0 = 4096); an arrival past the cap is counted
+	// as a drop, never silently delayed.
+	MaxInFlight int
+}
+
+// LoadResult is one load run's measurement. Latency percentiles are
+// measured from each request's *scheduled* arrival time, so queueing delay
+// from a saturated tier is charged to the server, not hidden.
+type LoadResult struct {
+	Sent, Completed, Errors, Drops int64
+	// Outcome counts, summed from per-request results: replies served
+	// degraded (replica fallback tier), by the router's local fallback,
+	// after a retry, and after a hedge.
+	Degraded, Fallback, Retried, Hedged int64
+	// Latency quantiles over completed requests.
+	P50, P99, P999, Max time.Duration
+	// AchievedRate is completed requests per second of wall time.
+	AchievedRate float64
+	Elapsed      time.Duration
+}
+
+// Target is the request sink RunLoad drives — Router.Estimate, or a stub
+// in tests.
+type Target func(ctx context.Context, qs [][]float64, taus []float64) (*Result, error)
+
+// RunLoad drives target with an open-loop arrival process: one request
+// every 1/Rate seconds for Duration, each picking its queries round-robin
+// from the supplied pool. It returns the latency distribution and outcome
+// counts; it never fails the run on request errors (they are counted).
+func RunLoad(ctx context.Context, target Target, queries [][]float64, taus []float64, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serving: load rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("serving: load duration must be positive, got %v", cfg.Duration)
+	}
+	if len(queries) == 0 || len(queries) != len(taus) {
+		return nil, fmt.Errorf("serving: %d queries but %d taus", len(queries), len(taus))
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	maxInFlight := int64(cfg.MaxInFlight)
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+
+	res := &LoadResult{}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+		inflight  atomic.Int64
+	)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	for i := 0; ; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if scheduled.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(scheduled); d > 0 {
+			if !sleepCtx(ctx, d) {
+				break
+			}
+		}
+		if inflight.Load() >= maxInFlight {
+			atomic.AddInt64(&res.Drops, 1)
+			continue
+		}
+		// Assemble the request's batch round-robin over the pool.
+		qs := make([][]float64, batch)
+		ts := make([]float64, batch)
+		for j := 0; j < batch; j++ {
+			k := (i*batch + j) % len(queries)
+			qs[j], ts[j] = queries[k], taus[k]
+		}
+		atomic.AddInt64(&res.Sent, 1)
+		inflight.Add(1)
+		wg.Add(1)
+		go func(scheduled time.Time) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			r, err := target(ctx, qs, ts)
+			lat := time.Since(scheduled) // from scheduled arrival: queue delay included
+			if err != nil {
+				atomic.AddInt64(&res.Errors, 1)
+				return
+			}
+			atomic.AddInt64(&res.Completed, 1)
+			if r.Degraded {
+				atomic.AddInt64(&res.Degraded, 1)
+			}
+			if r.Fallback {
+				atomic.AddInt64(&res.Fallback, 1)
+			}
+			if r.Retried {
+				atomic.AddInt64(&res.Retried, 1)
+			}
+			if r.Hedged {
+				atomic.AddInt64(&res.Hedged, 1)
+			}
+			mu.Lock()
+			latencies = append(latencies, lat)
+			mu.Unlock()
+		}(scheduled)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.AchievedRate = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		res.P50 = latencies[n/2]
+		res.P99 = latencies[(n-1)*99/100]
+		res.P999 = latencies[(n-1)*999/1000]
+		res.Max = latencies[n-1]
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var loadQueries = [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}
+var loadTaus = []float64{0.1, 0.2, 0.3}
+
+func TestRunLoadValidation(t *testing.T) {
+	ok := func(context.Context, [][]float64, []float64) (*Result, error) {
+		return &Result{}, nil
+	}
+	cases := []struct {
+		name string
+		cfg  LoadConfig
+		qs   [][]float64
+		taus []float64
+	}{
+		{"zero rate", LoadConfig{Duration: time.Second}, loadQueries, loadTaus},
+		{"zero duration", LoadConfig{Rate: 10}, loadQueries, loadTaus},
+		{"empty pool", LoadConfig{Rate: 10, Duration: time.Second}, nil, nil},
+		{"mismatched pool", LoadConfig{Rate: 10, Duration: time.Second}, loadQueries, loadTaus[:2]},
+	}
+	for _, tc := range cases {
+		if _, err := RunLoad(context.Background(), ok, tc.qs, tc.taus, tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRunLoadCountsAndPercentiles(t *testing.T) {
+	var calls atomic.Int64
+	target := func(_ context.Context, qs [][]float64, taus []float64) (*Result, error) {
+		calls.Add(1)
+		if len(qs) != 2 || len(taus) != 2 {
+			t.Errorf("batch %d/%d, want 2/2", len(qs), len(taus))
+		}
+		time.Sleep(time.Millisecond)
+		return &Result{Estimates: []float64{1, 2}}, nil
+	}
+	res, err := RunLoad(context.Background(), target, loadQueries, loadTaus, LoadConfig{
+		Rate: 200, Duration: 250 * time.Millisecond, Batch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent < 10 {
+		t.Fatalf("Sent = %d, want >= 10 at 200/s over 250ms", res.Sent)
+	}
+	if res.Completed != res.Sent || res.Errors != 0 || res.Drops != 0 {
+		t.Fatalf("result %+v, want all sent completed", res)
+	}
+	if res.Completed != calls.Load() {
+		t.Fatalf("Completed %d != target calls %d", res.Completed, calls.Load())
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 || res.Max < res.P999 {
+		t.Fatalf("percentiles not ordered: p50=%v p99=%v p999=%v max=%v", res.P50, res.P99, res.P999, res.Max)
+	}
+	if res.AchievedRate <= 0 {
+		t.Fatal("AchievedRate not computed")
+	}
+}
+
+func TestRunLoadCountsErrorsAndOutcomes(t *testing.T) {
+	var n atomic.Int64
+	target := func(context.Context, [][]float64, []float64) (*Result, error) {
+		switch n.Add(1) % 4 {
+		case 0:
+			return nil, errors.New("boom")
+		case 1:
+			return &Result{Degraded: true, Fallback: true}, nil
+		case 2:
+			return &Result{Retried: true, Hedged: true}, nil
+		}
+		return &Result{}, nil
+	}
+	res, err := RunLoad(context.Background(), target, loadQueries, loadTaus, LoadConfig{
+		Rate: 400, Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("error outcomes not counted")
+	}
+	if res.Degraded == 0 || res.Fallback == 0 || res.Retried == 0 || res.Hedged == 0 {
+		t.Errorf("outcome tallies missing: %+v", res)
+	}
+	if res.Completed+res.Errors != res.Sent {
+		t.Errorf("Completed %d + Errors %d != Sent %d", res.Completed, res.Errors, res.Sent)
+	}
+}
+
+// TestRunLoadOpenLoopDropsOverCap pins the open-loop contract: when every
+// request hangs, arrivals past MaxInFlight are counted as drops instead of
+// silently throttling the offered rate.
+func TestRunLoadOpenLoopDropsOverCap(t *testing.T) {
+	release := make(chan struct{})
+	target := func(ctx context.Context, _ [][]float64, _ []float64) (*Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &Result{}, nil
+	}
+	// Release the hung requests only after the arrival window has passed, so
+	// every post-cap arrival is a drop; without it wg.Wait would hang.
+	timer := time.AfterFunc(150*time.Millisecond, func() { close(release) })
+	defer timer.Stop()
+	res, err := RunLoad(context.Background(), target, loadQueries, loadTaus, LoadConfig{
+		Rate: 1000, Duration: 100 * time.Millisecond, MaxInFlight: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 5 {
+		t.Errorf("Sent = %d, want exactly MaxInFlight=5", res.Sent)
+	}
+	if res.Drops == 0 {
+		t.Error("no drops counted despite a saturated in-flight cap")
+	}
+}
+
+func TestRunLoadHonorsContextCancel(t *testing.T) {
+	target := func(context.Context, [][]float64, []float64) (*Result, error) {
+		return &Result{}, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunLoad(ctx, target, loadQueries, loadTaus, LoadConfig{
+		Rate: 10, Duration: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed > time.Second {
+		t.Fatalf("canceled run took %v", res.Elapsed)
+	}
+}

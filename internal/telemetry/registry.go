@@ -94,6 +94,15 @@ func NewRegistry() *Registry {
 	r.RegisterCounter(MetricProbesTotal, "Completed accuracy probes (exact label computed).", "")
 	r.RegisterCounter(MetricProbeDropped, "Sampled probes dropped because the probe queue was full.", "")
 	r.RegisterGauge(MetricProbeQueueDepth, "Current probe queue occupancy.", "")
+	r.RegisterCounter(MetricServingRequests, "Router-dispatched serving requests by final outcome.", LabelOutcome)
+	r.RegisterHistogram(MetricServingLatency, "End-to-end router request latency including retries and hedges.", "", LatencyBuckets())
+	r.RegisterCounter(MetricServingRetries, "Re-dispatches to a sibling replica after a failed or shed attempt.", "")
+	r.RegisterCounter(MetricServingHedges, "Hedge requests launched after the p99-derived hedge delay.", "")
+	r.RegisterCounter(MetricServingShedByReplica, "429 overload responses received from replicas.", "")
+	r.RegisterCounter(MetricServingFallbacks, "Requests answered by the router's local degraded tier.", "")
+	r.RegisterCounter(MetricServingReloads, "Completed zero-downtime model swaps (POST /reload).", "")
+	r.RegisterGauge(MetricServingCircuitState, "Replica circuit state: 0 closed, 1 half-open, 2 open.", LabelReplica)
+	r.RegisterCounter(MetricReplicaRequests, "Requests served by this replica process, by outcome.", LabelOutcome)
 	return r
 }
 

@@ -121,6 +121,33 @@ const (
 	MetricProbeDropped = "simquery_probe_dropped_total"
 	// MetricProbeQueueDepth is the current probe queue occupancy.
 	MetricProbeQueueDepth = "simquery_probe_queue_depth"
+	// MetricServingRequests counts router-dispatched requests by final
+	// outcome (LabelOutcome: ok, degraded, fallback, error).
+	MetricServingRequests = "simquery_serving_requests_total"
+	// MetricServingLatency observes end-to-end router request latency
+	// (dispatch through final answer, including retries and hedges).
+	MetricServingLatency = "simquery_serving_request_seconds"
+	// MetricServingRetries counts re-dispatches to a sibling replica after
+	// a failed or shed attempt.
+	MetricServingRetries = "simquery_serving_retries_total"
+	// MetricServingHedges counts hedge copies launched after the
+	// p99-derived hedge delay.
+	MetricServingHedges = "simquery_serving_hedges_total"
+	// MetricServingShedByReplica counts 429 responses received from
+	// replicas (the admission gate seen from the client side).
+	MetricServingShedByReplica = "simquery_serving_replica_shed_total"
+	// MetricServingFallbacks counts requests answered by the router's
+	// local degraded tier after every replica attempt failed.
+	MetricServingFallbacks = "simquery_serving_fallback_total"
+	// MetricServingReloads counts completed zero-downtime model swaps on
+	// replicas (POST /reload).
+	MetricServingReloads = "simquery_serving_reloads_total"
+	// MetricServingCircuitState reports each replica's circuit state
+	// (LabelReplica; 0 = closed, 1 = half-open, 2 = open).
+	MetricServingCircuitState = "simquery_serving_circuit_state"
+	// MetricReplicaRequests counts requests served by this replica process,
+	// labeled by outcome (ok, degraded, shed, deadline, error).
+	MetricReplicaRequests = "simquery_replica_requests_total"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving
@@ -144,6 +171,8 @@ const (
 	LabelStage   = "stage"
 	LabelFamily  = "family"
 	LabelTauBand = "tau_band"
+	LabelOutcome = "outcome"
+	LabelReplica = "replica"
 )
 
 // Recorder is the instrumentation surface the hot paths record through.
