@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck govulncheck lint verify bench bench-full bench-smoke bench-serving kernel-smoke chaos serving-chaos fuzz-smoke cover
+.PHONY: build test race vet fmt-check staticcheck govulncheck lint verify bench bench-full bench-smoke bench-serving kernel-smoke chaos serving-chaos retrain-chaos fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -55,11 +55,22 @@ chaos:
 
 # serving-chaos is the distributed-tier slice of the chaos suite on its own:
 # replica kill, connection reset, overload shedding, total shard loss, stall
-# hedging, and reload-under-load, all against real HTTP replicas
-# (DESIGN.md §15). `make chaos` already includes these; this target is the
-# fast loop while working on internal/serving.
+# hedging, reload-under-load, plus the online-adaptation pair — background
+# retrain under estimate load and mutation batches racing reloads — all
+# against real HTTP replicas (DESIGN.md §15, §16). `make chaos` already
+# includes these; this target is the fast loop while working on
+# internal/serving.
 serving-chaos:
-	$(GO) test -run TestChaosServing -race -count=2 ./internal/serving/
+	$(GO) test -run 'TestChaos(Serving|Retrain|Mutate)' -race -count=2 ./internal/serving/
+
+# retrain-chaos is the online-adaptation slice on its own: the adaptation
+# chaos pair (background retrain under estimate load; mutation batches
+# racing model reloads) plus the end-to-end proof that a mutation-drifted
+# tier detects the drift and retrains back to within 1.1× of a
+# from-scratch train (DESIGN.md §16).
+retrain-chaos:
+	$(GO) test -run 'TestChaos(Retrain|Mutate)' -race -count=2 ./internal/serving/
+	$(GO) test -run TestAdaptationEndToEnd -race -count=1 ./cardest/
 
 # fuzz-smoke gives each native fuzz target a short budget — enough to
 # replay the corpus and shake loose shallow parser/decoder crashes on every
@@ -71,6 +82,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseWorkers -fuzztime=$(FUZZTIME) ./internal/tensor/
 	$(GO) test -run='^$$' -fuzz=FuzzQuantize8 -fuzztime=$(FUZZTIME) ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzParsePredicate -fuzztime=$(FUZZTIME) ./cardest/plan/
+	$(GO) test -run='^$$' -fuzz=FuzzMutationLog -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run='^$$' -fuzz=FuzzDriftThreshold -fuzztime=$(FUZZTIME) ./internal/probe/
 
 # cover prints per-package coverage and fails if total statement coverage
 # drops below the recorded baseline (set just under the measured total;

@@ -44,6 +44,9 @@ type goldenFile struct {
 	Comment    string                          `json:"_comment"`
 	Estimators map[string][]goldenCase         `json:"estimators"`
 	Compounds  map[string][]compoundGoldenCase `json:"compounds,omitempty"`
+	// PostMutation pins the delta-corrected serving path: the same probe
+	// grid after a fixed mutation burst through each method's delta layer.
+	PostMutation map[string][]goldenCase `json:"post_mutation,omitempty"`
 }
 
 func goldenPath(t *testing.T) string {
@@ -124,17 +127,66 @@ func goldenCompoundProbe(t *testing.T) map[string][]compoundGoldenCase {
 	return out
 }
 
+// goldenPostMutationProbe applies a fixed, deterministic mutation burst to
+// each Table-2 estimator's delta layer — the global-local family through
+// its native per-segment counters, everything else through the uniform
+// sampling correction — probes the same τ grid, and restores the shared
+// fixture estimator to its pristine state before returning. The dataset
+// itself is never touched; only delta counters move, so the burst is
+// order-independent and fully reversible.
+func goldenPostMutationProbe(t *testing.T) map[string][]goldenCase {
+	t.Helper()
+	f := table2Estimators(t)
+	tauMax := f.ds.TauMax()
+	queryIdx := []int{0, 7, 14}
+	taus := []float64{tauMax * 0.25, tauMax * 0.5, tauMax}
+	out := make(map[string][]goldenCase, len(table2Methods))
+	for _, name := range table2Methods {
+		e := f.ests[name]
+		probe := e
+		mut, native := e.(Mutable)
+		cleanup := func() {}
+		if native {
+			gl := e.(*GlobalLocalEstimator)
+			cleanup = gl.gl.DisableDeltaTracking
+		} else {
+			u := NewUniformDelta(e, f.ds.Size())
+			mut, probe = u, u
+		}
+		// Fixed burst: 30 inserts cycling the test points, 10 deletes of
+		// every third one — net +20 on the 1500-point fixture.
+		for i := 0; i < 30; i++ {
+			mut.NoteInsert(f.test[i%len(f.test)].Vec)
+		}
+		for i := 0; i < 10; i++ {
+			mut.NoteDelete(f.test[(3*i)%len(f.test)].Vec)
+		}
+		cases := make([]goldenCase, 0, len(queryIdx)*len(taus))
+		for _, qi := range queryIdx {
+			q := f.test[qi].Vec
+			for _, tau := range taus {
+				cases = append(cases, goldenCase{Query: qi, Tau: tau, Estimate: probe.EstimateSearch(q, tau)})
+			}
+		}
+		cleanup()
+		out[name] = cases
+	}
+	return out
+}
+
 func TestGoldenEstimates(t *testing.T) {
 	got := goldenProbe(t)
 	gotCompound := goldenCompoundProbe(t)
+	gotPost := goldenPostMutationProbe(t)
 	path := goldenPath(t)
 
 	if *updateGolden {
 		gf := goldenFile{
 			Comment: "Fixed-seed end-to-end estimates for all Table-2 estimators on the " +
 				"small synthetic fixture. Regenerate with: go test ./cardest/ -run TestGoldenEstimates -update-golden",
-			Estimators: got,
-			Compounds:  gotCompound,
+			Estimators:   got,
+			Compounds:    gotCompound,
+			PostMutation: gotPost,
 		}
 		data, err := json.MarshalIndent(gf, "", "  ")
 		if err != nil {
@@ -160,32 +212,40 @@ func TestGoldenEstimates(t *testing.T) {
 	}
 
 	var drift []string
-	for _, name := range table2Methods {
-		wc, ok := want.Estimators[name]
-		if !ok {
-			drift = append(drift, fmt.Sprintf("%s: missing from golden file", name))
-			continue
-		}
-		gc := got[name]
-		if len(wc) != len(gc) {
-			drift = append(drift, fmt.Sprintf("%s: case count changed: golden %d, current %d", name, len(wc), len(gc)))
-			continue
-		}
-		for i := range wc {
-			w, g := wc[i], gc[i]
-			if w.Query != g.Query || math.Abs(w.Tau-g.Tau) > goldenRelTol*math.Abs(w.Tau) {
-				drift = append(drift, fmt.Sprintf("%s[%d]: probe grid changed (query %d tau %v vs query %d tau %v)",
-					name, i, w.Query, w.Tau, g.Query, g.Tau))
+	compareCases := func(section string, wantCases, gotCases map[string][]goldenCase) {
+		for _, name := range table2Methods {
+			label := name
+			if section != "" {
+				label = name + " (" + section + ")"
+			}
+			wc, ok := wantCases[name]
+			if !ok {
+				drift = append(drift, fmt.Sprintf("%s: missing from golden file", label))
 				continue
 			}
-			diff := math.Abs(w.Estimate - g.Estimate)
-			scale := math.Max(math.Abs(w.Estimate), 1)
-			if diff > goldenRelTol*scale {
-				drift = append(drift, fmt.Sprintf("%s: query=%d tau=%.6g: golden %.12g, current %.12g (rel %.3g)",
-					name, w.Query, w.Tau, w.Estimate, g.Estimate, diff/scale))
+			gc := gotCases[name]
+			if len(wc) != len(gc) {
+				drift = append(drift, fmt.Sprintf("%s: case count changed: golden %d, current %d", label, len(wc), len(gc)))
+				continue
+			}
+			for i := range wc {
+				w, g := wc[i], gc[i]
+				if w.Query != g.Query || math.Abs(w.Tau-g.Tau) > goldenRelTol*math.Abs(w.Tau) {
+					drift = append(drift, fmt.Sprintf("%s[%d]: probe grid changed (query %d tau %v vs query %d tau %v)",
+						label, i, w.Query, w.Tau, g.Query, g.Tau))
+					continue
+				}
+				diff := math.Abs(w.Estimate - g.Estimate)
+				scale := math.Max(math.Abs(w.Estimate), 1)
+				if diff > goldenRelTol*scale {
+					drift = append(drift, fmt.Sprintf("%s: query=%d tau=%.6g: golden %.12g, current %.12g (rel %.3g)",
+						label, w.Query, w.Tau, w.Estimate, g.Estimate, diff/scale))
+				}
 			}
 		}
 	}
+	compareCases("", want.Estimators, got)
+	compareCases("post-mutation", want.PostMutation, gotPost)
 	for _, name := range table2Methods {
 		wc, ok := want.Compounds[name]
 		if !ok {

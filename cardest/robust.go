@@ -63,6 +63,12 @@ type ServeOptions struct {
 	// drift instrumentation. Offering is an atomic add for unsampled
 	// requests and never blocks the request path.
 	Probe *probe.Pipeline
+	// Adapt enables online adaptation when serving through ServeAdaptive:
+	// mutation batches correct estimates immediately via per-segment delta
+	// counters, and probe-detected drift triggers a background retrain of
+	// the affected local models, swapped in with zero downtime (DESIGN.md
+	// §16). Ignored by plain Harden — the knobs live on the Adapter.
+	Adapt *AdaptOptions
 	// Precision selects the serving tier (F64, F32, Int8). Non-F64 tiers
 	// apply only when the primary implements PrecisionEstimator and its
 	// PreCheckPrecision passes at Harden time; otherwise serving falls back

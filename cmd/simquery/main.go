@@ -58,6 +58,8 @@ func main() {
 		probeFrac = flag.Float64("probe", 0, "live accuracy: probe this fraction of served estimates with background exact labeling (0 disables)")
 		precFlag  = flag.String("precision", "f64", "serving tier: f64 (reference), f32 (lowered float32 plane), int8 (quantized local dense layers); methods without a lowered path serve f64")
 		logJSON   = flag.Bool("log-json", false, "emit structured JSON serving logs (slog) on stderr")
+		adapt     = flag.Bool("adapt", false, "enable online adaptation: estimates delta-correct for dataset mutations and probe-detected drift triggers a background retrain")
+		mutRate   = flag.Float64("mutate-rate", 0, "with -adapt: probability per query of applying a random insert/delete batch to the live dataset")
 	)
 	flag.Parse()
 	if _, err := tensor.SetPoolSize(*workers); err != nil {
@@ -100,6 +102,7 @@ func main() {
 		pred: *pred, describe: *describe,
 		probeFraction: *probeFrac, precision: precision,
 		logger: logger, tel: tel,
+		adapt: *adapt, mutateRate: *mutRate,
 	}
 	if err := runWith(opts); err != nil {
 		if logger != nil {
@@ -127,6 +130,8 @@ type runOptions struct {
 	precision          cardest.Precision
 	logger             *slog.Logger
 	tel                *cardest.TelemetryServer
+	adapt              bool
+	mutateRate         float64
 }
 
 // run keeps the original positional signature for the single-τ path (the
@@ -178,17 +183,41 @@ func runWith(o runOptions) error {
 	if err != nil {
 		return err
 	}
-	// Live-accuracy probes: the pivot index labels a sampled fraction of
-	// served estimates on background workers, feeding the q-error
-	// histograms and the drift gauge.
+	// Exact labels: the static pivot index normally; with -adapt a snapshot
+	// labeler instead, because mutations reallocate and reorder the live
+	// vector storage the static index reads.
+	exactFn := func(q []float64, tau float64) (float64, error) {
+		return float64(idx.Count(q, tau)), nil
+	}
+	var labeler *cardest.SnapshotLabeler
+	if o.adapt {
+		labeler = cardest.NewSnapshotLabeler(ds, 16, o.seed+101)
+		exactFn = labeler.Label
+	}
+	// Live-accuracy probes: the labeler scores a sampled fraction of served
+	// estimates on background workers, feeding the q-error histograms and
+	// the drift gauge (with -adapt, also the retrain trigger).
 	var probes *probe.Pipeline
 	if every := probe.EveryFromFraction(o.probeFraction); every > 0 {
-		probes = probe.New(func(q []float64, tau float64) (float64, error) {
-			return float64(idx.Count(q, tau)), nil
-		}, probe.Config{SampleEvery: every, TauMax: ds.TauMax()})
+		pcfg := probe.Config{SampleEvery: every, TauMax: ds.TauMax()}
+		if o.adapt {
+			pcfg.Drift = probe.DriftConfig{Threshold: 0.7}
+		}
+		probes = probe.New(exactFn, pcfg)
 		opts.Probe = probes
 	}
-	robust := cardest.Harden(est, opts)
+	var (
+		robust  *cardest.RobustEstimator
+		rel     *cardest.Reloadable
+		adapter *cardest.Adapter
+	)
+	if o.adapt {
+		opts.Adapt = &cardest.AdaptOptions{AutoRetrain: true, Labeler: labeler}
+		rel, adapter = cardest.ServeAdaptive(est, ds, opts)
+		robust = rel.Estimator()
+	} else {
+		robust = cardest.Harden(est, opts)
+	}
 	// Model loaded, hardened, and labeler ready: the process can serve.
 	if o.tel != nil {
 		o.tel.SetReady(true)
@@ -222,8 +251,20 @@ func runWith(o runOptions) error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "query\ttau\testimate\texact\tq-error\n")
 	var qerrs []float64
+	mutRng := rand.New(rand.NewSource(o.seed + 500))
+	var inserted, deleted int
 	for i := 0; i < o.queries; i++ {
 		qi, q := sampledIdx[i], sampled[i]
+		if adapter != nil && o.mutateRate > 0 && mutRng.Float64() < o.mutateRate {
+			ins, del := randomMutation(ds, mutRng)
+			if res, err := adapter.Mutate(ins, del); err == nil {
+				inserted += res.Inserted
+				deleted += res.Deleted
+			}
+			// A background retrain may have swapped a new generation in;
+			// serve the rest of the run from the current one.
+			robust = rel.Estimator()
+		}
 		// Start the request trace here so the CLI owns it: the serving log
 		// line and /debug/traces both see the full request, including the
 		// cache path. Unsampled requests get a nil trace (no allocation);
@@ -239,7 +280,10 @@ func runWith(o runOptions) error {
 			fmt.Fprintf(tw, "#%d\t%.4f\terror: %v\t\t\n", qi, tau, err)
 			continue
 		}
-		exact := float64(idx.Count(q, tau))
+		exact, lerr := exactFn(q, tau)
+		if lerr != nil {
+			continue
+		}
 		qe := metrics.QError(got, exact)
 		qerrs = append(qerrs, qe)
 		if o.logger != nil {
@@ -253,8 +297,12 @@ func runWith(o runOptions) error {
 		return err
 	}
 	// Drain the probe queue before summarizing so the run's last sampled
-	// estimates are labeled too.
+	// estimates are labeled too, then let any drift-triggered retrain
+	// finish so its counters land in the summary.
 	probes.Close()
+	if adapter != nil {
+		adapter.WaitIdle()
+	}
 	if len(qerrs) == 0 {
 		return fmt.Errorf("no query completed (shed or timed out)")
 	}
@@ -263,6 +311,10 @@ func runWith(o runOptions) error {
 		st := opts.Cache.Stats()
 		fmt.Printf("cache: %d entries, %d hits / %d misses (hit rate %.0f%%), %d interpolated\n",
 			st.Entries, st.Hits, st.Misses, 100*st.HitRate(), st.Interpolated)
+	}
+	if adapter != nil {
+		fmt.Printf("adaptation: %d inserted, %d deleted, %d pending deltas, live size %d, %d retrains\n",
+			inserted, deleted, adapter.PendingDeltas(), adapter.LiveSize(), adapter.Retrains())
 	}
 	if probes != nil {
 		fmt.Printf("probes: %d labeled, %d dropped, drift (EWMA |log q-error|) %.3f\n",
@@ -274,6 +326,30 @@ func runWith(o runOptions) error {
 		}
 	}
 	return nil
+}
+
+// randomMutation builds one small random mutation batch: 1-3 inserts
+// (jittered copies of existing vectors, so they land near real density)
+// and 0-2 deletes of random live indices.
+func randomMutation(ds *cardest.Dataset, rng *rand.Rand) (inserts [][]float64, deletes []int) {
+	vecs := ds.Vectors()
+	for k := 1 + rng.Intn(3); k > 0 && len(vecs) > 0; k-- {
+		src := vecs[rng.Intn(len(vecs))]
+		v := make([]float64, len(src))
+		for j, x := range src {
+			v[j] = x + rng.NormFloat64()*0.01
+		}
+		inserts = append(inserts, v)
+	}
+	seen := map[int]bool{}
+	for k := rng.Intn(3); k > 0 && ds.Size() > 1; k-- {
+		idx := rng.Intn(ds.Size())
+		if !seen[idx] {
+			seen[idx] = true
+			deletes = append(deletes, idx)
+		}
+	}
+	return inserts, deletes
 }
 
 // printDescribe renders the serving estimator's metadata.

@@ -13,6 +13,9 @@
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness
 //	POST /reload    {"path": "new.model"} → atomic generation swap
+//	POST /mutate    {"inserts": [[...]], "deletes": [...]} → live dataset
+//	                mutation (-adapt only; estimates are delta-corrected
+//	                immediately, drift triggers a background retrain)
 //
 // A reload loads the checkpoint off the hot path, re-hardens it against the
 // replica's existing cache (generation stamps invalidate stale entries for
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"simquery/cardest"
+	"simquery/internal/probe"
 	"simquery/internal/serving"
 	"simquery/internal/tensor"
 )
@@ -52,6 +56,9 @@ func main() {
 		cacheEnt  = flag.Int("cache-entries", 4096, "per-replica estimate cache capacity in fingerprints (0 disables)")
 		cacheAnch = flag.Int("cache-anchors", 8, "τ anchors per cache entry")
 		precFlag  = flag.String("precision", "f64", "serving tier: f64, f32, or int8")
+		adapt     = flag.Bool("adapt", false, "enable online adaptation: each replica gets its own dataset copy, a POST /mutate endpoint, live drift probes, and drift-triggered background retrains")
+		probeFr   = flag.Float64("probe", 0.05, "with -adapt: probe this fraction of served estimates with background exact labeling")
+		driftThr  = flag.Float64("drift-threshold", 0.7, "with -adapt: EWMA |log q-error| level that triggers a background retrain (0.7 ≈ sustained 2× median q-error)")
 		telAddr   = flag.String("telemetry", "", "serve metrics/expvar/pprof on this address (e.g. :9090); empty disables")
 		workers   = flag.Int("workers", 0, "tensor pool workers (0 = SIMQUERY_WORKERS env, else GOMAXPROCS)")
 	)
@@ -86,6 +93,7 @@ func main() {
 		deadline: *deadline, maxInflight: *maxInfl, retryAfter: *retryAft,
 		cacheEntries: *cacheEnt, cacheAnchors: *cacheAnch,
 		precision: precision,
+		adapt:     *adapt, probeFraction: *probeFr, driftThreshold: *driftThr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simserve:", err)
@@ -115,6 +123,9 @@ type clusterOptions struct {
 	cacheEntries       int
 	cacheAnchors       int
 	precision          cardest.Precision
+	adapt              bool
+	probeFraction      float64
+	driftThreshold     float64
 }
 
 // Cluster is a running replica set (tests drive it directly; main blocks on
@@ -122,6 +133,7 @@ type clusterOptions struct {
 type Cluster struct {
 	Replicas []*serving.Replica
 	ds       *cardest.Dataset
+	probes   []*probe.Pipeline
 }
 
 // URLs returns the replicas' base URLs in order.
@@ -133,10 +145,16 @@ func (c *Cluster) URLs() []string {
 	return out
 }
 
-// Close shuts every replica down.
+// Close shuts every replica down and drains the probe pipelines.
 func (c *Cluster) Close() {
 	for _, r := range c.Replicas {
+		if a := r.Adapter(); a != nil {
+			a.WaitIdle()
+		}
 		_ = r.Close()
+	}
+	for _, p := range c.probes {
+		p.Close()
 	}
 }
 
@@ -165,6 +183,21 @@ func startCluster(o clusterOptions) (*Cluster, error) {
 
 	c := &Cluster{ds: ds}
 	for i := 0; i < o.replicas; i++ {
+		// With -adapt each replica serves its own dataset copy and model
+		// instance: mutations and delta counters are per-replica state, so
+		// replicas must not share them. Generation is deterministic, so the
+		// copies start identical.
+		rds, rprimary := ds, primary
+		if o.adapt {
+			if rds, err = cardest.GenerateProfile(o.profile, o.n, o.clusters, o.seed); err != nil {
+				c.Close()
+				return nil, err
+			}
+			if rprimary, err = cardest.Load(o.modelPath, rds); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
 		opts := cardest.ServeOptions{
 			Deadline:    o.deadline,
 			MaxInFlight: o.maxInflight,
@@ -172,30 +205,51 @@ func startCluster(o clusterOptions) (*Cluster, error) {
 			Precision:   o.precision,
 		}
 		if o.cacheEntries > 0 {
-			cache, err := cardest.NewEstimateCache(o.cacheEntries, o.cacheAnchors, ds.TauMax(), 0)
+			cache, err := cardest.NewEstimateCache(o.cacheEntries, o.cacheAnchors, rds.TauMax(), 0)
 			if err != nil {
 				c.Close()
 				return nil, err
 			}
 			opts.Cache = cache
 		}
+		var labeler *cardest.SnapshotLabeler
+		if o.adapt {
+			labeler = cardest.NewSnapshotLabeler(rds, 16, o.seed+400+int64(i))
+			if every := probe.EveryFromFraction(o.probeFraction); every > 0 {
+				probes := probe.New(labeler.Label, probe.Config{
+					SampleEvery: every,
+					TauMax:      rds.TauMax(),
+					Drift:       probe.DriftConfig{Threshold: o.driftThreshold},
+				})
+				opts.Probe = probes
+				c.probes = append(c.probes, probes)
+			}
+			opts.Adapt = &cardest.AdaptOptions{AutoRetrain: true, Labeler: labeler}
+		}
 		// The reload loader re-hardens against this replica's existing
 		// cache: Load bumps the model generation, and the hardened path
 		// stamps the cache per lookup, so old entries become misses without
 		// an explicit flush.
 		loader := func(path string) (*cardest.RobustEstimator, error) {
-			next, err := cardest.Load(path, ds)
+			next, err := cardest.Load(path, rds)
 			if err != nil {
 				return nil, err
 			}
 			return cardest.Harden(next, opts), nil
 		}
-		rep := serving.NewReplica(cardest.Harden(primary, opts), serving.ReplicaConfig{
+		rep := serving.NewReplica(cardest.Harden(rprimary, opts), serving.ReplicaConfig{
 			Name:            fmt.Sprintf("r%d", i),
 			DefaultDeadline: o.deadline,
 			RetryAfter:      o.retryAfter,
 			Loader:          loader,
 		})
+		if o.adapt {
+			adapter := cardest.NewAdapter(rds, rep.Reloadable(), opts)
+			rep.AttachAdapter(adapter)
+			if opts.Probe != nil {
+				opts.Probe.SetOnDrift(adapter.HandleDrift)
+			}
+		}
 		if err := rep.Start(replicaAddr(o.addr, i)); err != nil {
 			c.Close()
 			return nil, err

@@ -1,0 +1,258 @@
+// Delta log: the durable record of online dataset mutations (ROADMAP item
+// 4). Every Insert/Delete batch applied to a serving dataset appends one
+// Record per vector, tagged with the segment the router assigned it to, so
+// the background retrainer can (a) find which segments changed, (b) replay
+// mutations that arrived after its training snapshot onto the freshly
+// trained clone, and (c) bias its sample queries toward the inserted
+// regions. The log is append-only between retrains; a completed retrain
+// truncates the replayed prefix.
+//
+// The binary encoding exists so a log can be shipped between processes
+// (replica → retrainer) or checkpointed; Decode is fuzzed
+// (FuzzMutationLog) and returns typed *CorruptLogError values — never
+// panics — on malformed input.
+
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+// The two mutation kinds.
+const (
+	OpInsert Op = 1
+	OpDelete Op = 2
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one logged mutation: the vector and the segment the serving
+// router assigned it to (-1 when the serving model has no segmentation).
+type Record struct {
+	Op  Op
+	Seg int32
+	Vec []float64
+}
+
+// DeltaLog accumulates mutation records between retrains. All methods are
+// safe for concurrent use.
+type DeltaLog struct {
+	mu      sync.Mutex
+	recs    []Record
+	net     map[int32]int64 // per-segment net delta (inserts - deletes)
+	inserts int64
+	deletes int64
+}
+
+// NewDeltaLog returns an empty log.
+func NewDeltaLog() *DeltaLog {
+	return &DeltaLog{net: map[int32]int64{}}
+}
+
+// Append adds one record.
+func (l *DeltaLog) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, r)
+	switch r.Op {
+	case OpInsert:
+		l.inserts++
+		l.net[r.Seg]++
+	case OpDelete:
+		l.deletes++
+		l.net[r.Seg]--
+	}
+}
+
+// Len reports the current record count — a position usable as a mark for
+// Since/TruncateTo.
+func (l *DeltaLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Since returns a copy of the records appended at or after mark (clamped to
+// the valid range).
+func (l *DeltaLog) Since(mark int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark >= len(l.recs) {
+		return nil
+	}
+	return append([]Record(nil), l.recs[mark:]...)
+}
+
+// TruncateTo drops the first mark records — called after a retrain has
+// folded them into a new model generation. The per-segment net deltas and
+// op totals are recomputed from the surviving suffix.
+func (l *DeltaLog) TruncateTo(mark int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mark <= 0 {
+		return
+	}
+	if mark > len(l.recs) {
+		mark = len(l.recs)
+	}
+	l.recs = append([]Record(nil), l.recs[mark:]...)
+	l.net = map[int32]int64{}
+	l.inserts, l.deletes = 0, 0
+	for _, r := range l.recs {
+		switch r.Op {
+		case OpInsert:
+			l.inserts++
+			l.net[r.Seg]++
+		case OpDelete:
+			l.deletes++
+			l.net[r.Seg]--
+		}
+	}
+}
+
+// NetDeltas returns a copy of the per-segment net deltas of the records
+// currently in the log.
+func (l *DeltaLog) NetDeltas() map[int32]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[int32]int64, len(l.net))
+	for k, v := range l.net {
+		out[k] = v
+	}
+	return out
+}
+
+// Counts reports total logged inserts and deletes (since the last
+// truncation).
+func (l *DeltaLog) Counts() (inserts, deletes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inserts, l.deletes
+}
+
+// --- Binary encoding ---
+
+// logMagic and logVersion head every encoded log.
+const (
+	logMagic   = "SQDL"
+	logVersion = 1
+	// maxLogDim bounds per-record dimensionality so a corrupt length field
+	// cannot force a giant allocation before the payload check catches it.
+	maxLogDim = 1 << 16
+)
+
+// CorruptLogError reports a malformed encoded delta log with the byte
+// offset of the first violation.
+type CorruptLogError struct {
+	Offset int
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptLogError) Error() string {
+	return fmt.Sprintf("dataset: corrupt delta log at byte %d: %s", e.Offset, e.Reason)
+}
+
+// ErrCorruptLog matches any *CorruptLogError via errors.Is.
+var ErrCorruptLog = errors.New("dataset: corrupt delta log")
+
+// Is implements errors.Is support: every *CorruptLogError is ErrCorruptLog.
+func (e *CorruptLogError) Is(target error) bool { return target == ErrCorruptLog }
+
+// EncodeLog serializes records: magic, version, record count, then per
+// record an op byte, the segment (int32), the dimension (uint32), and the
+// vector as IEEE-754 bits. All integers are little-endian.
+func EncodeLog(recs []Record) ([]byte, error) {
+	buf := make([]byte, 0, 16+len(recs)*16)
+	buf = append(buf, logMagic...)
+	buf = append(buf, logVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for i, r := range recs {
+		if r.Op != OpInsert && r.Op != OpDelete {
+			return nil, fmt.Errorf("dataset: encode delta log: record %d has invalid op %d", i, r.Op)
+		}
+		if len(r.Vec) > maxLogDim {
+			return nil, fmt.Errorf("dataset: encode delta log: record %d dim %d exceeds %d", i, len(r.Vec), maxLogDim)
+		}
+		buf = append(buf, byte(r.Op))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Seg))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Vec)))
+		for _, v := range r.Vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeLog parses an encoded delta log. Malformed input yields a
+// *CorruptLogError (matching ErrCorruptLog); DecodeLog never panics and
+// never allocates more than the input length can account for.
+func DecodeLog(data []byte) ([]Record, error) {
+	if len(data) < len(logMagic)+1+4 {
+		return nil, &CorruptLogError{Offset: 0, Reason: "truncated header"}
+	}
+	if string(data[:len(logMagic)]) != logMagic {
+		return nil, &CorruptLogError{Offset: 0, Reason: "bad magic"}
+	}
+	off := len(logMagic)
+	if data[off] != logVersion {
+		return nil, &CorruptLogError{Offset: off, Reason: fmt.Sprintf("unsupported version %d", data[off])}
+	}
+	off++
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	// Each record needs at least 9 header bytes, so the count field cannot
+	// honestly exceed the remaining payload.
+	if n < 0 || n > (len(data)-off)/9 {
+		return nil, &CorruptLogError{Offset: off - 4, Reason: fmt.Sprintf("record count %d exceeds payload", n)}
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data)-off < 9 {
+			return nil, &CorruptLogError{Offset: off, Reason: "truncated record header"}
+		}
+		op := Op(data[off])
+		if op != OpInsert && op != OpDelete {
+			return nil, &CorruptLogError{Offset: off, Reason: fmt.Sprintf("invalid op %d", data[off])}
+		}
+		seg := int32(binary.LittleEndian.Uint32(data[off+1:]))
+		dim := int(binary.LittleEndian.Uint32(data[off+5:]))
+		off += 9
+		if dim > maxLogDim {
+			return nil, &CorruptLogError{Offset: off - 4, Reason: fmt.Sprintf("dim %d exceeds %d", dim, maxLogDim)}
+		}
+		if len(data)-off < dim*8 {
+			return nil, &CorruptLogError{Offset: off, Reason: "truncated vector payload"}
+		}
+		vec := make([]float64, dim)
+		for j := range vec {
+			vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		recs = append(recs, Record{Op: op, Seg: seg, Vec: vec})
+	}
+	if off != len(data) {
+		return nil, &CorruptLogError{Offset: off, Reason: fmt.Sprintf("%d trailing bytes", len(data)-off)}
+	}
+	return recs, nil
+}

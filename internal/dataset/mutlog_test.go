@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+)
+
+func logRecord(op Op, seg int32, vals ...float64) Record {
+	return Record{Op: op, Seg: seg, Vec: vals}
+}
+
+func TestDeltaLogAppendAndCounts(t *testing.T) {
+	l := NewDeltaLog()
+	l.Append(logRecord(OpInsert, 0, 1, 2))
+	l.Append(logRecord(OpInsert, 1, 3, 4))
+	l.Append(logRecord(OpDelete, 0, 1, 2))
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	ins, del := l.Counts()
+	if ins != 2 || del != 1 {
+		t.Fatalf("Counts = (%d, %d), want (2, 1)", ins, del)
+	}
+	net := l.NetDeltas()
+	if net[0] != 0 || net[1] != 1 {
+		t.Fatalf("NetDeltas = %v, want {0:0, 1:1}", net)
+	}
+}
+
+func TestDeltaLogSinceAndTruncate(t *testing.T) {
+	l := NewDeltaLog()
+	for i := 0; i < 5; i++ {
+		op := OpInsert
+		if i%2 == 1 {
+			op = OpDelete
+		}
+		l.Append(logRecord(op, int32(i), float64(i)))
+	}
+	since := l.Since(3)
+	if len(since) != 2 {
+		t.Fatalf("Since(3) len = %d, want 2", len(since))
+	}
+	if since[0].Seg != 3 || since[1].Seg != 4 {
+		t.Fatalf("Since(3) segs = %d,%d, want 3,4", since[0].Seg, since[1].Seg)
+	}
+	// Since returns a copy: mutating it must not touch the log.
+	since[0].Seg = 99
+	if l.Since(3)[0].Seg != 3 {
+		t.Fatal("Since returned a view into the log, want a copy")
+	}
+
+	l.TruncateTo(3)
+	if l.Len() != 2 {
+		t.Fatalf("Len after TruncateTo(3) = %d, want 2", l.Len())
+	}
+	ins, del := l.Counts()
+	if ins+del != 2 {
+		t.Fatalf("Counts after truncate = (%d, %d), want total 2", ins, del)
+	}
+	net := l.NetDeltas()
+	// Suffix was seg 3 (delete) and seg 4 (insert).
+	if net[3] != -1 || net[4] != 1 {
+		t.Fatalf("NetDeltas after truncate = %v, want {3:-1, 4:1}", net)
+	}
+}
+
+func TestDeltaLogEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		logRecord(OpInsert, 0, 0.5, -1.25, 3e30),
+		logRecord(OpDelete, 7, 0),
+		logRecord(OpInsert, -1), // unrouted (no segmentation), empty vector
+	}
+	data, err := EncodeLog(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Op != r.Op || g.Seg != r.Seg || len(g.Vec) != len(r.Vec) {
+			t.Fatalf("record %d: got %+v, want %+v", i, g, r)
+		}
+		for j := range r.Vec {
+			if g.Vec[j] != r.Vec[j] {
+				t.Fatalf("record %d vec[%d]: got %v, want %v", i, j, g.Vec[j], r.Vec[j])
+			}
+		}
+	}
+}
+
+func TestDecodeLogTypedErrors(t *testing.T) {
+	good, err := EncodeLog([]Record{logRecord(OpInsert, 0, 1, 2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short magic":   good[:2],
+		"bad magic":     append([]byte("XXXX"), good[4:]...),
+		"bad version":   append(append([]byte{}, "SQDL\xff"...), good[5:]...),
+		"truncated":     good[:len(good)-3],
+		"trailing junk": append(append([]byte{}, good...), 0xAA),
+	}
+	for name, data := range cases {
+		if _, err := DecodeLog(data); !errors.Is(err, ErrCorruptLog) {
+			t.Errorf("%s: err = %v, want ErrCorruptLog", name, err)
+		}
+	}
+	if _, err := DecodeLog(good); err != nil {
+		t.Fatalf("control: good payload failed: %v", err)
+	}
+}
+
+// FuzzMutationLog pins the decoder's safety contract: arbitrary input never
+// panics and either decodes cleanly or fails with the typed ErrCorruptLog.
+// Decoded records must re-encode and re-decode identically (round-trip
+// stability), so a hostile log cannot smuggle unparseable state past the
+// first decode.
+func FuzzMutationLog(f *testing.F) {
+	seed, err := EncodeLog([]Record{
+		{Op: OpInsert, Seg: 0, Vec: []float64{1, 2}},
+		{Op: OpDelete, Seg: 3, Vec: []float64{-0.5}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte("SQDL"))
+	f.Add([]byte("SQDL\x01\x00\x00\x00\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeLog(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptLog) {
+				t.Fatalf("decode error is not ErrCorruptLog: %v", err)
+			}
+			return
+		}
+		re, err := EncodeLog(recs)
+		if err != nil {
+			t.Fatalf("re-encode of decoded records failed: %v", err)
+		}
+		back, err := DecodeLog(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(back), len(recs))
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaIdentityFastPath pins the bit-identity guarantee: arming delta
+// tracking with zero net deltas — including after offsetting +1/-1 pairs —
+// must leave every estimate path bitwise unchanged, so golden files and
+// batch-equals-serial invariants survive the adaptation plumbing.
+func TestDeltaIdentityFastPath(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+	defer gl.DisableDeltaTracking()
+
+	test := f.w.Test
+	before := make([]float64, len(test))
+	for i, q := range test {
+		before[i] = gl.EstimateSearch(q.Vec, q.Tau)
+	}
+
+	gl.EnableDeltaTracking()
+	for i, q := range test {
+		if got := gl.EstimateSearch(q.Vec, q.Tau); got != before[i] {
+			t.Fatalf("query %d: armed-but-empty tracking changed estimate: %v != %v", i, got, before[i])
+		}
+	}
+
+	// Offsetting mutations: pending ops but zero net per segment.
+	for seg := 0; seg < len(gl.Locals); seg++ {
+		gl.NoteDelta(seg, 1)
+		gl.NoteDelta(seg, -1)
+	}
+	if gl.PendingDeltas() != int64(2*len(gl.Locals)) {
+		t.Fatalf("PendingDeltas = %d, want %d", gl.PendingDeltas(), 2*len(gl.Locals))
+	}
+	for i, q := range test {
+		if got := gl.EstimateSearch(q.Vec, q.Tau); got != before[i] {
+			t.Fatalf("query %d: zero-net deltas changed estimate: %v != %v", i, got, before[i])
+		}
+	}
+}
+
+// TestDeltaBoundsProperty drives random Insert/Delete sequences through
+// NoteDelta and checks the structural bound after every burst:
+// 0 ≤ estimate ≤ Σ live_i for every test query, on both the serial and the
+// batch path, with batch == serial bitwise.
+func TestDeltaBoundsProperty(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+	defer gl.DisableDeltaTracking()
+	gl.EnableDeltaTracking()
+
+	rng := rand.New(rand.NewSource(4242))
+	qs := make([][]float64, len(f.w.Test))
+	taus := make([]float64, len(f.w.Test))
+	for i, q := range f.w.Test {
+		qs[i] = q.Vec
+		taus[i] = q.Tau
+	}
+
+	for burst := 0; burst < 25; burst++ {
+		for m := 0; m < 10; m++ {
+			seg := rng.Intn(len(gl.Locals))
+			d := 1
+			if rng.Float64() < 0.5 {
+				d = -1
+			}
+			gl.NoteDelta(seg, d)
+		}
+		live := gl.LiveCount()
+		if live < 0 {
+			t.Fatalf("burst %d: LiveCount went negative: %v", burst, live)
+		}
+		batch := gl.EstimateSearchBatch(qs, taus)
+		for i := range qs {
+			est := gl.EstimateSearch(qs[i], taus[i])
+			if est != batch[i] {
+				t.Fatalf("burst %d query %d: batch %v != serial %v with deltas armed", burst, i, batch[i], est)
+			}
+			if est < 0 || est > live+1e-9 || math.IsNaN(est) {
+				t.Fatalf("burst %d query %d: estimate %v outside [0, %v]", burst, i, est, live)
+			}
+		}
+	}
+}
+
+// TestDeltaDrainedSegmentClampsToZero deletes a segment's entire trained
+// population (and more): its live count floors at 0 and its contribution is
+// clamped out entirely.
+func TestDeltaDrainedSegmentClampsToZero(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+	defer gl.DisableDeltaTracking()
+	gl.EnableDeltaTracking()
+
+	for seg := range gl.Locals {
+		gl.NoteDelta(seg, -int(gl.Locals[seg].MaxCard)-10)
+	}
+	if live := gl.LiveCount(); live != 0 {
+		t.Fatalf("LiveCount after draining every segment = %v, want 0", live)
+	}
+	for i, q := range f.w.Test {
+		if est := gl.EstimateSearch(q.Vec, q.Tau); est != 0 {
+			t.Fatalf("query %d: estimate over a fully drained dataset = %v, want 0", i, est)
+		}
+	}
+}
+
+func TestNoteDeltaAutoArmAndOutOfRange(t *testing.T) {
+	gl := trainedGL(t, GLCNN)
+	defer gl.DisableDeltaTracking()
+	gl.DisableDeltaTracking()
+	if gl.DeltaTrackingEnabled() {
+		t.Fatal("tracking enabled after disable")
+	}
+	gl.NoteDelta(0, 1)
+	if !gl.DeltaTrackingEnabled() {
+		t.Fatal("NoteDelta did not auto-arm tracking")
+	}
+	if gl.SegmentDelta(0) != 1 || gl.PendingDeltas() != 1 {
+		t.Fatalf("SegmentDelta/Pending = %d/%d, want 1/1", gl.SegmentDelta(0), gl.PendingDeltas())
+	}
+	// Out-of-range segments are ignored, not panics.
+	gl.NoteDelta(-1, 1)
+	gl.NoteDelta(len(gl.Locals)+5, 1)
+	if gl.PendingDeltas() != 1 {
+		t.Fatalf("out-of-range NoteDelta changed pending count: %d", gl.PendingDeltas())
+	}
+	if gl.SegmentDelta(-1) != 0 || gl.SegmentDelta(len(gl.Locals)+5) != 0 {
+		t.Fatal("SegmentDelta out of range should report 0")
+	}
+}
+
+// TestReassignRestoresMembershipAfterRoundTrip: serialization drops segment
+// membership (Assignments/Members are rebuildable state); Reassign over the
+// original vectors must restore them exactly, including per-segment MaxCard
+// — the invariant the background retrainer relies on when it clones a
+// serving model before fine-tuning.
+func TestReassignRestoresMembershipAfterRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	gl := trainedGL(t, GLCNN)
+
+	blob, err := gl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := &GlobalLocal{}
+	if err := clone.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Seg.Assignments != nil {
+		t.Fatal("round trip should not carry point assignments")
+	}
+	for i, m := range clone.Seg.Members {
+		if len(m) != 0 {
+			t.Fatalf("round trip carried members for segment %d", i)
+		}
+	}
+
+	clone.Reassign(f.ds.Vectors)
+	if len(clone.Seg.Assignments) != len(gl.Seg.Assignments) {
+		t.Fatalf("assignments length %d != %d", len(clone.Seg.Assignments), len(gl.Seg.Assignments))
+	}
+	for i := range gl.Seg.Assignments {
+		if clone.Seg.Assignments[i] != gl.Seg.Assignments[i] {
+			t.Fatalf("assignment %d diverged: %d != %d", i, clone.Seg.Assignments[i], gl.Seg.Assignments[i])
+		}
+	}
+	for i := range gl.Locals {
+		if clone.Locals[i].MaxCard != gl.Locals[i].MaxCard {
+			t.Fatalf("segment %d MaxCard %v != %v", i, clone.Locals[i].MaxCard, gl.Locals[i].MaxCard)
+		}
+		if len(clone.Seg.Members[i]) != len(gl.Seg.Members[i]) {
+			t.Fatalf("segment %d member count %d != %d", i, len(clone.Seg.Members[i]), len(gl.Seg.Members[i]))
+		}
+	}
+	// The reassigned clone estimates bit-identically to the original.
+	for i, q := range f.w.Test {
+		if a, b := clone.EstimateSearch(q.Vec, q.Tau), gl.EstimateSearch(q.Vec, q.Tau); a != b {
+			t.Fatalf("query %d: clone estimate %v != original %v", i, a, b)
+		}
+	}
+}
+
+// TestDeltaStateNotSerialized: delta counters are serving-side state only
+// and must never survive a checkpoint round trip.
+func TestDeltaStateNotSerialized(t *testing.T) {
+	gl := trainedGL(t, GLCNN)
+	defer gl.DisableDeltaTracking()
+	gl.EnableDeltaTracking()
+	gl.NoteDelta(0, 5)
+
+	blob, err := gl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := &GlobalLocal{}
+	if err := clone.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if clone.DeltaTrackingEnabled() || clone.PendingDeltas() != 0 {
+		t.Fatal("delta state leaked through serialization")
+	}
+}

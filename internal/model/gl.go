@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"simquery/internal/cluster"
 	"simquery/internal/dist"
@@ -126,6 +127,10 @@ type GlobalLocal struct {
 	// MetricRadii the max member distance to them under the dataset metric.
 	refs        [][]float64
 	MetricRadii []float64
+
+	// deltas is the online-mutation state (nil until NoteDelta or
+	// EnableDeltaTracking arms it; see delta.go). Not serialized.
+	deltas atomic.Pointer[SegDeltas]
 
 	cfg GLConfig
 }
@@ -484,7 +489,7 @@ func (gl *GlobalLocal) EstimateSearch(q []float64, tau float64) float64 {
 	var total float64
 	for i, on := range sel {
 		if on {
-			total += gl.Locals[i].EstimateSearch(q, tau)
+			total += gl.deltaAdjust(i, gl.Locals[i].EstimateSearch(q, tau))
 		}
 	}
 	sp.End()
@@ -547,7 +552,7 @@ func (gl *GlobalLocal) EstimateSearchBatch(qs [][]float64, taus []float64) []flo
 	sp = telemetry.StartStage(telemetry.StageMerge)
 	for j, g := range groups {
 		for k, i := range g {
-			out[i] += ests[j][k]
+			out[i] += gl.deltaAdjust(j, ests[j][k])
 		}
 	}
 	sp.End()
@@ -583,7 +588,7 @@ func (gl *GlobalLocal) EstimateJoin(qs [][]float64, tau float64) float64 {
 		if len(routed) == 0 {
 			continue
 		}
-		total += local.EstimateJoinPooled(routed, tau)
+		total += gl.deltaAdjustJoin(j, local.EstimateJoinPooled(routed, tau), len(routed))
 	}
 	sp.End()
 	return total

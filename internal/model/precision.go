@@ -473,7 +473,7 @@ func (gl *GlobalLocal) EstimateSearchBatchPrecision(qs [][]float64, taus []float
 	sp = telemetry.StartStage(telemetry.StageMerge)
 	for j, g := range groups {
 		for k, i := range g {
-			out[i] += ests[j][k]
+			out[i] += gl.deltaAdjust(j, ests[j][k])
 		}
 	}
 	sp.End()

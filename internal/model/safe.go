@@ -111,7 +111,7 @@ func (gl *GlobalLocal) EstimateSearchCtx(ctx context.Context, q []float64, tau f
 		if err != nil {
 			return 0, err
 		}
-		total += v
+		total += gl.deltaAdjust(i, v)
 	}
 	return total, nil
 }
@@ -194,7 +194,7 @@ func (gl *GlobalLocal) EstimateSearchBatchCtx(ctx context.Context, qs [][]float6
 	st = tr.StartStage(reqtrace.StageMerge)
 	for j, g := range groups {
 		for k, i := range g {
-			out[i] += ests[j][k]
+			out[i] += gl.deltaAdjust(j, ests[j][k])
 		}
 	}
 	st.End()
@@ -250,7 +250,7 @@ func (gl *GlobalLocal) EstimateJoinCtx(ctx context.Context, qs [][]float64, tau 
 		if err != nil {
 			return 0, err
 		}
-		total += v
+		total += gl.deltaAdjustJoin(j, v, len(routed))
 	}
 	return total, nil
 }

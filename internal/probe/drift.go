@@ -1,0 +1,228 @@
+package probe
+
+import (
+	"math"
+	"sync/atomic"
+
+	"simquery/internal/faulttol"
+	"simquery/internal/telemetry"
+)
+
+// This file closes the loop ROADMAP item 4 opens: the probe pipeline
+// already measures live q-error against exact labels; the drift monitor
+// aggregates those probes per estimator family into a CAS-EWMA drift score
+// (the same |log q-error| EWMA exported as probe_drift_logq, kept per
+// family) and fires a typed DriftEvent through a hysteresis gate when the
+// score crosses the configured threshold. Hysteresis means the gate fires
+// once per excursion: it re-arms only after the score falls below the
+// clear level, so a sustained high score — or any constant input — can
+// never oscillate the trigger (FuzzDriftThreshold pins this).
+
+// DriftEvent reports one drift-threshold crossing.
+type DriftEvent struct {
+	// Family is the estimator family whose probes crossed the threshold.
+	Family string
+	// Score is the family's EWMA |log q-error| at the crossing.
+	Score float64
+	// Threshold is the configured firing threshold.
+	Threshold float64
+	// Probes is the number of completed probes the family's score folds.
+	Probes int64
+}
+
+// DriftConfig configures the hysteresis gate. The zero value disables
+// drift monitoring (Threshold 0 = off).
+type DriftConfig struct {
+	// Threshold fires a DriftEvent when the per-family EWMA |log q-error|
+	// reaches it. A value of 0.7 ≈ sustained median q-error of 2×.
+	Threshold float64
+	// Clear re-arms the gate when the score falls below it (default
+	// Threshold/2). Must be < Threshold; values ≥ Threshold are clamped.
+	Clear float64
+	// MinProbes is the number of completed probes a family needs before the
+	// gate may fire (default 16) — early noisy probes never trigger.
+	MinProbes int
+}
+
+// fill applies defaults and clamps the hysteresis band.
+func (c *DriftConfig) fill() {
+	if c.MinProbes <= 0 {
+		c.MinProbes = 16
+	}
+	if c.Clear <= 0 || c.Clear >= c.Threshold {
+		c.Clear = c.Threshold / 2
+	}
+}
+
+// Monitor is a hysteresis threshold gate over a drift score. The zero
+// value is unusable; build with NewMonitor. All methods are safe for
+// concurrent use.
+type Monitor struct {
+	cfg   DriftConfig
+	fired atomic.Bool
+}
+
+// NewMonitor builds a gate for cfg (defaults applied).
+func NewMonitor(cfg DriftConfig) *Monitor {
+	cfg.fill()
+	return &Monitor{cfg: cfg}
+}
+
+// Observe feeds one score observation (with the count of observations
+// folded so far) and reports whether the gate fires now. Fires at most
+// once per excursion above Threshold; the gate re-arms only when the score
+// falls below Clear.
+func (m *Monitor) Observe(score float64, probes int64) bool {
+	if m.cfg.Threshold <= 0 || math.IsNaN(score) {
+		return false
+	}
+	if m.fired.Load() {
+		if score < m.cfg.Clear {
+			m.fired.Store(false)
+		}
+		return false
+	}
+	if probes < int64(m.cfg.MinProbes) || score < m.cfg.Threshold {
+		return false
+	}
+	// CAS so concurrent observers fire exactly once per excursion.
+	return m.fired.CompareAndSwap(false, true)
+}
+
+// Fired reports whether the gate is currently in the fired state.
+func (m *Monitor) Fired() bool { return m.fired.Load() }
+
+// Reset re-arms the gate unconditionally — the retrainer calls this after
+// a successful swap so the next excursion is detected from scratch.
+func (m *Monitor) Reset() { m.fired.Store(false) }
+
+// famDrift is one family's CAS-EWMA drift state plus its hysteresis gate.
+type famDrift struct {
+	bits   atomic.Uint64 // EWMA of |log qerr|; math.Float64bits
+	seeded atomic.Bool
+	probes atomic.Int64
+	mon    *Monitor
+}
+
+// update folds one observation with the same seeded CAS-EWMA scheme as the
+// pipeline-wide drift gauge and returns the new score.
+func (f *famDrift) update(v, alpha float64) float64 {
+	f.probes.Add(1)
+	if f.seeded.CompareAndSwap(false, true) {
+		f.bits.Store(math.Float64bits(v))
+		return v
+	}
+	for {
+		old := f.bits.Load()
+		next := (1-alpha)*math.Float64frombits(old) + alpha*v
+		if f.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// family returns (creating on first sight) the drift state for family.
+func (p *Pipeline) family(name string) *famDrift {
+	p.famMu.RLock()
+	f := p.fams[name]
+	p.famMu.RUnlock()
+	if f != nil {
+		return f
+	}
+	p.famMu.Lock()
+	defer p.famMu.Unlock()
+	if f = p.fams[name]; f == nil {
+		f = &famDrift{mon: NewMonitor(p.driftCfg)}
+		p.fams[name] = f
+	}
+	return f
+}
+
+// observeFamilyDrift folds one |log q-error| into the family's EWMA, runs
+// the hysteresis gate, and fires the OnDrift callback (panic-isolated —
+// a crashing handler never kills a probe worker) when the gate trips.
+func (p *Pipeline) observeFamilyDrift(name string, logq float64) {
+	if p.driftCfg.Threshold <= 0 {
+		return
+	}
+	f := p.family(name)
+	score := f.update(logq, p.alpha)
+	if rec := telemetry.Default(); rec.Enabled() {
+		rec.SetGaugeLabeled(telemetry.MetricProbeDriftFamily, telemetry.LabelFamily, name, score)
+	}
+	if !f.mon.Observe(score, f.probes.Load()) {
+		return
+	}
+	if rec := telemetry.Default(); rec.Enabled() {
+		rec.CountLabeled(telemetry.MetricDriftEvents, telemetry.LabelFamily, name, 1)
+	}
+	fn := p.onDrift.Load()
+	if fn == nil {
+		return
+	}
+	ev := DriftEvent{Family: name, Score: score, Threshold: p.driftCfg.Threshold, Probes: f.probes.Load()}
+	_ = faulttol.Capture(func() error { (*fn)(ev); return nil })
+}
+
+// SetOnDrift installs (or replaces, or with nil removes) the drift-event
+// callback after construction — serving wires the pipeline before the
+// retrainer exists, so the callback is late-bound. The handler runs on a
+// probe worker goroutine and is panic-isolated; it should hand off heavy
+// work (a retrain) to its own goroutine.
+func (p *Pipeline) SetOnDrift(fn func(DriftEvent)) {
+	if p == nil {
+		return
+	}
+	if fn == nil {
+		p.onDrift.Store(nil)
+		return
+	}
+	p.onDrift.Store(&fn)
+}
+
+// FamilyDrift reports a family's current EWMA drift score and probe count
+// (0, 0 before any probe or when drift monitoring is off).
+func (p *Pipeline) FamilyDrift(name string) (score float64, probes int64) {
+	if p == nil || p.driftCfg.Threshold <= 0 {
+		return 0, 0
+	}
+	p.famMu.RLock()
+	f := p.fams[name]
+	p.famMu.RUnlock()
+	if f == nil {
+		return 0, 0
+	}
+	return math.Float64frombits(f.bits.Load()), f.probes.Load()
+}
+
+// DriftFired reports whether a family's hysteresis gate is currently in
+// the fired state.
+func (p *Pipeline) DriftFired(name string) bool {
+	if p == nil {
+		return false
+	}
+	p.famMu.RLock()
+	f := p.fams[name]
+	p.famMu.RUnlock()
+	return f != nil && f.mon.Fired()
+}
+
+// ResetDrift clears every family's EWMA state and re-arms every hysteresis
+// gate — called after a retrain swap so the fresh model's accuracy is
+// scored from scratch instead of diluted into the drifted history.
+// Nil-safe.
+func (p *Pipeline) ResetDrift() {
+	if p == nil {
+		return
+	}
+	p.famMu.Lock()
+	defer p.famMu.Unlock()
+	for _, f := range p.fams {
+		f.bits.Store(0)
+		f.seeded.Store(false)
+		f.probes.Store(0)
+		f.mon.Reset()
+	}
+	p.seeded.Store(false)
+	p.driftBits.Store(0)
+}

@@ -1,0 +1,186 @@
+package probe
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMonitorFiresOncePerExcursion(t *testing.T) {
+	m := NewMonitor(DriftConfig{Threshold: 1.0, Clear: 0.5, MinProbes: 3})
+	if m.Observe(2.0, 1) {
+		t.Fatal("fired below MinProbes")
+	}
+	if m.Observe(0.4, 10) {
+		t.Fatal("fired below threshold")
+	}
+	if !m.Observe(1.2, 10) {
+		t.Fatal("did not fire at threshold crossing")
+	}
+	// Still above Clear: must not fire again, no matter how many times.
+	for i := 0; i < 100; i++ {
+		if m.Observe(1.2, 20) {
+			t.Fatal("re-fired while above Clear")
+		}
+	}
+	if !m.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+	// Dip below Clear re-arms; the next crossing fires again.
+	if m.Observe(0.3, 30) {
+		t.Fatal("fired on the re-arming observation itself")
+	}
+	if !m.Observe(1.5, 31) {
+		t.Fatal("did not fire after re-arm")
+	}
+}
+
+func TestMonitorDisabledAndNaN(t *testing.T) {
+	off := NewMonitor(DriftConfig{})
+	if off.Observe(1e9, 1e6) {
+		t.Fatal("disabled monitor fired")
+	}
+	m := NewMonitor(DriftConfig{Threshold: 0.5, MinProbes: 1})
+	if m.Observe(math.NaN(), 100) {
+		t.Fatal("fired on NaN score")
+	}
+}
+
+func TestMonitorConcurrentFireExactlyOnce(t *testing.T) {
+	m := NewMonitor(DriftConfig{Threshold: 0.5, MinProbes: 1})
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if m.Observe(1.0, 100) {
+				fired.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Fatalf("concurrent observers fired %d times, want exactly 1", fired.Load())
+	}
+}
+
+func TestFamilyDriftFiresCallback(t *testing.T) {
+	// Labeler always returns 10; estimates of 100 give |log q| ≈ 2.3 per
+	// probe, so the family EWMA crosses a 0.5 threshold quickly.
+	p := New(func(q []float64, tau float64) (float64, error) { return 10, nil }, Config{
+		Workers: 1,
+		Alpha:   0.5,
+		Drift:   DriftConfig{Threshold: 0.5, MinProbes: 4},
+	})
+	var events []DriftEvent
+	var mu sync.Mutex
+	p.SetOnDrift(func(ev DriftEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	for i := 0; i < 32; i++ {
+		p.Offer([]float64{1}, 1, "gl+", 100)
+	}
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("drift events = %d, want exactly 1 (hysteresis)", len(events))
+	}
+	ev := events[0]
+	if ev.Family != "gl+" || ev.Score < 0.5 || ev.Threshold != 0.5 || ev.Probes < 4 {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if !p.DriftFired("gl+") {
+		t.Fatal("DriftFired false after event")
+	}
+	score, probes := p.FamilyDrift("gl+")
+	if score <= 0 || probes != 32 {
+		t.Fatalf("FamilyDrift = (%v, %d), want positive score and 32 probes", score, probes)
+	}
+}
+
+func TestFamilyDriftCallbackPanicIsolated(t *testing.T) {
+	p := New(func(q []float64, tau float64) (float64, error) { return 10, nil }, Config{
+		Workers: 1,
+		Alpha:   0.5,
+		Drift:   DriftConfig{Threshold: 0.5, MinProbes: 2},
+		OnDrift: func(DriftEvent) { panic("handler bug") },
+	})
+	for i := 0; i < 16; i++ {
+		p.Offer([]float64{1}, 1, "gl+", 100)
+	}
+	p.Close() // a leaked panic would crash the worker and hang Close
+	if p.Completed() != 16 {
+		t.Fatalf("completed = %d, want 16 (worker survived the panic)", p.Completed())
+	}
+}
+
+func TestResetDriftReArms(t *testing.T) {
+	p := New(func(q []float64, tau float64) (float64, error) { return 10, nil }, Config{
+		Workers: 1,
+		Alpha:   0.5,
+		Drift:   DriftConfig{Threshold: 0.5, MinProbes: 2},
+	})
+	var fires atomic.Int64
+	p.SetOnDrift(func(DriftEvent) { fires.Add(1) })
+	for i := 0; i < 16; i++ {
+		p.Offer([]float64{1}, 1, "gl+", 100)
+	}
+	p.Close()
+	if fires.Load() != 1 {
+		t.Fatalf("fires before reset = %d, want 1", fires.Load())
+	}
+	p.ResetDrift()
+	if p.DriftFired("gl+") {
+		t.Fatal("DriftFired true after ResetDrift")
+	}
+	if score, probes := p.FamilyDrift("gl+"); score != 0 || probes != 0 {
+		t.Fatalf("FamilyDrift after reset = (%v, %d), want (0, 0)", score, probes)
+	}
+	if p.Drift() != 0 {
+		t.Fatalf("global Drift after reset = %v, want 0", p.Drift())
+	}
+}
+
+func TestDriftDisabledByDefault(t *testing.T) {
+	p := New(func(q []float64, tau float64) (float64, error) { return 10, nil }, Config{Workers: 1})
+	var fires atomic.Int64
+	p.SetOnDrift(func(DriftEvent) { fires.Add(1) })
+	for i := 0; i < 64; i++ {
+		p.Offer([]float64{1}, 1, "gl+", 1e6)
+	}
+	p.Close()
+	if fires.Load() != 0 {
+		t.Fatalf("zero-threshold config fired %d drift events, want 0", fires.Load())
+	}
+}
+
+// FuzzDriftThreshold pins the hysteresis contract: for ANY configuration
+// and ANY constant score stream, the gate fires at most once — a constant
+// input can never oscillate the trigger.
+func FuzzDriftThreshold(f *testing.F) {
+	f.Add(1.0, 0.5, 8, 0.9, uint(100))
+	f.Add(0.7, 0.35, 16, 0.7, uint(50))
+	f.Add(0.0, 0.0, 0, 5.0, uint(10))
+	f.Add(1.0, 2.0, 1, 1.0, uint(3)) // Clear > Threshold: must clamp, not invert
+	f.Fuzz(func(t *testing.T, threshold, clear float64, minProbes int, score float64, n uint) {
+		if n > 4096 {
+			n = 4096
+		}
+		m := NewMonitor(DriftConfig{Threshold: threshold, Clear: clear, MinProbes: minProbes})
+		fires := 0
+		for i := uint(0); i < n; i++ {
+			if m.Observe(score, int64(i)+1) {
+				fires++
+			}
+		}
+		if fires > 1 {
+			t.Fatalf("constant input (score=%v, cfg=%v/%v/%d) fired %d times",
+				score, threshold, clear, minProbes, fires)
+		}
+	})
+}

@@ -40,6 +40,13 @@ type Config struct {
 	TauMax float64
 	// Alpha is the drift EWMA smoothing factor in (0, 1] (default 0.05).
 	Alpha float64
+	// Drift configures the per-family drift monitor (see drift.go); a zero
+	// Threshold disables it.
+	Drift DriftConfig
+	// OnDrift receives DriftEvents when a family's hysteresis gate fires.
+	// It may also be installed (or replaced) after construction with
+	// SetOnDrift.
+	OnDrift func(DriftEvent)
 }
 
 // EveryFromFraction converts a sampled fraction (0, 1] to a 1-in-N rate:
@@ -82,6 +89,13 @@ type Pipeline struct {
 	dropped   atomic.Int64
 	driftBits atomic.Uint64 // EWMA of |log qerr|; math.Float64bits
 	seeded    atomic.Bool   // first observation seeds the EWMA
+
+	// Per-family drift monitoring (drift.go). fams is populated lazily as
+	// families are first probed; onDrift is late-bound via SetOnDrift.
+	driftCfg DriftConfig
+	famMu    sync.RWMutex
+	fams     map[string]*famDrift
+	onDrift  atomic.Pointer[func(DriftEvent)]
 }
 
 // New starts a probe pipeline with cfg.Workers background labelers.
@@ -98,12 +112,18 @@ func New(label Labeler, cfg Config) *Pipeline {
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		cfg.Alpha = 0.05
 	}
+	cfg.Drift.fill()
 	p := &Pipeline{
-		label:  label,
-		every:  uint64(cfg.SampleEvery),
-		tauMax: cfg.TauMax,
-		alpha:  cfg.Alpha,
-		ch:     make(chan req, cfg.QueueDepth),
+		label:    label,
+		every:    uint64(cfg.SampleEvery),
+		tauMax:   cfg.TauMax,
+		alpha:    cfg.Alpha,
+		ch:       make(chan req, cfg.QueueDepth),
+		driftCfg: cfg.Drift,
+		fams:     map[string]*famDrift{},
+	}
+	if cfg.OnDrift != nil {
+		p.SetOnDrift(cfg.OnDrift)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
@@ -191,7 +211,9 @@ func (p *Pipeline) runProbe(r req) {
 	if math.IsNaN(qe) || math.IsInf(qe, 0) {
 		return
 	}
-	drift := p.updateDrift(math.Abs(math.Log(qe)))
+	logq := math.Abs(math.Log(qe))
+	drift := p.updateDrift(logq)
+	p.observeFamilyDrift(r.family, logq)
 	p.completed.Add(1)
 	rec := telemetry.Default()
 	if !rec.Enabled() {

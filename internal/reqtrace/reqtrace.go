@@ -104,6 +104,9 @@ const (
 	// this request was in flight (the response carries the generation that
 	// actually answered).
 	FlagReloaded
+	// FlagAdapted: the answering estimator was serving delta-corrected
+	// estimates (dataset mutations pending, not yet absorbed by a retrain).
+	FlagAdapted
 )
 
 // flagNames renders set flags in JSON and logs, in declaration order.
@@ -124,6 +127,7 @@ var flagNames = []struct {
 	{FlagRetried, "retried"},
 	{FlagHedged, "hedged"},
 	{FlagReloaded, "reloaded"},
+	{FlagAdapted, "adapted"},
 }
 
 // Names returns the set flags as strings (nil for zero flags).

@@ -1,0 +1,262 @@
+// Package retrain is the repair half of online adaptation (ROADMAP item
+// 4): when the drift monitor fires, a background run fine-tunes only the
+// affected local models of a GlobalLocal clone on delta-augmented samples
+// and hands the clone back for an atomic generation swap. The paper's
+// incremental-learning result (Exp-11) and "A Lightweight Learned
+// Cardinality Estimation Model" (PAPERS.md) motivate keeping this cheap:
+// a few budgeted epochs at a reduced learning rate on a handful of
+// exactly-labeled samples, not a from-scratch train.
+//
+// A run is panic-isolated (a crashing training kernel yields an error, not
+// a dead serving process) and deadline-bounded (the context is checked
+// between stages; an expired budget abandons the run and the live
+// generation keeps serving). Labels come from a pivot-table exact index
+// built over the caller's dataset snapshot — the same labeler the probe
+// pipeline uses — so retraining needs no stored workload.
+package retrain
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"simquery/internal/dataset"
+	"simquery/internal/faulttol"
+	"simquery/internal/index"
+	"simquery/internal/model"
+)
+
+// Config bounds one retrain run. The zero value gets defaults from fill.
+type Config struct {
+	// Epochs is the fine-tune epoch budget per affected local model
+	// (default 3). The learning rate is the training default divided by 5,
+	// matching the incremental path: repeated full-rate restarts drift.
+	Epochs int
+	// Deadline bounds the whole run — reassignment, labeling, training
+	// (default 2 minutes). An expired deadline abandons the run.
+	Deadline time.Duration
+	// SamplePoints is the number of query points sampled for the
+	// delta-augmented training set (default 48). Half are drawn from the
+	// recently inserted vectors (when any), half uniformly from the live
+	// snapshot, so the new region is represented without forgetting the
+	// old one.
+	SamplePoints int
+	// ThresholdsPerPoint is the number of thresholds labeled per query
+	// point (default 4). Thresholds are chosen by target selectivity
+	// (geometrically biased toward low values, §6 of the paper), matching
+	// the distribution the model was originally trained on — raw τ spreads
+	// would skew the sample set toward near-full-dataset cardinalities and
+	// wreck the warm-started output bias.
+	ThresholdsPerPoint int
+	// Pivots is the pivot count of the exact-labeler index (default 16).
+	Pivots int
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Minute
+	}
+	if c.SamplePoints <= 0 {
+		c.SamplePoints = 48
+	}
+	if c.ThresholdsPerPoint <= 0 {
+		c.ThresholdsPerPoint = 4
+	}
+	if c.Pivots <= 0 {
+		c.Pivots = 16
+	}
+}
+
+// Request carries one retrain run's inputs. The model clone and the data
+// snapshot are owned by the run: nothing else may touch them until Run
+// returns (the caller serves from the original model meanwhile).
+type Request struct {
+	// Model is the clone to fine-tune (see cardest.Adapter for the
+	// clone-by-serialization path). Run reassigns it over Data first.
+	Model *model.GlobalLocal
+	// Data is the live dataset snapshot (deep copy; mutations applied
+	// after the snapshot are replayed by the caller post-swap).
+	Data [][]float64
+	// TauMax scales sampled thresholds; 0 falls back to the model's
+	// TauScale.
+	TauMax float64
+	// Affected names the segments to retrain (nil = all). Segments whose
+	// populations changed — the delta log's touched set — are the usual
+	// input.
+	Affected map[int]bool
+	// Inserted holds recently inserted vectors; sampling biases query
+	// points toward them so the new region is trained on.
+	Inserted [][]float64
+	// DatasetName labels the throwaway snapshot dataset (diagnostics).
+	DatasetName string
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Trained is the number of local models fine-tuned.
+	Trained int
+	// Samples is the number of labeled training samples built.
+	Samples int
+	// Elapsed is the run's wall time.
+	Elapsed time.Duration
+}
+
+// Run executes one retrain: reassign the clone over the snapshot, build
+// delta-augmented samples labeled by a fresh pivot index, and fine-tune
+// the affected locals plus the global model under the epoch budget. The
+// context (tightened to cfg.Deadline) is checked between stages; training
+// panics surface as errors via faulttol.Capture.
+func Run(ctx context.Context, req Request, cfg Config) (res *Result, err error) {
+	cfg.fill()
+	if req.Model == nil {
+		return nil, fmt.Errorf("retrain: nil model")
+	}
+	if len(req.Data) == 0 {
+		return nil, fmt.Errorf("retrain: empty data snapshot")
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, cfg.Deadline)
+	defer cancel()
+
+	tauMax := req.TauMax
+	if tauMax <= 0 {
+		tauMax = req.Model.TauScale
+	}
+	if tauMax <= 0 {
+		return nil, fmt.Errorf("retrain: no usable tau scale")
+	}
+
+	err = faulttol.Capture(func() error {
+		// Stage 1: point-to-segment bookkeeping over the snapshot. The
+		// clone came through a serialization round trip, so membership
+		// state must be rebuilt before per-segment labels mean anything.
+		req.Model.Reassign(req.Data)
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+
+		// Stage 2: exact labeler over the snapshot.
+		ds := &dataset.Dataset{
+			Name:    req.DatasetName + "/retrain-snapshot",
+			Metric:  req.Model.Metric,
+			Dim:     req.Model.Dim,
+			Vectors: req.Data,
+			TauMax:  tauMax,
+		}
+		idx, ierr := index.Build(ds, cfg.Pivots, cfg.Seed+11)
+		if ierr != nil {
+			return fmt.Errorf("retrain: labeler index: %w", ierr)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+
+		// Stage 3: delta-augmented samples, labeled per segment by the
+		// pivot index.
+		samples := buildSamples(req, ds, idx, tauMax, cfg)
+		if len(samples) == 0 {
+			return fmt.Errorf("retrain: no samples built")
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+
+		// Stage 4: budgeted fine-tune of the affected locals + global.
+		tcfg := model.DefaultTrainConfig(cfg.Seed + 23)
+		tcfg.Epochs = cfg.Epochs
+		tcfg.LR /= 5
+		gcfg := model.DefaultGlobalTrainConfig(cfg.Seed + 29)
+		gcfg.Epochs = cfg.Epochs
+		gcfg.LR /= 5
+		if terr := req.Model.IncrementalTrain(samples, req.Affected, tcfg, gcfg); terr != nil {
+			return fmt.Errorf("retrain: %w", terr)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+
+		trained := len(req.Model.Locals)
+		if req.Affected != nil {
+			trained = len(req.Affected)
+		}
+		res = &Result{Trained: trained, Samples: len(samples), Elapsed: time.Since(start)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildSamples draws query points (half from the inserted vectors, half
+// uniformly from the snapshot), picks per-point thresholds by target
+// selectivity from a distance-quantile estimate, labels each (q, τ) with
+// the pivot index, and maps the matched data indices through the freshly
+// reassigned segmentation into per-segment cardinalities.
+func buildSamples(req Request, ds *dataset.Dataset, idx *index.SimSelect, tauMax float64, cfg Config) []model.SegSample {
+	rng := rand.New(rand.NewSource(cfg.Seed + 41))
+	points := make([][]float64, 0, cfg.SamplePoints)
+	if len(req.Inserted) > 0 {
+		half := cfg.SamplePoints / 2
+		for i := 0; i < half; i++ {
+			points = append(points, req.Inserted[rng.Intn(len(req.Inserted))])
+		}
+	}
+	for len(points) < cfg.SamplePoints {
+		points = append(points, req.Data[rng.Intn(len(req.Data))])
+	}
+
+	// Distance-quantile reference: a fixed sample of the snapshot turns a
+	// target selectivity into a concrete τ per query point.
+	refN := len(req.Data)
+	if refN > 512 {
+		refN = 512
+	}
+	refs := make([][]float64, refN)
+	for i := range refs {
+		refs[i] = req.Data[rng.Intn(len(req.Data))]
+	}
+
+	k := req.Model.Seg.K
+	assign := req.Model.Seg.Assignments
+	samples := make([]model.SegSample, 0, len(points)*cfg.ThresholdsPerPoint)
+	dists := make([]float64, refN)
+	for _, q := range points {
+		for i, r := range refs {
+			dists[i] = ds.Distance(q, r)
+		}
+		sort.Float64s(dists)
+		for t := 0; t < cfg.ThresholdsPerPoint; t++ {
+			// Selectivity geometrically biased toward low values, mirroring
+			// the training workload's scheme ("more queries with lower
+			// selectivity", §6).
+			sel := math.Pow(0.5, float64(rng.Intn(6))) * (0.2 + 0.8*rng.Float64())
+			rank := int(math.Ceil(sel * float64(refN)))
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > refN {
+				rank = refN
+			}
+			tau := dists[rank-1]
+			if tau > tauMax {
+				tau = tauMax
+			}
+			matches := idx.Search(q, tau)
+			segCards := make([]float64, k)
+			for _, m := range matches {
+				segCards[assign[m]]++
+			}
+			samples = append(samples, model.SegSample{Q: q, Tau: tau, SegCards: segCards})
+		}
+	}
+	return samples
+}

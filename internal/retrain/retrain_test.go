@@ -1,0 +1,183 @@
+package retrain
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"simquery/internal/dataset"
+	"simquery/internal/model"
+	"simquery/internal/workload"
+)
+
+type fixture struct {
+	ds *dataset.Dataset
+	gl *model.GlobalLocal
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+	fixErr  error
+)
+
+// getFixture trains one small GlobalLocal per test binary; tests clone it
+// via serialization before retraining (Run owns and mutates its model).
+func getFixture(t *testing.T) fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		ds, err := dataset.Generate(dataset.ImageNET, dataset.Config{N: 900, Clusters: 8, Seed: 71})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		w, err := workload.BuildSearch(ds, workload.SearchConfig{TrainPoints: 50, TestPoints: 10, ThresholdsPerPoint: 4, Seed: 72})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		gl, err := model.NewGlobalLocal("gl-mlp", ds.Vectors, ds.Metric, ds.TauMax, model.GLConfig{
+			Variant: model.GLMLP, Segments: 4, Seed: 73,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		train := append([]workload.Query(nil), w.Train...)
+		workload.AttachSegmentLabels(ds, gl.Seg, train, 0)
+		samples := make([]model.SegSample, len(train))
+		for i, q := range train {
+			samples[i] = model.SegSample{Q: q.Vec, Tau: q.Tau, SegCards: q.SegCards}
+		}
+		tcfg := model.DefaultTrainConfig(74)
+		tcfg.Epochs = 6
+		if err := gl.Train(samples, tcfg, model.DefaultGlobalTrainConfig(75)); err != nil {
+			fixErr = err
+			return
+		}
+		fix = fixture{ds: ds, gl: gl}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func cloneGL(t *testing.T, gl *model.GlobalLocal) *model.GlobalLocal {
+	t.Helper()
+	blob, err := gl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := &model.GlobalLocal{}
+	if err := clone.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	return clone
+}
+
+func TestRunFineTunesAffectedLocals(t *testing.T) {
+	f := getFixture(t)
+	clone := cloneGL(t, f.gl)
+	affected := map[int]bool{0: true, 2: true}
+	res, err := Run(context.Background(), Request{
+		Model:       clone,
+		Data:        f.ds.Vectors,
+		TauMax:      f.ds.TauMax,
+		Affected:    affected,
+		Inserted:    [][]float64{f.ds.Vectors[3], f.ds.Vectors[7]},
+		DatasetName: f.ds.Name,
+	}, Config{Epochs: 2, SamplePoints: 12, ThresholdsPerPoint: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trained != len(affected) {
+		t.Fatalf("Trained = %d, want %d", res.Trained, len(affected))
+	}
+	if want := 12 * 2; res.Samples != want {
+		t.Fatalf("Samples = %d, want %d", res.Samples, want)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+	// Reassign ran: membership and population caps are live again.
+	if len(clone.Seg.Assignments) != f.ds.Size() {
+		t.Fatalf("assignments = %d points, want %d", len(clone.Seg.Assignments), f.ds.Size())
+	}
+	var total float64
+	for _, l := range clone.Locals {
+		total += l.MaxCard
+	}
+	if int(total) != f.ds.Size() {
+		t.Fatalf("sum of MaxCard = %v, want %d", total, f.ds.Size())
+	}
+	// The fine-tuned clone still estimates sanely over the snapshot.
+	for _, q := range [][]float64{f.ds.Vectors[0], f.ds.Vectors[11]} {
+		est := clone.EstimateSearch(q, f.ds.TauMax/2)
+		if est < 0 || est > float64(f.ds.Size()) {
+			t.Fatalf("post-retrain estimate %v outside [0, %d]", est, f.ds.Size())
+		}
+	}
+}
+
+func TestRunNilAffectedTrainsAll(t *testing.T) {
+	f := getFixture(t)
+	clone := cloneGL(t, f.gl)
+	res, err := Run(context.Background(), Request{
+		Model: clone, Data: f.ds.Vectors, TauMax: f.ds.TauMax,
+	}, Config{Epochs: 1, SamplePoints: 8, ThresholdsPerPoint: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trained != len(clone.Locals) {
+		t.Fatalf("Trained = %d, want all %d locals", res.Trained, len(clone.Locals))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	f := getFixture(t)
+	if _, err := Run(context.Background(), Request{Data: f.ds.Vectors}, Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Run(context.Background(), Request{Model: cloneGL(t, f.gl)}, Config{}); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	bad := cloneGL(t, f.gl)
+	bad.TauScale = 0
+	if _, err := Run(context.Background(), Request{Model: bad, Data: f.ds.Vectors}, Config{}); err == nil {
+		t.Fatal("zero tau scale accepted")
+	}
+}
+
+func TestRunHonorsDeadline(t *testing.T) {
+	f := getFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Request{
+		Model: cloneGL(t, f.gl), Data: f.ds.Vectors, TauMax: f.ds.TauMax,
+	}, Config{Epochs: 1, SamplePoints: 4, ThresholdsPerPoint: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	_, err = Run(context.Background(), Request{
+		Model: cloneGL(t, f.gl), Data: f.ds.Vectors, TauMax: f.ds.TauMax,
+	}, Config{Deadline: time.Nanosecond, Epochs: 1, SamplePoints: 4, ThresholdsPerPoint: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunTauMaxFallsBackToTauScale: a request without TauMax uses the
+// model's trained τ scale instead of failing.
+func TestRunTauMaxFallsBackToTauScale(t *testing.T) {
+	f := getFixture(t)
+	clone := cloneGL(t, f.gl)
+	if _, err := Run(context.Background(), Request{
+		Model: clone, Data: f.ds.Vectors,
+	}, Config{Epochs: 1, SamplePoints: 4, ThresholdsPerPoint: 1, Seed: 7}); err != nil {
+		t.Fatalf("TauScale fallback failed: %v", err)
+	}
+}

@@ -1,0 +1,343 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"simquery/cardest"
+	"simquery/internal/retrain"
+)
+
+// The adaptation chaos pair (picked up by `make serving-chaos` and the CI
+// retrain-chaos job via -run TestChaos) proves the online-adaptation
+// availability contract: a background retrain swap under estimate load and
+// mutation batches racing a model reload never surface a client-visible
+// error, and every answer carries a known generation — never a
+// stale-generation cache hit.
+
+// adaptiveReplica is one replica with the full adaptation stack over a
+// private dataset (the shared fixture must never be mutated).
+type adaptiveReplica struct {
+	rep     *Replica
+	adapter *cardest.Adapter
+	ds      *cardest.Dataset
+	path    string // saved copy of the serving model, for /reload
+	queries [][]float64
+	taus    []float64
+}
+
+func startAdaptiveReplica(t *testing.T, seed int64) *adaptiveReplica {
+	t.Helper()
+	ds, err := cardest.GenerateProfile("imagenet", 600, 6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := cardest.BuildWorkload(ds, cardest.WorkloadOptions{
+		TrainPoints: 12, TestPoints: 10, ThresholdsPerPoint: 3, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := cardest.Train(ds, train, cardest.TrainOptions{Method: "gl-mlp", Segments: 3, Epochs: 3, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := cardest.Save(est, path); err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := cardest.NewEstimateCache(1024, 8, ds.TauMax(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cardest.ServeOptions{
+		Cache:    cache,
+		Fallback: newSampling(t, seed+3),
+		Adapt: &cardest.AdaptOptions{
+			Retrain: retrain.Config{Epochs: 2, SamplePoints: 16, ThresholdsPerPoint: 2, Seed: seed + 4},
+		},
+	}
+	loader := func(p string) (*cardest.RobustEstimator, error) {
+		next, err := cardest.Load(p, ds)
+		if err != nil {
+			return nil, err
+		}
+		return cardest.Harden(next, opts), nil
+	}
+	rep := startReplica(t, cardest.Harden(est, opts), ReplicaConfig{Loader: loader})
+	adapter := cardest.NewAdapter(ds, rep.Reloadable(), opts)
+	rep.AttachAdapter(adapter)
+	t.Cleanup(adapter.WaitIdle)
+
+	ar := &adaptiveReplica{rep: rep, adapter: adapter, ds: ds, path: path}
+	for _, q := range test {
+		ar.queries = append(ar.queries, q.Vec)
+		ar.taus = append(ar.taus, q.Tau)
+	}
+	return ar
+}
+
+func postMutate(t *testing.T, baseURL string, body MutateRequest) (int, MutateResponse, ErrorResponse) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/mutate", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST /mutate: %v", err)
+	}
+	defer resp.Body.Close()
+	var ok MutateResponse
+	var fail ErrorResponse
+	if resp.StatusCode == http.StatusOK {
+		_ = json.NewDecoder(resp.Body).Decode(&ok)
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&fail)
+	}
+	return resp.StatusCode, ok, fail
+}
+
+// jitterOf returns near-copies of base vectors (the mutation generator).
+func jitterOf(base [][]float64, rng *rand.Rand, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		src := base[rng.Intn(len(base))]
+		v := make([]float64, len(src))
+		for j, x := range src {
+			v[j] = x + rng.NormFloat64()*0.01
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestChaosRetrainUnderLoad mutates a serving replica over HTTP, runs a
+// full background-style retrain while estimate traffic hammers it, and
+// requires zero client-visible errors, answers only from the two known
+// generations, visible adapted:true responses while deltas are pending, and
+// a clean handoff to the retrained generation.
+func TestChaosRetrainUnderLoad(t *testing.T) {
+	ar := startAdaptiveReplica(t, 510)
+	base := ar.ds.VectorsCopy()
+	rng := rand.New(rand.NewSource(511))
+
+	stop := make(chan struct{})
+	type obs struct {
+		gen     uint64
+		adapted bool
+		err     string
+	}
+	var mu sync.Mutex
+	var seen []obs
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (g + i) % len(ar.queries)
+				status, _, resp, fail := postEstimate(t, ar.rep.URL(), EstimateRequest{
+					Queries: ar.queries[k : k+1], Taus: ar.taus[k : k+1],
+				})
+				o := obs{gen: resp.Generation, adapted: resp.Adapted}
+				if status != 200 {
+					o.err = fail.Error
+				}
+				mu.Lock()
+				seen = append(seen, o)
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	time.Sleep(30 * time.Millisecond)
+	status, mres, mfail := postMutate(t, ar.rep.URL(), MutateRequest{
+		Inserts: jitterOf(base, rng, 30),
+		Deletes: []int{5, 9},
+	})
+	if status != 200 {
+		t.Fatalf("mutate under load: status %d: %s", status, mfail.Error)
+	}
+	if mres.Pending != 32 || mres.LiveSize != len(base)+28 {
+		t.Fatalf("mutate result %+v", mres)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	if err := ar.adapter.Retrain(context.Background()); err != nil {
+		t.Fatalf("retrain under load: %v", err)
+	}
+	newGen := ar.rep.Reloadable().Generation()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var oldGen uint64
+	var sawNew, sawAdapted bool
+	for _, o := range seen {
+		if o.err != "" {
+			t.Fatalf("request failed during retrain: %s", o.err)
+		}
+		if oldGen == 0 {
+			oldGen = o.gen
+		}
+		if o.gen != oldGen && o.gen != newGen {
+			t.Fatalf("answer from unknown generation %d (old %d, new %d)", o.gen, oldGen, newGen)
+		}
+		if o.gen == newGen {
+			sawNew = true
+		}
+		if o.adapted {
+			sawAdapted = true
+		}
+	}
+	if !sawNew {
+		t.Error("no answer ever arrived from the retrained generation")
+	}
+	if !sawAdapted {
+		t.Error("no adapted:true answer while mutations were pending")
+	}
+
+	// After the swap the deltas are folded into the retrained model: a
+	// fresh request is served by the new generation, no longer adapted.
+	_, _, resp, _ := postEstimate(t, ar.rep.URL(), EstimateRequest{Queries: ar.queries[:1], Taus: ar.taus[:1]})
+	if resp.Generation != newGen || resp.Adapted {
+		t.Fatalf("post-retrain answer gen %d adapted %v, want gen %d adapted false", resp.Generation, resp.Adapted, newGen)
+	}
+	if got := ar.adapter.PendingDeltas(); got != 0 {
+		t.Fatalf("pending deltas after retrain = %d, want 0", got)
+	}
+}
+
+// TestChaosMutateDuringReload races mutation batches against model reloads
+// under estimate load: every request on every surface must succeed, and
+// every answer must come from a generation the replica actually published —
+// the generation-stamped cache can never serve an estimate across a swap or
+// a mutation batch.
+func TestChaosMutateDuringReload(t *testing.T) {
+	ar := startAdaptiveReplica(t, 520)
+	base := ar.ds.VectorsCopy()
+
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var failures []string
+	genSeqs := make([][]uint64, 3) // per-goroutine observed generation sequence
+	fail := func(msg string) {
+		mu.Lock()
+		failures = append(failures, msg)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (g + i) % len(ar.queries)
+				status, _, resp, efail := postEstimate(t, ar.rep.URL(), EstimateRequest{
+					Queries: ar.queries[k : k+1], Taus: ar.taus[k : k+1],
+				})
+				if status != 200 {
+					fail("estimate: " + efail.Error)
+					continue
+				}
+				genSeqs[g] = append(genSeqs[g], resp.Generation)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(521))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := MutateRequest{Inserts: jitterOf(base, rng, 2)}
+			if i%3 == 2 {
+				req.Deletes = []int{0} // always in range: the dataset only grows net
+			}
+			if status, _, mfail := postMutate(t, ar.rep.URL(), req); status != 200 {
+				fail("mutate: " + mfail.Error)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var lastReload uint64
+	for i := 0; i < 3; i++ {
+		time.Sleep(25 * time.Millisecond)
+		status, rr := postReload(t, ar.rep.URL(), ar.path)
+		if status != 200 {
+			t.Fatalf("reload %d: status %d", i, status)
+		}
+		// Both reloads and mutation batches bump the generation, so each
+		// reload must land on a strictly newer generation than the last.
+		if rr.Generation <= lastReload {
+			t.Fatalf("reload %d generation %d did not advance past %d", i, rr.Generation, lastReload)
+		}
+		lastReload = rr.Generation
+	}
+	time.Sleep(25 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	finalGen := ar.rep.Reloadable().Generation()
+
+	for _, f := range failures {
+		t.Fatalf("client-visible error during mutate/reload chaos: %s", f)
+	}
+	// Staleness check: the generation only ever advances (reload swaps and
+	// mutation cache-invalidation bumps), and each goroutine's requests are
+	// sequential — so its observed generations must be non-decreasing and
+	// never overshoot the terminal generation. A stale-generation cache hit
+	// would show up as a regression in the sequence.
+	var observed int
+	for g, seq := range genSeqs {
+		observed += len(seq)
+		for i, gen := range seq {
+			if gen == 0 || gen > finalGen {
+				t.Fatalf("goroutine %d answer %d from unpublished generation %d (terminal %d)", g, i, gen, finalGen)
+			}
+			if i > 0 && gen < seq[i-1] {
+				t.Fatalf("goroutine %d observed generation regress %d -> %d: stale answer served", g, seq[i-1], gen)
+			}
+		}
+		if len(seq) > 0 && seq[len(seq)-1] <= seq[0] && finalGen > seq[0] {
+			t.Fatalf("goroutine %d never advanced past generation %d under reload+mutate load", g, seq[0])
+		}
+	}
+	if observed == 0 {
+		t.Fatal("no successful estimates observed during chaos")
+	}
+
+	// The dust settles on the terminal generation, at or past the last
+	// reload swap.
+	if finalGen < lastReload {
+		t.Fatalf("terminal generation %d behind last reload %d", finalGen, lastReload)
+	}
+	_, _, resp, _ := postEstimate(t, ar.rep.URL(), EstimateRequest{Queries: ar.queries[:1], Taus: ar.taus[:1]})
+	if resp.Generation != finalGen {
+		t.Fatalf("final answer from generation %d, want %d", resp.Generation, finalGen)
+	}
+}

@@ -67,6 +67,11 @@ type Replica struct {
 
 	reloads atomic.Int64
 	served  atomic.Int64
+
+	// adapter, when attached, serves POST /mutate and marks delta-corrected
+	// answers with FlagAdapted. Late-bound: the adapter is built over this
+	// replica's Reloadable after construction.
+	adapter atomic.Pointer[cardest.Adapter]
 }
 
 // NewReplica builds a replica serving est (already hardened; the wrapper's
@@ -90,6 +95,16 @@ func NewReplica(est *cardest.RobustEstimator, cfg ReplicaConfig) *Replica {
 // Reloadable exposes the replica's generation holder (tests and embedding
 // servers swap through it directly).
 func (r *Replica) Reloadable() *cardest.Reloadable { return r.rel }
+
+// AttachAdapter wires an adaptation coordinator (built over this replica's
+// Reloadable) into the serving surface: POST /mutate applies mutation
+// batches through it, and estimates served while mutations are pending
+// carry FlagAdapted plus adapted:true in the response. Safe to call before
+// or after Start; a nil adapter detaches.
+func (r *Replica) AttachAdapter(a *cardest.Adapter) { r.adapter.Store(a) }
+
+// Adapter returns the attached adaptation coordinator (nil when detached).
+func (r *Replica) Adapter() *cardest.Adapter { return r.adapter.Load() }
 
 // Name returns the replica's configured name.
 func (r *Replica) Name() string { return r.cfg.Name }
@@ -119,6 +134,7 @@ func (r *Replica) Start(addr string) error {
 	if r.cfg.Loader != nil {
 		mux.HandleFunc("POST /reload", r.handleReload)
 	}
+	mux.HandleFunc("POST /mutate", r.handleMutate)
 	r.lis = lis
 	r.srv = &http.Server{Handler: mux}
 	r.started = true
@@ -247,6 +263,11 @@ func (r *Replica) handleEstimate(w http.ResponseWriter, req *http.Request) {
 	if gen != r.rel.Generation() {
 		tr.SetFlag(reqtrace.FlagReloaded)
 	}
+	adapted := false
+	if a := r.adapter.Load(); a != nil && a.PendingDeltas() > 0 {
+		adapted = true
+		tr.SetFlag(reqtrace.FlagAdapted)
+	}
 	tr.Finish()
 	if err != nil {
 		switch {
@@ -269,7 +290,44 @@ func (r *Replica) handleEstimate(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Estimates:  out,
 		Degraded:   degraded,
+		Adapted:    adapted,
 		Generation: gen,
+		Replica:    r.cfg.Name,
+	})
+}
+
+// handleMutate applies one dataset mutation batch through the attached
+// adapter: estimates served from this moment on are delta-corrected, every
+// cached estimate is invalidated by the generation bump, and the probe
+// snapshot goes stale so drift is scored against post-mutation truth.
+func (r *Replica) handleMutate(w http.ResponseWriter, req *http.Request) {
+	a := r.adapter.Load()
+	if a == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "serving: adaptation disabled on this replica"})
+		return
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Done()
+	var body MutateRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "serving: bad mutate body: " + err.Error()})
+		return
+	}
+	if err := body.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	res, err := a.Mutate(body.Inserts, body.Deletes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Inserted:   res.Inserted,
+		Deleted:    res.Deleted,
+		Pending:    res.Pending,
+		LiveSize:   res.LiveSize,
+		Generation: res.Generation,
 		Replica:    r.cfg.Name,
 	})
 }

@@ -49,6 +49,9 @@ type (
 		// replica's fallback tier (or, set by the router, from the router's
 		// own local fallback after total replica loss).
 		Degraded bool `json:"degraded,omitempty"`
+		// Adapted reports that the answering estimator was serving
+		// delta-corrected estimates (dataset mutations pending retrain).
+		Adapted bool `json:"adapted,omitempty"`
 		// Generation is the model generation that answered (the
 		// ModelGeneration stamp pinned for this request).
 		Generation uint64 `json:"generation"`
@@ -60,7 +63,44 @@ type (
 	ErrorResponse struct {
 		Error string `json:"error"`
 	}
+
+	// MutateRequest is the JSON body of POST /mutate: one dataset mutation
+	// batch. Deletes name current dataset indices and are applied before
+	// Inserts; the whole batch is validated before any change lands.
+	MutateRequest struct {
+		Inserts [][]float64 `json:"inserts,omitempty"`
+		Deletes []int       `json:"deletes,omitempty"`
+	}
+
+	// MutateResponse is the JSON body of a 200 POST /mutate answer.
+	MutateResponse struct {
+		Inserted int `json:"inserted"`
+		Deleted  int `json:"deleted"`
+		// Pending counts mutations the serving model is currently
+		// delta-correcting for (not yet absorbed by a retrain).
+		Pending int64 `json:"pending"`
+		// LiveSize is the dataset size after the batch.
+		LiveSize int `json:"live_size"`
+		// Generation is the model generation after the cache-invalidating
+		// bump.
+		Generation uint64 `json:"generation"`
+		Replica    string `json:"replica,omitempty"`
+	}
 )
+
+// Validate checks the mutation batch shape (emptiness; the adapter
+// validates dimensions and delete indices against the live dataset).
+func (r *MutateRequest) Validate() error {
+	if len(r.Inserts) == 0 && len(r.Deletes) == 0 {
+		return errors.New("serving: empty mutation batch")
+	}
+	for i, v := range r.Inserts {
+		if len(v) == 0 {
+			return fmt.Errorf("serving: insert %d is empty", i)
+		}
+	}
+	return nil
+}
 
 // Validate checks the request shape; the replica rejects malformed bodies
 // with 400 before touching the model.

@@ -103,6 +103,13 @@ func NewRegistry() *Registry {
 	r.RegisterCounter(MetricServingReloads, "Completed zero-downtime model swaps (POST /reload).", "")
 	r.RegisterGauge(MetricServingCircuitState, "Replica circuit state: 0 closed, 1 half-open, 2 open.", LabelReplica)
 	r.RegisterCounter(MetricReplicaRequests, "Requests served by this replica process, by outcome.", LabelOutcome)
+	r.RegisterCounter(MetricMutationsTotal, "Applied dataset mutations, by op (insert, delete).", LabelOp)
+	r.RegisterGauge(MetricPendingDeltas, "Mutations applied since the serving model's last (re)train.", "")
+	r.RegisterGauge(MetricLiveDatasetSize, "Current live dataset size (objects).", "")
+	r.RegisterGauge(MetricProbeDriftFamily, "Per-family EWMA of |log q-error| scored by the drift monitor.", LabelFamily)
+	r.RegisterCounter(MetricDriftEvents, "Drift-threshold crossings (hysteresis gate firings), by family.", LabelFamily)
+	r.RegisterCounter(MetricRetrainsTotal, "Background retrain runs by outcome (ok, error, deadline, skipped).", LabelOutcome)
+	r.RegisterHistogram(MetricRetrainSeconds, "Wall time of background retrain runs (snapshot through swap).", "", LatencyBuckets())
 	return r
 }
 

@@ -148,6 +148,27 @@ const (
 	// MetricReplicaRequests counts requests served by this replica process,
 	// labeled by outcome (ok, degraded, shed, deadline, error).
 	MetricReplicaRequests = "simquery_replica_requests_total"
+	// MetricMutationsTotal counts applied dataset mutations, labeled by op
+	// (insert, delete).
+	MetricMutationsTotal = "simquery_mutations_total"
+	// MetricPendingDeltas is the number of mutations applied since the
+	// serving model's last (re)train — the delta-adjusted estimates' drift
+	// budget; falls back to 0 after a retrain swap.
+	MetricPendingDeltas = "simquery_pending_deltas"
+	// MetricLiveDatasetSize is the current live dataset size (objects).
+	MetricLiveDatasetSize = "simquery_live_dataset_size"
+	// MetricProbeDriftFamily is the per-family EWMA of |log q-error| the
+	// drift monitor scores (probe_drift_logq broken out by family).
+	MetricProbeDriftFamily = "simquery_probe_drift_logq_family"
+	// MetricDriftEvents counts drift-threshold crossings (hysteresis gate
+	// firings), labeled by estimator family.
+	MetricDriftEvents = "simquery_drift_events_total"
+	// MetricRetrainsTotal counts background retrain runs by outcome
+	// (ok, error, deadline, skipped).
+	MetricRetrainsTotal = "simquery_retrains_total"
+	// MetricRetrainSeconds observes the wall time of background retrain
+	// runs (snapshot through swap).
+	MetricRetrainSeconds = "simquery_retrain_seconds"
 )
 
 // Span taxonomy: the stage label values of MetricStageSeconds. The serving
@@ -173,6 +194,7 @@ const (
 	LabelTauBand = "tau_band"
 	LabelOutcome = "outcome"
 	LabelReplica = "replica"
+	LabelOp      = "op"
 )
 
 // Recorder is the instrumentation surface the hot paths record through.
